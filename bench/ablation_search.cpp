@@ -1,0 +1,108 @@
+// Design-choice ablations for Algorithm 2 beyond the paper's Table VI:
+//   (a) the early stop (lines 9-11) — time and search-effort saved vs.
+//       RC@3 cost on RAPMD;
+//   (b) the CP-weighted cuboid visit order — with early stop active,
+//       visiting high-CP cuboids first should find covering candidates
+//       sooner than plain numeric order.
+#include "bench/bench_common.h"
+#include "core/search.h"
+
+using namespace rap;
+
+namespace {
+
+struct VariantResult {
+  double rc3 = 0.0;
+  double mean_time = 0.0;
+  double mean_evals = 0.0;
+  double mean_cuboids = 0.0;
+};
+
+VariantResult runVariant(const std::vector<gen::Case>& cases,
+                         const core::RapMinerConfig& config) {
+  VariantResult out;
+  eval::RecallAtKAccumulator rc3(3);
+  util::TimingStats timing;
+  double evals = 0.0;
+  double cuboids = 0.0;
+  const core::RapMiner miner(config);
+  for (const auto& c : cases) {
+    const util::WallTimer timer;
+    const auto result = miner.localize(c.table, 5);
+    timing.add(timer.elapsedSeconds());
+    rc3.add(result.patterns, c.truth);
+    evals += static_cast<double>(result.stats.combinations_evaluated);
+    cuboids += static_cast<double>(result.stats.cuboids_visited);
+  }
+  out.rc3 = rc3.value();
+  out.mean_time = timing.mean();
+  out.mean_evals = evals / static_cast<double>(cases.size());
+  out.mean_cuboids = cuboids / static_cast<double>(cases.size());
+  return out;
+}
+
+}  // namespace
+
+namespace {
+
+std::vector<std::pair<const char*, core::RapMinerConfig>> variants() {
+  std::vector<std::pair<const char*, core::RapMinerConfig>> out;
+  out.push_back({"full RAPMiner (early stop, CP order)", {}});
+  {
+    core::RapMinerConfig c;
+    c.early_stop = false;
+    out.push_back({"no early stop", c});
+  }
+  {
+    core::RapMinerConfig c;
+    c.cuboid_order = core::CuboidOrder::kNumeric;
+    out.push_back({"numeric cuboid order", c});
+  }
+  {
+    core::RapMinerConfig c;
+    c.early_stop = false;
+    c.cuboid_order = core::CuboidOrder::kNumeric;
+    out.push_back({"no early stop + numeric order", c});
+  }
+  return out;
+}
+
+void runSection(const char* label, const std::vector<gen::Case>& cases) {
+  util::TextTable table;
+  table.setHeader({"variant", "RC@3", "mean time", "combos evaluated/case",
+                   "cuboids visited/case"});
+  for (const auto& [name, config] : variants()) {
+    const auto r = runVariant(cases, config);
+    table.addRow({name, util::TextTable::pct(r.rc3),
+                  util::TextTable::duration(r.mean_time),
+                  util::TextTable::num(r.mean_evals, 0),
+                  util::TextTable::num(r.mean_cuboids, 1)});
+  }
+  std::printf("%s:\n%s\n", label, table.render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  util::setLogLevel(util::LogLevel::kWarn);
+  bench::printHeader("Ablation", "Algorithm 2 design choices on RAPMD",
+                     bench::kDefaultSeed);
+
+  // Clean verdicts: the early stop fires as soon as the candidates cover
+  // every anomalous leaf, which happens early here.
+  runSection("clean leaf verdicts (label_noise = 0)",
+             bench::makeRapmdCases(bench::kDefaultSeed, 105,
+                                   /*label_noise=*/0.0));
+
+  // Noisy verdicts: isolated flipped leaves stay uncovered until the
+  // deepest layer, so the early stop rarely fires — an honest limitation
+  // of Algorithm 2's lines 9-11 under detector error.
+  runSection("noisy leaf verdicts (label_noise = 2%)",
+             bench::makeRapmdCases(bench::kDefaultSeed));
+
+  std::printf(
+      "expected: with clean labels the early stop removes most of the\n"
+      "search; with noisy labels it is cost-neutral.  The CP-weighted\n"
+      "cuboid order is worth a fraction of an RC@3 point either way.\n");
+  return 0;
+}

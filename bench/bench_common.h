@@ -1,0 +1,57 @@
+// Shared workload builders and formatting for the bench harnesses.
+// Every harness prints its seed and workload sizes so the tables in
+// EXPERIMENTS.md are reproducible.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "eval/runner.h"
+#include "gen/rapmd.h"
+#include "gen/squeeze_gen.h"
+#include "util/logging.h"
+#include "util/table.h"
+
+namespace rap::bench {
+
+inline constexpr std::uint64_t kDefaultSeed = 20220627;  // DSN'22 week
+
+/// The paper's RAPMD workload: 105 failure timepoints on the Table I CDN
+/// schema.  A 2% leaf-verdict flip rate emulates the detection errors a
+/// real forecasting model leaves behind (the paper's background KPIs are
+/// sparse and noisy, §V-A) — without it every confidence is exactly 1.0
+/// and the t_conf sensitivity of Fig. 10(b) would be degenerate.
+inline std::vector<gen::Case> makeRapmdCases(std::uint64_t seed,
+                                             std::int32_t num_cases = 105,
+                                             double label_noise = 0.02) {
+  gen::RapmdConfig config;
+  config.num_cases = num_cases;
+  config.label_noise = label_noise;
+  gen::RapmdGenerator generator(dataset::Schema::cdn(), config, seed);
+  return generator.generate();
+}
+
+/// The paper's Squeeze-B0 workload: groups (n,m), n,m in 1..3.
+inline std::vector<gen::SqueezeGroup> makeSqueezeGroups(
+    std::uint64_t seed, std::int32_t cases_per_group = 25,
+    std::int32_t noise_level = 0) {
+  gen::SqueezeGenConfig config;
+  config.cases_per_group = cases_per_group;
+  config.noise_sigma = gen::squeezeNoiseSigma(noise_level);
+  gen::SqueezeGenerator generator(config, seed);
+  return generator.generateAllGroups();
+}
+
+inline std::string groupLabel(const gen::SqueezeGroup& group) {
+  return "(" + std::to_string(group.n_dims) + "," +
+         std::to_string(group.n_raps) + ")";
+}
+
+inline void printHeader(const char* figure, const char* description,
+                        std::uint64_t seed) {
+  std::printf("== %s — %s ==\n", figure, description);
+  std::printf("seed=%llu\n\n", static_cast<unsigned long long>(seed));
+}
+
+}  // namespace rap::bench

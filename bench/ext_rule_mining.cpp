@@ -1,0 +1,43 @@
+// Extension study backing the paper's §VI remark that "there are many
+// ways to realize association rule mining ... the efficiency of
+// different implementation methods varies greatly": the same rule-based
+// localizer driven by FP-growth vs. level-wise Apriori, on RAPMD.
+// Effectiveness is identical by construction (both mine the exact
+// frequent-itemset set); only the mining cost differs.
+#include "baselines/fp_rap.h"
+#include "bench/bench_common.h"
+#include "eval/metrics.h"
+
+using namespace rap;
+
+int main() {
+  util::setLogLevel(util::LogLevel::kWarn);
+  bench::printHeader("Extension", "rule mining engines: FP-growth vs Apriori",
+                     bench::kDefaultSeed);
+
+  const auto cases = bench::makeRapmdCases(bench::kDefaultSeed, 60);
+
+  util::TextTable table;
+  table.setHeader({"engine", "RC@3", "mean time", "p95 time"});
+  for (const auto engine : {baselines::RuleMiningEngine::kFpGrowth,
+                            baselines::RuleMiningEngine::kApriori}) {
+    baselines::FpRapConfig config;
+    config.engine = engine;
+    const eval::NamedLocalizer localizer{
+        engine == baselines::RuleMiningEngine::kApriori ? "Apriori"
+                                                        : "FP-growth",
+        [config](const dataset::LeafTable& t, std::int32_t k) {
+          return baselines::fpGrowthLocalize(t, config, k);
+        }};
+    const auto runs = eval::runLocalizer(localizer, cases, {.k = 5});
+    const auto timing = eval::aggregateTiming(runs);
+    table.addRow({localizer.name,
+                  util::TextTable::pct(eval::aggregateRecallAtK(runs, cases, 3)),
+                  util::TextTable::duration(timing.mean()),
+                  util::TextTable::duration(timing.percentile(0.95))});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("expected: identical RC@3 (same itemsets), Apriori markedly\n"
+              "slower — the paper's stated reason for choosing FP-growth.\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Fig. 10(b): sensitivity of RC@3 to the anomaly-confidence threshold
+// t_conf on RAPMD.  The paper selects values above 0.5 and reports a
+// slight increase with t_conf.
+#include "bench/bench_common.h"
+
+using namespace rap;
+
+int main() {
+  util::setLogLevel(util::LogLevel::kWarn);
+  bench::printHeader("Fig. 10(b)", "RC@3 vs t_conf on RAPMD",
+                     bench::kDefaultSeed);
+
+  const auto cases = bench::makeRapmdCases(bench::kDefaultSeed);
+
+  util::TextTable table;
+  table.setHeader({"t_conf", "RC@3", "mean time"});
+  for (const double t_conf : {0.55, 0.6, 0.65, 0.7, 0.75, 0.8, 0.85, 0.9, 0.95}) {
+    core::RapMinerConfig config;
+    config.t_conf = t_conf;
+    const auto localizer = eval::rapminerLocalizer(config);
+    const auto runs = eval::runLocalizer(localizer, cases, {.k = 5});
+    table.addRow({util::TextTable::num(t_conf, 2),
+                  util::TextTable::pct(eval::aggregateRecallAtK(runs, cases, 3)),
+                  util::TextTable::duration(eval::aggregateTiming(runs).mean())});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("paper shape: RC@3 increases slightly with t_conf; both\n"
+              "thresholds leave a large stable operating region.\n");
+  return 0;
+}

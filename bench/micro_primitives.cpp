@@ -1,0 +1,191 @@
+// Micro-benchmarks of the primitives the localization algorithms are
+// built on: group-by aggregation, classification power, the AC search,
+// FP-growth, posting-list intersection and the density clustering.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "alarm/monitor.h"
+#include "baselines/fp_rap.h"
+#include "forecast/forecaster.h"
+#include "io/json.h"
+#include "core/classification_power.h"
+#include "core/rapminer.h"
+#include "dataset/index.h"
+#include "gen/rapmd.h"
+#include "mining/fpgrowth.h"
+#include "stats/histogram.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace rap;
+
+const gen::Case& rapmdCase() {
+  static const gen::Case kCase = [] {
+    gen::RapmdConfig config;
+    config.num_cases = 1;
+    gen::RapmdGenerator generator(dataset::Schema::cdn(), config, 1234);
+    return generator.generateCase(0);
+  }();
+  return kCase;
+}
+
+void BM_GroupByFullCuboid(benchmark::State& state) {
+  const auto& table = rapmdCase().table;
+  const auto mask = dataset::allAttributesMask(table.schema());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.groupBy(mask));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(table.size()));
+}
+BENCHMARK(BM_GroupByFullCuboid);
+
+void BM_GroupByLayer1(benchmark::State& state) {
+  const auto& table = rapmdCase().table;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.groupBy(1u));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(table.size()));
+}
+BENCHMARK(BM_GroupByLayer1);
+
+void BM_ClassificationPower(benchmark::State& state) {
+  const auto& table = rapmdCase().table;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::classificationPowers(table));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(table.size()));
+}
+BENCHMARK(BM_ClassificationPower);
+
+void BM_RapMinerLocalize(benchmark::State& state) {
+  const auto& table = rapmdCase().table;
+  const core::RapMiner miner;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(miner.localize(table, 5));
+  }
+}
+BENCHMARK(BM_RapMinerLocalize);
+
+void BM_InvertedIndexBuild(benchmark::State& state) {
+  const auto& table = rapmdCase().table;
+  for (auto _ : state) {
+    dataset::InvertedIndex index(table);
+    benchmark::DoNotOptimize(index);
+  }
+}
+BENCHMARK(BM_InvertedIndexBuild);
+
+void BM_PostingIntersection(benchmark::State& state) {
+  const auto& table = rapmdCase().table;
+  const dataset::InvertedIndex index(table);
+  dataset::AttributeCombination ac(table.schema().attributeCount());
+  ac.setSlot(0, 3);
+  ac.setSlot(3, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.rowsMatching(ac));
+  }
+}
+BENCHMARK(BM_PostingIntersection);
+
+void BM_FpGrowth(benchmark::State& state) {
+  // Transactions from the case's anomalous leaves.
+  const auto& table = rapmdCase().table;
+  std::vector<mining::Transaction> txns;
+  for (const auto& row : table.rows()) {
+    if (!row.anomalous) continue;
+    mining::Transaction txn;
+    for (dataset::AttrId a = 0; a < table.schema().attributeCount(); ++a) {
+      txn.push_back(a * 64 + row.ac.slot(a));
+    }
+    txns.push_back(std::move(txn));
+  }
+  mining::FpGrowthOptions options;
+  options.min_support =
+      std::max<std::uint64_t>(2, txns.size() / 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mining::mineFrequentItemsets(txns, options));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(txns.size()));
+}
+BENCHMARK(BM_FpGrowth);
+
+void BM_DensityClustering(benchmark::State& state) {
+  util::Rng rng(99);
+  std::vector<double> values;
+  values.reserve(4096);
+  for (int i = 0; i < 4096; ++i) {
+    values.push_back(rng.bernoulli(0.5) ? rng.gaussian(0.3, 0.05)
+                                        : rng.gaussian(1.2, 0.08));
+  }
+  for (auto _ : state) {
+    stats::Histogram hist(-2.0, 2.0, 80);
+    hist.addAll(values);
+    benchmark::DoNotOptimize(stats::densityClusters(hist, 2, 0.6));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(values.size()));
+}
+BENCHMARK(BM_DensityClustering);
+
+void BM_AttributeCombinationOps(benchmark::State& state) {
+  const auto schema = dataset::Schema::cdn();
+  const auto ancestor =
+      dataset::AttributeCombination::parse(schema, "(L1, *, *, Site1)")
+          .value();
+  const auto leaf = dataset::leafFromIndex(schema, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ancestor.matchesLeaf(leaf));
+    benchmark::DoNotOptimize(ancestor.isAncestorOf(leaf));
+    benchmark::DoNotOptimize(ancestor.cuboidMask());
+  }
+}
+BENCHMARK(BM_AttributeCombinationOps);
+
+void BM_HoltWintersForecast(benchmark::State& state) {
+  std::vector<double> history;
+  for (int t = 0; t < 1440 * 3; ++t) {
+    history.push_back(100.0 + 30.0 * std::sin(t * 0.004));
+  }
+  const forecast::HoltWintersForecaster forecaster(1440);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forecaster.forecastNext(history));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(history.size()));
+}
+BENCHMARK(BM_HoltWintersForecast);
+
+void BM_AlarmObserve(benchmark::State& state) {
+  alarm::MonitorConfig config;
+  config.season_length = 1440;
+  alarm::KpiMonitor monitor(config);
+  // Pre-fill two seasons.
+  for (int t = 0; t < 1440 * 2; ++t) {
+    monitor.observe(100.0 + 30.0 * std::sin(t * 0.004));
+  }
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(monitor.observe(100.0 + 30.0 * std::sin(t)));
+    t += 0.004;
+  }
+}
+BENCHMARK(BM_AlarmObserve);
+
+void BM_JsonResultSerialization(benchmark::State& state) {
+  const auto& c = rapmdCase();
+  const auto result = core::RapMiner().localize(c.table, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(io::resultToJson(c.table.schema(), result));
+  }
+}
+BENCHMARK(BM_JsonResultSerialization);
+
+}  // namespace
+
+BENCHMARK_MAIN();

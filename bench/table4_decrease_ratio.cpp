@@ -1,0 +1,44 @@
+// Table IV: the ratio of cuboids removed from the search lattice after
+// deleting k redundant attributes (paper Proof 1) — both the analytic
+// lower bound and the exact value measured on real lattices.
+#include <cmath>
+
+#include "bench/bench_common.h"
+#include "core/classification_power.h"
+#include "dataset/cuboid.h"
+
+using namespace rap;
+
+int main() {
+  util::setLogLevel(util::LogLevel::kWarn);
+  bench::printHeader("Table IV", "DecreaseRatio@k after deleting k attributes",
+                     bench::kDefaultSeed);
+
+  util::TextTable table;
+  table.setHeader({"n", "k", "analytic (2^n-2^(n-k))/(2^n-1)",
+                   "measured on lattice", "bound (2^k-1)/2^k"});
+  for (const std::int32_t n : {4, 5, 6, 8}) {
+    for (std::int32_t k = 1; k < n; ++k) {
+      const double analytic = core::decreaseRatio(n, k);
+      // Measure by actually counting cuboids of the two lattices.
+      const dataset::CuboidMask full = (1u << n) - 1;
+      const dataset::CuboidMask reduced = (1u << (n - k)) - 1;
+      const double full_count =
+          static_cast<double>(dataset::allCuboidsByLayer(full).size());
+      const double reduced_count =
+          static_cast<double>(dataset::allCuboidsByLayer(reduced).size());
+      const double measured = (full_count - reduced_count) / full_count;
+      const double bound =
+          (std::pow(2.0, k) - 1.0) / std::pow(2.0, k);
+      table.addRow({std::to_string(n), std::to_string(k),
+                    util::TextTable::num(analytic, 5),
+                    util::TextTable::num(measured, 5),
+                    util::TextTable::num(bound, 5)});
+    }
+    table.addRule();
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("paper row (n=4): k=1..3 -> 0.5333, 0.8, 0.9333 exceed the\n"
+              "bounds 0.5, 0.75, 0.875 of Table IV.\n");
+  return 0;
+}

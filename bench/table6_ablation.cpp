@@ -1,0 +1,52 @@
+// Table VI: efficiency-improvement study of the CP-based redundant
+// attribute deletion — RAPMiner with vs. without stage 1 on RAPMD.
+#include "bench/bench_common.h"
+
+using namespace rap;
+
+int main() {
+  util::setLogLevel(util::LogLevel::kWarn);
+  bench::printHeader("Table VI",
+                     "RAPMiner with vs. without redundant attribute deletion",
+                     bench::kDefaultSeed);
+
+  const auto cases = bench::makeRapmdCases(bench::kDefaultSeed);
+
+  struct Variant {
+    const char* name;
+    bool deletion;
+    double rc3 = 0.0;
+    double mean_time = 0.0;
+  };
+  Variant variants[] = {{"RAPMiner with Redundant Attribute Deletion", true},
+                        {"RAPMiner without Redundant Attribute Deletion", false}};
+  for (auto& variant : variants) {
+    core::RapMinerConfig config;
+    config.enable_attribute_deletion = variant.deletion;
+    const auto localizer = eval::rapminerLocalizer(config);
+    const auto runs = eval::runLocalizer(localizer, cases, {.k = 3});
+    variant.rc3 = eval::aggregateRecallAtK(runs, cases, 3);
+    variant.mean_time = eval::aggregateTiming(runs).mean();
+  }
+
+  const double efficiency_improvement =
+      (variants[1].mean_time - variants[0].mean_time) / variants[1].mean_time;
+  const double effectiveness_decrease =
+      variants[1].rc3 <= 0.0
+          ? 0.0
+          : (variants[1].rc3 - variants[0].rc3) / variants[1].rc3;
+
+  util::TextTable table;
+  table.setHeader({"Method", "RC@3", "Time", "Efficiency improvement",
+                   "Effectiveness decreased"});
+  table.addRow({variants[0].name, util::TextTable::pct(variants[0].rc3),
+                util::TextTable::duration(variants[0].mean_time),
+                util::TextTable::pct(efficiency_improvement),
+                util::TextTable::pct(effectiveness_decrease)});
+  table.addRow({variants[1].name, util::TextTable::pct(variants[1].rc3),
+                util::TextTable::duration(variants[1].mean_time), "-", "-"});
+  std::printf("%s\n", table.render().c_str());
+  std::printf("paper: 81.4%% / 0.618s with deletion vs 86.3%% / 1.067s\n"
+              "without -> 42.07%% faster at a 4.87%% effectiveness cost.\n");
+  return 0;
+}

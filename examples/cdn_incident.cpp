@@ -1,0 +1,60 @@
+// CDN incident walkthrough — the paper's §II scenario end-to-end on the
+// Table I schema: synthesize a timestamp of CDN traffic, inject a
+// failure, run leaf-level anomaly detection, then localize with RAPMiner
+// and print the operator-facing summary.
+//
+//   $ ./cdn_incident [--seed N] [--raps N] [--k N]
+#include <cstdio>
+
+#include "core/rapminer.h"
+#include "core/report.h"
+#include "detect/detector.h"
+#include "gen/rapmd.h"
+#include "util/flags.h"
+
+using namespace rap;
+
+int main(int argc, char** argv) {
+  util::FlagParser flags;
+  flags.addInt("seed", 2022, "generator seed");
+  flags.addInt("raps", 2, "number of injected root anomaly patterns");
+  flags.addInt("k", 5, "patterns to report");
+  if (auto status = flags.parse(argc, argv); !status.isOk()) {
+    std::fprintf(stderr, "%s\n%s", status.toString().c_str(),
+                 flags.helpText(argv[0]).c_str());
+    return 2;
+  }
+
+  // One failure timepoint on the paper's CDN schema.
+  gen::RapmdConfig config;
+  config.num_cases = 1;
+  config.min_raps = static_cast<std::int32_t>(flags.getInt("raps"));
+  config.max_raps = config.min_raps;
+  gen::RapmdGenerator generator(
+      dataset::Schema::cdn(), config,
+      static_cast<std::uint64_t>(flags.getInt("seed")));
+  auto incident = generator.generateCase(0);
+  const auto& schema = incident.table.schema();
+
+  // Pretend we only collected (v, f): wipe the injected verdicts and run
+  // the detector, as a production pipeline would.
+  for (dataset::RowId id = 0; id < incident.table.size(); ++id) {
+    incident.table.setAnomalous(id, false);
+  }
+  const detect::RelativeDeviationDetector detector(/*threshold=*/0.095);
+  const auto flagged = detector.run(incident.table);
+  std::printf("collected %zu leaf KPIs, detector flagged %u anomalous\n\n",
+              incident.table.size(), flagged);
+
+  // Localize.
+  const core::RapMiner miner;
+  const auto result =
+      miner.localize(incident.table, static_cast<std::int32_t>(flags.getInt("k")));
+
+  std::printf("injected ground truth:\n");
+  for (const auto& rap : incident.truth) {
+    std::printf("  %s\n", rap.toString(schema).c_str());
+  }
+  std::printf("\n%s", core::renderReport(schema, result).c_str());
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Compare every localization method on one generated incident — a small
+// interactive version of the paper's Fig. 8/9 benches.
+//
+//   $ ./compare_methods [--dataset rapmd|squeeze] [--seed N] [--k N]
+#include <cstdio>
+
+#include "eval/metrics.h"
+#include "eval/runner.h"
+#include "gen/rapmd.h"
+#include "gen/squeeze_gen.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+using namespace rap;
+
+int main(int argc, char** argv) {
+  util::FlagParser flags;
+  flags.addString("dataset", "rapmd", "rapmd | squeeze");
+  flags.addInt("seed", 7, "generator seed");
+  flags.addInt("k", 5, "patterns each method reports");
+  flags.addBool("hotspot", true, "include the HotSpot extension baseline");
+  if (auto status = flags.parse(argc, argv); !status.isOk()) {
+    std::fprintf(stderr, "%s\n%s", status.toString().c_str(),
+                 flags.helpText(argv[0]).c_str());
+    return 2;
+  }
+  const auto seed = static_cast<std::uint64_t>(flags.getInt("seed"));
+  const auto k = static_cast<std::int32_t>(flags.getInt("k"));
+
+  gen::Case incident = [&] {
+    if (flags.getString("dataset") == "squeeze") {
+      gen::SqueezeGenConfig config;
+      config.cases_per_group = 1;
+      gen::SqueezeGenerator generator(config, seed);
+      return generator.generateGroup(2, 2).cases.front();
+    }
+    gen::RapmdConfig config;
+    config.num_cases = 1;
+    return gen::RapmdGenerator(dataset::Schema::cdn(), config, seed)
+        .generateCase(0);
+  }();
+  const auto& schema = incident.table.schema();
+
+  std::printf("dataset=%s seed=%llu leaves=%zu anomalous=%u\n",
+              flags.getString("dataset").c_str(),
+              static_cast<unsigned long long>(seed), incident.table.size(),
+              incident.table.anomalousCount());
+  std::printf("ground truth:\n");
+  for (const auto& rap : incident.truth) {
+    std::printf("  %s\n", rap.toString(schema).c_str());
+  }
+  std::printf("\n");
+
+  util::TextTable table;
+  table.setHeader({"method", "time", "hits", "top predictions"});
+  for (const auto& localizer :
+       eval::standardLocalizers({}, flags.getBool("hotspot"))) {
+    util::WallTimer timer;
+    const auto patterns = localizer.fn(incident.table, k);
+    const double seconds = timer.elapsedSeconds();
+
+    const auto counts =
+        eval::matchPatterns(eval::patternsToAcs(patterns), incident.truth);
+    std::string preview;
+    for (std::size_t i = 0; i < patterns.size() && i < 3; ++i) {
+      if (i > 0) preview += "  ";
+      preview += patterns[i].ac.toString(schema);
+    }
+    table.addRow({localizer.name, util::TextTable::duration(seconds),
+                  std::to_string(counts.tp) + "/" +
+                      std::to_string(incident.truth.size()),
+                  preview});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

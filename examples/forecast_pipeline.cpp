@@ -1,0 +1,88 @@
+// Production-shaped pipeline: per-leaf KPI history -> Holt-Winters
+// forecast -> leaf anomaly detection -> RAPMiner localization.
+//
+// The paper assumes forecasts exist ("we can get the corresponding
+// predicted values via some prediction methods", §III-C); this example
+// shows the whole loop running against the synthetic diurnal CDN
+// traffic model with a failure injected at the current timestamp.
+//
+//   $ ./forecast_pipeline [--seed N] [--days N] [--drop 0.6]
+#include <cstdio>
+
+#include "core/rapminer.h"
+#include "dataset/cuboid.h"
+#include "forecast/pipeline.h"
+#include "gen/background.h"
+#include "util/flags.h"
+#include "util/rng.h"
+
+using namespace rap;
+
+int main(int argc, char** argv) {
+  util::FlagParser flags;
+  flags.addInt("seed", 404, "simulation seed");
+  flags.addInt("days", 4, "days of history per leaf");
+  flags.addDouble("drop", 0.6, "traffic share lost under the failure");
+  if (auto status = flags.parse(argc, argv); !status.isOk()) {
+    std::fprintf(stderr, "%s\n%s", status.toString().c_str(),
+                 flags.helpText(argv[0]).c_str());
+    return 2;
+  }
+  const auto seed = static_cast<std::uint64_t>(flags.getInt("seed"));
+
+  // A small CDN so the history fits an example: 8 locations x 3 access
+  // types x 2 OSes x 6 sites, 10-minute samples (144/day).
+  const dataset::Schema schema = dataset::Schema::synthetic({8, 3, 2, 6});
+  gen::BackgroundConfig bg;
+  bg.sparsity = 0.1;
+  bg.minutes_per_day = 144;
+  const gen::CdnBackgroundModel model(schema, bg, seed);
+  util::Rng rng(seed + 1);
+
+  // The failure: one location x one site loses `drop` of its traffic.
+  dataset::AttributeCombination broken(schema.attributeCount());
+  broken.setSlot(0, static_cast<dataset::ElemId>(rng.uniformInt(0, 7)));
+  broken.setSlot(3, static_cast<dataset::ElemId>(rng.uniformInt(0, 5)));
+
+  const std::int64_t now =
+      flags.getInt("days") * bg.minutes_per_day;
+  std::vector<forecast::LeafSeries> series;
+  for (std::uint64_t leaf = 0; leaf < schema.leafCount(); ++leaf) {
+    if (!model.isActive(leaf)) continue;
+    forecast::LeafSeries s;
+    s.leaf = dataset::leafFromIndex(schema, leaf);
+    s.history.reserve(static_cast<std::size_t>(now));
+    for (std::int64_t t = 0; t < now; ++t) {
+      s.history.push_back(model.sampleVolume(leaf, t, rng));
+    }
+    s.current = model.sampleVolume(leaf, now, rng);
+    if (broken.matchesLeaf(s.leaf)) {
+      s.current *= 1.0 - flags.getDouble("drop");
+    }
+    series.push_back(std::move(s));
+  }
+
+  forecast::PipelineConfig pipeline_config;
+  pipeline_config.detect_threshold = flags.getDouble("drop") / 2.0;
+  const forecast::HoltWintersForecaster forecaster(bg.minutes_per_day);
+  const auto table =
+      forecast::buildDetectedTable(schema, series, forecaster, pipeline_config);
+
+  std::printf("history: %lld samples/leaf, %zu active leaves\n",
+              static_cast<long long>(now), series.size());
+  std::printf("forecaster: %s; detector flagged %u leaves\n",
+              forecaster.name().c_str(), table.anomalousCount());
+  std::printf("injected failure: %s\n\n", broken.toString(schema).c_str());
+
+  const auto result = core::RapMiner().localize(table, 3);
+  for (const auto& pattern : result.patterns) {
+    std::printf("RAP %s  confidence=%.3f layer=%d score=%.3f\n",
+                pattern.ac.toString(schema).c_str(), pattern.confidence,
+                pattern.layer, pattern.score);
+  }
+  const bool hit =
+      !result.patterns.empty() && result.patterns[0].ac == broken;
+  std::printf("\n%s\n", hit ? "localized the injected failure"
+                            : "missed the injected failure");
+  return hit ? 0 : 1;
+}

@@ -1,0 +1,114 @@
+// The paper's Fig. 1 workflow end-to-end: monitor the overall KPI,
+// raise an alarm when it degrades, and only then run anomaly
+// localization on the leaf snapshot.
+//
+//   history stream --> AlarmManager (seasonal baseline + MAD rule)
+//        |  alarm!
+//        v
+//   per-leaf snapshot --> Holt-Winters forecast --> detect --> RAPMiner
+//
+//   $ ./monitoring_loop [--seed N]
+#include <cstdio>
+#include <numeric>
+
+#include "alarm/monitor.h"
+#include "core/rapminer.h"
+#include "core/report.h"
+#include "forecast/pipeline.h"
+#include "gen/timeseries.h"
+#include "util/flags.h"
+
+using namespace rap;
+
+int main(int argc, char** argv) {
+  util::FlagParser flags;
+  flags.addInt("seed", 31, "simulation seed");
+  if (auto status = flags.parse(argc, argv); !status.isOk()) {
+    std::fprintf(stderr, "%s\n%s", status.toString().c_str(),
+                 flags.helpText(argv[0]).c_str());
+    return 2;
+  }
+
+  // Simulated CDN with a failure at a random minute.
+  gen::TimeSeriesConfig config;
+  config.history_days = 5;
+  config.background.minutes_per_day = 144;  // 10-minute samples
+  config.background.sparsity = 0.1;
+  // The monitor below keys its baseline to the DAILY season; leave the
+  // weekly dip out of this demo or weekend days read as outages (a real
+  // deployment would use a weekly season_length instead).
+  config.background.weekly_depth = 0.0;
+  config.drop_lo = 0.5;
+  config.drop_hi = 0.9;
+  // Keep the failure coarse enough to dent the OVERALL KPI — a 3-dim
+  // RAP moves the total by well under the monitor's noise floor (that
+  // is precisely why localization inspects leaves, not the total).
+  config.min_rap_dim = 1;
+  config.max_rap_dim = 2;
+  gen::TimeSeriesGenerator generator(
+      dataset::Schema::synthetic({8, 3, 2, 6}), config,
+      static_cast<std::uint64_t>(flags.getInt("seed")));
+  const auto incident = generator.generateCase(0);
+
+  // Overall KPI stream = sum across leaves, minute by minute.
+  const std::size_t history_len = incident.series.front().history.size();
+  alarm::MonitorConfig monitor_config;
+  monitor_config.season_length = config.background.minutes_per_day;
+  monitor_config.seasons_kept = config.history_days;
+  monitor_config.k_mad = 8.0;
+  alarm::AlarmManager manager(monitor_config, {.consecutive = 1, .cooldown = 30});
+
+  std::optional<alarm::AlarmEvent> alarm_event;
+  for (std::size_t t = 0; t < history_len; ++t) {
+    double total = 0.0;
+    for (const auto& s : incident.series) total += s.history[t];
+    if (auto event = manager.observe(total); event && !alarm_event) {
+      alarm_event = event;  // false positive if it fires in history
+    }
+  }
+  if (alarm_event) {
+    std::printf("false alarm during healthy history at sample %lld\n",
+                static_cast<long long>(alarm_event->sample_index));
+  }
+  // The failure minute.
+  double failed_total = 0.0;
+  for (const auto& s : incident.series) failed_total += s.current;
+  const auto event = manager.observe(failed_total);
+
+  if (!event) {
+    std::printf("overall KPI monitor did not raise an alarm — no "
+                "localization triggered\n");
+    return 1;
+  }
+  std::printf("ALARM at sample %lld: overall KPI %.0f vs baseline %.0f "
+              "(%.0f%% drop)\n\n",
+              static_cast<long long>(event->sample_index), event->value,
+              event->baseline,
+              100.0 * (event->baseline - event->value) /
+                  std::max(1.0, event->baseline));
+
+  // Localization, triggered by the alarm.
+  forecast::PipelineConfig pipeline;
+  pipeline.detect_threshold = 0.25;
+  const auto table = forecast::buildDetectedTable(
+      generator.schema(), incident.series,
+      forecast::HoltWintersForecaster(config.background.minutes_per_day),
+      pipeline);
+  const auto result = core::RapMiner().localize(table, 5);
+
+  std::printf("injected ground truth:\n");
+  for (const auto& rap : incident.truth) {
+    std::printf("  %s\n", rap.toString(generator.schema()).c_str());
+  }
+  std::printf("\n%s", core::renderReport(generator.schema(), result).c_str());
+
+  // Exit status: did the top-|truth| predictions cover the truth?
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < result.patterns.size() && i < incident.truth.size();
+       ++i) {
+    for (const auto& t : incident.truth) {
+      if (result.patterns[i].ac == t) ++hits;
+    }
+  }
+  return hits == incident.truth.size() ? 0 : 1;
+}

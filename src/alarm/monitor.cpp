@@ -1,0 +1,106 @@
+#include "alarm/monitor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "util/status.h"
+
+namespace rap::alarm {
+
+KpiMonitor::KpiMonitor(MonitorConfig config) : config_(config) {
+  RAP_CHECK(config_.season_length >= 1);
+  RAP_CHECK(config_.seasons_kept >= 1);
+  RAP_CHECK(config_.k_mad > 0.0);
+}
+
+double KpiMonitor::seasonalBaseline() const {
+  // Median of the observations at the same seasonal phase; when fewer
+  // than two phase-aligned samples exist, fall back to the median of
+  // the recent window.
+  const auto m = static_cast<std::size_t>(config_.season_length);
+  std::vector<double> phase_samples;
+  // history_ holds the most recent samples; the *next* observation's
+  // phase sits season_length behind the end, 2*season_length, ...
+  for (std::size_t back = m; back <= history_.size(); back += m) {
+    phase_samples.push_back(history_[history_.size() - back]);
+  }
+  if (phase_samples.size() >= 2) return stats::median(phase_samples);
+
+  const std::size_t window = std::min<std::size_t>(history_.size(), 64);
+  if (window == 0) return 0.0;
+  std::vector<double> recent(history_.end() - static_cast<std::ptrdiff_t>(window),
+                             history_.end());
+  return stats::median(recent);
+}
+
+double KpiMonitor::robustScale() const {
+  if (residuals_.size() < 8) return 0.0;
+  std::vector<double> abs_residuals;
+  abs_residuals.reserve(residuals_.size());
+  for (const double r : residuals_) abs_residuals.push_back(std::fabs(r));
+  // MAD scaled to sigma-equivalent under normality.
+  return 1.4826 * stats::median(abs_residuals);
+}
+
+Verdict KpiMonitor::observe(double value) {
+  Verdict verdict;
+  verdict.baseline = seasonalBaseline();
+  verdict.residual = value - verdict.baseline;
+  verdict.scale = robustScale();
+
+  const bool warm = samples_seen_ >= config_.warmup;
+  if (warm && verdict.scale > 0.0) {
+    const double deviation =
+        config_.drops_only ? -verdict.residual : std::fabs(verdict.residual);
+    verdict.anomalous = deviation > config_.k_mad * verdict.scale;
+  }
+
+  // Only normal-looking residuals feed the scale estimate, so a long
+  // outage does not inflate it and mask itself.
+  if (!verdict.anomalous) {
+    residuals_.push_back(verdict.residual);
+  }
+  history_.push_back(value);
+  const auto horizon = static_cast<std::size_t>(config_.season_length) *
+                       static_cast<std::size_t>(config_.seasons_kept);
+  while (history_.size() > horizon) history_.pop_front();
+  while (residuals_.size() > horizon) residuals_.pop_front();
+  samples_seen_ += 1;
+  return verdict;
+}
+
+AlarmManager::AlarmManager(MonitorConfig monitor_config, Config config)
+    : monitor_(monitor_config), config_(config) {
+  RAP_CHECK(config_.consecutive >= 1);
+  RAP_CHECK(config_.cooldown >= 0);
+}
+
+std::optional<AlarmEvent> AlarmManager::observe(double value) {
+  const auto index = monitor_.samplesSeen();
+  const Verdict verdict = monitor_.observe(value);
+
+  if (!verdict.anomalous) {
+    abnormal_streak_ = 0;
+    state_ = AlarmState::kQuiet;
+    return std::nullopt;
+  }
+
+  abnormal_streak_ += 1;
+  if (abnormal_streak_ < config_.consecutive) return std::nullopt;
+  if (state_ == AlarmState::kRaised) return std::nullopt;
+  if (last_raise_ >= 0 && index - last_raise_ < config_.cooldown) {
+    return std::nullopt;
+  }
+
+  state_ = AlarmState::kRaised;
+  last_raise_ = index;
+  AlarmEvent event;
+  event.sample_index = index;
+  event.value = value;
+  event.baseline = verdict.baseline;
+  events_.push_back(event);
+  return event;
+}
+
+}  // namespace rap::alarm

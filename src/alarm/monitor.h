@@ -1,0 +1,95 @@
+// Alarm stage of the paper's IT-operations workflow (Fig. 1): human
+// operators monitor the OVERALL KPI of the CDN; when it turns anomalous
+// an alarm fires and only then is anomaly localization triggered.
+//
+// KpiMonitor watches a single aggregate KPI stream with a robust
+// residual rule: the observation is compared against the median of the
+// same phase on previous periods (seasonal baseline), and flagged when
+// the residual exceeds k times a running MAD-based scale estimate.
+// AlarmManager wraps a monitor with debouncing — `consecutive` abnormal
+// points to raise, a cooldown before re-raising — which is what keeps a
+// production pager sane.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rap::alarm {
+
+struct MonitorConfig {
+  std::int32_t season_length = 1440;  ///< samples per season (day)
+  std::int32_t seasons_kept = 7;      ///< history horizon for the baseline
+  double k_mad = 5.0;                 ///< alarm when |residual| > k * MAD
+  /// Drops (actual below baseline) only, matching CDN failure semantics;
+  /// set false to alarm on spikes too.
+  bool drops_only = true;
+  /// Minimum samples before the monitor can flag anything.
+  std::int32_t warmup = 32;
+};
+
+/// Verdict for one observation.
+struct Verdict {
+  bool anomalous = false;
+  double baseline = 0.0;   ///< seasonal median expectation
+  double residual = 0.0;   ///< observation - baseline
+  double scale = 0.0;      ///< robust residual scale (MAD * 1.4826)
+};
+
+/// Streaming seasonal-baseline detector over one aggregate KPI.
+class KpiMonitor {
+ public:
+  explicit KpiMonitor(MonitorConfig config);
+
+  /// Feeds one observation; returns its verdict.  O(history) per call
+  /// due to the median — fine for one aggregate stream.
+  Verdict observe(double value);
+
+  std::int64_t samplesSeen() const noexcept { return samples_seen_; }
+
+ private:
+  double seasonalBaseline() const;
+  double robustScale() const;
+
+  MonitorConfig config_;
+  std::deque<double> history_;    ///< last seasons_kept * season_length
+  std::deque<double> residuals_;  ///< residuals of the same horizon
+  std::int64_t samples_seen_ = 0;
+};
+
+enum class AlarmState { kQuiet, kRaised };
+
+struct AlarmEvent {
+  std::int64_t sample_index = 0;  ///< when it fired (observe() count - 1)
+  double value = 0.0;
+  double baseline = 0.0;
+};
+
+/// Debounced alarm on top of a KpiMonitor.
+class AlarmManager {
+ public:
+  struct Config {
+    std::int32_t consecutive = 3;   ///< abnormal points needed to raise
+    std::int32_t cooldown = 60;     ///< samples before re-raising
+  };
+
+  AlarmManager(MonitorConfig monitor_config, Config config);
+
+  /// Feeds one observation; returns the alarm event if one fired NOW.
+  std::optional<AlarmEvent> observe(double value);
+
+  AlarmState state() const noexcept { return state_; }
+  const std::vector<AlarmEvent>& events() const noexcept { return events_; }
+
+ private:
+  KpiMonitor monitor_;
+  Config config_;
+  AlarmState state_ = AlarmState::kQuiet;
+  std::int32_t abnormal_streak_ = 0;
+  std::int64_t last_raise_ = -1;
+  std::vector<AlarmEvent> events_;
+};
+
+}  // namespace rap::alarm

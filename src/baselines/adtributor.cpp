@@ -1,0 +1,104 @@
+#include "baselines/adtributor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/divergence.h"
+
+namespace rap::baselines {
+
+using dataset::AttrId;
+using dataset::AttributeCombination;
+
+namespace {
+
+struct ElementScore {
+  AttributeCombination ac;
+  double surprise = 0.0;
+  double ep = 0.0;
+};
+
+struct AttributeCandidate {
+  AttrId attr = -1;
+  std::vector<ElementScore> elements;
+  double total_surprise = 0.0;
+  double total_ep = 0.0;
+};
+
+}  // namespace
+
+std::vector<core::ScoredPattern> adtributorLocalize(
+    const dataset::LeafTable& table, const AdtributorConfig& config,
+    std::int32_t k) {
+  const auto& schema = table.schema();
+  const double F = table.totalF();
+  const double V = table.totalV();
+  const double change = V - F;
+
+  std::vector<AttributeCandidate> candidates;
+  for (AttrId a = 0; a < schema.attributeCount(); ++a) {
+    // Per-element forecast/actual shares from the 1-D cuboid of `a`.
+    std::vector<ElementScore> scored;
+    for (const auto& group : table.groupBy(1u << a)) {
+      ElementScore es;
+      es.ac = group.ac;
+      const double p = F > 0.0 ? group.f_sum / F : 0.0;
+      const double q = V > 0.0 ? group.v_sum / V : 0.0;
+      es.surprise = stats::surprise(p, q);
+      es.ep = change != 0.0 ? (group.v_sum - group.f_sum) / change : 0.0;
+      scored.push_back(std::move(es));
+    }
+    std::sort(scored.begin(), scored.end(),
+              [](const ElementScore& x, const ElementScore& y) {
+                return x.surprise > y.surprise;
+              });
+
+    // Accumulate elements by descending surprise until the cumulative
+    // explanatory power reaches t_ep (succinctness caps the set size).
+    AttributeCandidate candidate;
+    candidate.attr = a;
+    for (const auto& es : scored) {
+      if (static_cast<std::int32_t>(candidate.elements.size()) >=
+          config.max_elements_per_attribute) {
+        break;
+      }
+      if (es.ep < config.t_eep) continue;  // too little explanatory power
+      candidate.elements.push_back(es);
+      candidate.total_surprise += es.surprise;
+      candidate.total_ep += es.ep;
+      if (candidate.total_ep >= config.t_ep) break;
+    }
+    // Only attributes whose candidate set explains enough of the change
+    // qualify (NSDI'14 §3.3).
+    if (!candidate.elements.empty() && candidate.total_ep >= config.t_ep) {
+      candidates.push_back(std::move(candidate));
+    }
+  }
+
+  // Rank attributes by surprise of their explanatory set.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const AttributeCandidate& x, const AttributeCandidate& y) {
+              return x.total_surprise > y.total_surprise;
+            });
+
+  std::vector<core::ScoredPattern> out;
+  for (const auto& candidate : candidates) {
+    for (const auto& es : candidate.elements) {
+      core::ScoredPattern pattern;
+      pattern.ac = es.ac;
+      pattern.layer = 1;
+      pattern.confidence = es.ep;
+      // The ranking is lexicographic (attribute surprise, then element
+      // surprise); expose it as a monotone score so downstream rank
+      // consumers see a consistent ordering.
+      pattern.score = 1.0 / (1.0 + static_cast<double>(out.size()));
+      out.push_back(std::move(pattern));
+    }
+  }
+  if (k > 0 && static_cast<std::int32_t>(out.size()) > k) {
+    out.resize(static_cast<std::size_t>(k));
+  }
+  return out;
+}
+
+}  // namespace rap::baselines

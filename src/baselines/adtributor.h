@@ -1,0 +1,38 @@
+// Adtributor baseline (Bhagwan et al., NSDI'14) — §V-C.1 of the RAPMiner
+// paper.
+//
+// Adtributor assumes every root cause is ONE-dimensional: it scores each
+// element of each attribute in isolation.
+//   * surprise  — Jensen–Shannon divergence between the element's share
+//     of the forecast total (p = f_e / F) and of the actual total
+//     (q = v_e / V);
+//   * explanatory power (EP) — the element's share of the total change,
+//     (v_e - f_e) / (V - F);
+//   * succinctness — prefer attributes whose few top elements explain
+//     the change.
+// Per attribute, elements are taken in descending surprise while their
+// cumulative EP is below t_ep and each contributes at least t_eep; the
+// attributes are then ranked by the surprise of their candidate set.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+#include "dataset/leaf_table.h"
+
+namespace rap::baselines {
+
+struct AdtributorConfig {
+  double t_ep = 0.67;   ///< cumulative explanatory-power target
+  double t_eep = 0.05;  ///< minimum per-element explanatory power
+  std::int32_t max_elements_per_attribute = 5;  ///< succinctness bound
+};
+
+/// Returns 1-dimensional patterns ranked by (attribute surprise, element
+/// surprise); at most `k` when k > 0.
+std::vector<core::ScoredPattern> adtributorLocalize(
+    const dataset::LeafTable& table, const AdtributorConfig& config,
+    std::int32_t k);
+
+}  // namespace rap::baselines

@@ -1,0 +1,36 @@
+// HotSpot baseline (Sun et al., IEEE Access'18) — discussed in the
+// RAPMiner paper's related work (§VI) and the ancestor of Squeeze; it is
+// not part of the paper's Fig. 8/9 comparison but is included as the
+// repository's extension baseline.
+//
+// HotSpot assumes all root causes of a failure live in ONE cuboid and
+// share the anomaly magnitude.  Per cuboid (searched layer by layer) it
+// runs Monte-Carlo Tree Search over element subsets, scoring states with
+// the ripple-effect potential score (same GPS reduction as the Squeeze
+// baseline), and keeps the best-scoring set found within its iteration
+// budget.  Hierarchical pruning: elements whose singleton score is
+// negligible never enter the search set of deeper cuboids.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+#include "dataset/leaf_table.h"
+
+namespace rap::baselines {
+
+struct HotSpotConfig {
+  std::int32_t mcts_iterations = 64;   ///< per cuboid
+  std::int32_t max_set_size = 3;       ///< max elements per root-cause set
+  std::int32_t max_elements = 24;      ///< candidate elements per cuboid
+  double ucb_exploration = 0.3;        ///< UCB1 exploration constant
+  double ps_stop_threshold = 0.98;     ///< early stop when reached
+  std::uint64_t seed = 7;              ///< rollout determinism
+};
+
+std::vector<core::ScoredPattern> hotspotLocalize(const dataset::LeafTable& table,
+                                                 const HotSpotConfig& config,
+                                                 std::int32_t k);
+
+}  // namespace rap::baselines

@@ -1,0 +1,51 @@
+// Squeeze baseline (Li et al., ISSRE'19) — §V-C.4 of the RAPMiner paper.
+//
+// Squeeze exploits its two assumptions (called out in the RAPMiner
+// paper's §V-A): leaves under one root cause share the same anomaly
+// magnitude (vertical), and magnitudes differ across root causes
+// (horizontal).  The pipeline:
+//   1. per-leaf deviation score d = 2(f - v)/(f + v);
+//   2. density-based clustering of the non-trivial deviation scores —
+//      leaves of one root cause land in one cluster when the vertical
+//      assumption holds;
+//   3. per cluster, search every cuboid bottom-up: group the cluster's
+//      leaves per cuboid, order groups by "descent score" (the fraction
+//      of each group's table-wide leaves that fall into the cluster),
+//      and greedily grow a selection while the Generalized Potential
+//      Score improves;
+//   4. report each cluster's best-GPS selection, ranked by GPS.
+//
+// GPS here is the ripple-effect form reduced to
+//     GPS = (explained deviation) / (total deviation)
+//         = (sum_S |v - f| - sum_S |v - a|) / (sum_all |v - f|)
+// with a_i = f_i * (V_S / F_S) the ripple-adjusted expectation — an
+// order-equivalent normalization of the ISSRE'19 score (DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+#include "dataset/leaf_table.h"
+
+namespace rap::baselines {
+
+struct SqueezeConfig {
+  /// Leaves with |deviation score| below this are "normal" and excluded
+  /// from clustering.
+  double min_deviation = 0.1;
+  /// Histogram resolution over the deviation-score axis [-2, 2].
+  std::int32_t histogram_bins = 80;
+  std::int32_t smooth_radius = 2;
+  double valley_ratio = 0.6;
+  /// Clusters with fewer leaves are noise.
+  std::uint64_t min_cluster_size = 3;
+  /// Greedy growth examines at most this many top groups per cuboid.
+  std::int32_t max_groups_per_cuboid = 24;
+};
+
+std::vector<core::ScoredPattern> squeezeLocalize(
+    const dataset::LeafTable& table, const SqueezeConfig& config,
+    std::int32_t k);
+
+}  // namespace rap::baselines

@@ -1,0 +1,33 @@
+// Stage 1 of RAPMiner: Classification Power based redundant attribute
+// deletion (paper §IV-C, Eq. 1, Algorithm 1).
+//
+// CP(attr) measures how much splitting the leaf dataset by an attribute
+// reduces the entropy of the anomalous/normal labels, normalized by the
+// unsplit entropy.  Attributes whose CP does not exceed t_CP cannot be
+// part of any RAP (Insight 1 / Criteria 1) and are deleted, shrinking the
+// cuboid lattice by at least 50% per deleted attribute (Proof 1).
+#pragma once
+
+#include <vector>
+
+#include "core/types.h"
+#include "dataset/leaf_table.h"
+
+namespace rap::core {
+
+/// CP of every attribute (Eq. 1) in schema order.  Returns all zeros when
+/// the table carries no label uncertainty (no anomalies or all anomalous).
+std::vector<double> classificationPowers(const dataset::LeafTable& table);
+
+/// Algorithm 1: the surviving attributes, sorted by CP descending
+/// (deterministic tie-break on attribute id).  `t_cp` follows Criteria 1:
+/// attributes with CP <= t_cp are deleted.
+std::vector<dataset::AttrId> deleteRedundantAttributes(
+    const dataset::LeafTable& table, double t_cp,
+    std::vector<double>* powers_out = nullptr);
+
+/// The paper's Proof 1 / Table IV quantity: fraction of cuboids removed
+/// from the lattice when k of n attributes are deleted.
+double decreaseRatio(std::int32_t n, std::int32_t k) noexcept;
+
+}  // namespace rap::core

@@ -1,0 +1,61 @@
+#include "core/rapminer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rap::core {
+
+double rapScore(double confidence, std::int32_t layer) noexcept {
+  return layer <= 0 ? 0.0
+                    : confidence / std::sqrt(static_cast<double>(layer));
+}
+
+RapMiner::RapMiner(RapMinerConfig config) : config_(config) {
+  RAP_CHECK_MSG(config_.t_conf > 0.0 && config_.t_conf < 1.0,
+                "t_conf must be in (0,1), got " << config_.t_conf);
+  RAP_CHECK_MSG(config_.t_cp >= 0.0 && config_.t_cp < 1.0,
+                "t_cp must be in [0,1), got " << config_.t_cp);
+}
+
+LocalizationResult RapMiner::localize(const dataset::LeafTable& table,
+                                      std::int32_t k) const {
+  LocalizationResult result;
+
+  // Stage 1 — Algorithm 1.  With deletion disabled (Table VI ablation)
+  // every attribute survives, still ordered by CP so the cuboid visit
+  // order stays comparable.
+  std::vector<dataset::AttrId> kept;
+  if (config_.enable_attribute_deletion) {
+    kept = deleteRedundantAttributes(table, config_.t_cp,
+                                     &result.stats.classification_power);
+  } else {
+    kept = deleteRedundantAttributes(table, -1.0,
+                                     &result.stats.classification_power);
+  }
+  result.stats.kept_attributes = kept;
+  result.stats.attributes_deleted =
+      table.schema().attributeCount() - static_cast<std::int32_t>(kept.size());
+
+  // Stage 2 — Algorithm 2.
+  SearchConfig search_config;
+  search_config.t_conf = config_.t_conf;
+  search_config.early_stop = config_.early_stop;
+  search_config.order = config_.cuboid_order;
+  result.patterns =
+      acGuidedSearch(table, kept, search_config, result.stats);
+
+  // Stage 3 — RAPScore ranking (Eq. 3) and truncation to top-k.
+  for (auto& pattern : result.patterns) {
+    pattern.score = rapScore(pattern.confidence, pattern.layer);
+  }
+  std::stable_sort(result.patterns.begin(), result.patterns.end(),
+                   [](const ScoredPattern& a, const ScoredPattern& b) {
+                     return a.score > b.score;
+                   });
+  if (k > 0 && static_cast<std::int32_t>(result.patterns.size()) > k) {
+    result.patterns.resize(static_cast<std::size_t>(k));
+  }
+  return result;
+}
+
+}  // namespace rap::core

@@ -1,0 +1,56 @@
+#include "core/report.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace rap::core {
+
+std::string renderReport(const dataset::Schema& schema,
+                         const LocalizationResult& result,
+                         const ReportOptions& options) {
+  std::string out;
+
+  out += "Root anomaly patterns";
+  out += result.patterns.empty() ? ": none found\n" : ":\n";
+  util::TextTable table;
+  table.setHeader({"rank", "pattern", "confidence", "layer", "RAPScore"});
+  std::int32_t rank = 1;
+  for (const auto& pattern : result.patterns) {
+    table.addRow({std::to_string(rank++), pattern.ac.toString(schema),
+                  util::TextTable::num(pattern.confidence, 3),
+                  std::to_string(pattern.layer),
+                  util::TextTable::num(pattern.score, 3)});
+  }
+  if (!result.patterns.empty()) out += table.render();
+
+  if (options.include_powers &&
+      !result.stats.classification_power.empty()) {
+    out += "Classification power (Eq. 1):\n";
+    for (dataset::AttrId a = 0; a < schema.attributeCount(); ++a) {
+      const double cp =
+          result.stats.classification_power[static_cast<std::size_t>(a)];
+      const auto& kept = result.stats.kept_attributes;
+      const bool deleted =
+          std::find(kept.begin(), kept.end(), a) == kept.end();
+      out += util::strFormat("  %-12s %.5f%s\n",
+                             schema.attribute(a).name().c_str(), cp,
+                             deleted ? "  (deleted)" : "");
+    }
+  }
+
+  if (options.include_stats) {
+    out += "Search effort:\n";
+    out += util::strFormat(
+        "  %llu cuboid(s) visited, %llu combination(s) evaluated, "
+        "%llu candidate(s)%s\n",
+        static_cast<unsigned long long>(result.stats.cuboids_visited),
+        static_cast<unsigned long long>(result.stats.combinations_evaluated),
+        static_cast<unsigned long long>(result.stats.candidates_found),
+        result.stats.early_stopped ? ", early-stopped" : "");
+  }
+  return out;
+}
+
+}  // namespace rap::core

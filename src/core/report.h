@@ -1,0 +1,25 @@
+// Operator-facing rendering of a localization result: the ranked RAPs,
+// the per-attribute classification powers, and the search-effort
+// summary.  This is what an on-call engineer reads when the alarm fires
+// (paper Fig. 1: "switch the impacted users to the backup system").
+#pragma once
+
+#include <string>
+
+#include "core/types.h"
+#include "dataset/schema.h"
+
+namespace rap::core {
+
+struct ReportOptions {
+  bool include_stats = true;    ///< append the search-effort block
+  bool include_powers = true;   ///< append per-attribute CP values
+};
+
+/// Multi-line, human-readable report.  Stable format (tests rely on the
+/// section headers, tools should not parse it — use the structs).
+std::string renderReport(const dataset::Schema& schema,
+                         const LocalizationResult& result,
+                         const ReportOptions& options = {});
+
+}  // namespace rap::core

@@ -1,0 +1,110 @@
+#include "core/search.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dataset/cuboid.h"
+
+namespace rap::core {
+
+using dataset::AttributeCombination;
+using dataset::CuboidMask;
+using dataset::LeafTable;
+
+namespace {
+
+/// Visit order of cuboids within one layer: descending rank-weight of the
+/// member attributes, where the highest-CP attribute (first in
+/// kept_attributes) weighs most.  Ties break on the mask for determinism.
+std::vector<CuboidMask> orderedCuboids(
+    const std::vector<dataset::AttrId>& kept, std::int32_t layer,
+    CuboidOrder order) {
+  CuboidMask allowed = 0;
+  for (const auto attr : kept) allowed |= (1u << attr);
+
+  std::vector<CuboidMask> cuboids = dataset::cuboidsAtLayer(allowed, layer);
+  if (order == CuboidOrder::kNumeric) return cuboids;
+
+  // Weight = sum over member attributes of 2^(n - rank), so earlier
+  // (higher-CP) attributes dominate the ordering.
+  const auto n = static_cast<std::int32_t>(kept.size());
+  auto weight = [&](CuboidMask mask) {
+    double w = 0.0;
+    for (std::int32_t rank = 0; rank < n; ++rank) {
+      if ((mask & (1u << kept[static_cast<std::size_t>(rank)])) != 0) {
+        w += std::pow(2.0, n - rank);
+      }
+    }
+    return w;
+  };
+  std::stable_sort(cuboids.begin(), cuboids.end(),
+                   [&](CuboidMask a, CuboidMask b) {
+                     const double wa = weight(a);
+                     const double wb = weight(b);
+                     return wa != wb ? wa > wb : a < b;
+                   });
+  return cuboids;
+}
+
+}  // namespace
+
+std::vector<ScoredPattern> acGuidedSearch(
+    const LeafTable& table, const std::vector<dataset::AttrId>& kept_attributes,
+    const SearchConfig& config, SearchStats& stats) {
+  std::vector<ScoredPattern> candidates;
+  std::vector<AttributeCombination> candidate_acs;  // for pruning
+
+  // Early-stop bookkeeping: the anomalous rows not yet covered by any
+  // accepted candidate.  Each acceptance filters the remainder, so the
+  // coverage test costs O(remaining) instead of O(all anomalous) per
+  // accepted candidate.
+  std::vector<dataset::RowId> uncovered =
+      config.early_stop ? table.anomalousRows()
+                        : std::vector<dataset::RowId>{};
+
+  const auto max_layer = static_cast<std::int32_t>(kept_attributes.size());
+  for (std::int32_t layer = 1; layer <= max_layer; ++layer) {
+    for (const CuboidMask mask :
+         orderedCuboids(kept_attributes, layer, config.order)) {
+      stats.cuboids_visited += 1;
+      for (const auto& group : table.groupBy(mask)) {
+        // Criteria 3: skip the descendants of accepted candidates.  An
+        // accepted candidate always sits at a strictly lower layer, so
+        // the ancestor test is exact.
+        const bool pruned = std::any_of(
+            candidate_acs.begin(), candidate_acs.end(),
+            [&group](const AttributeCombination& ac) {
+              return ac.isAncestorOf(group.ac);
+            });
+        if (pruned) continue;
+
+        stats.combinations_evaluated += 1;
+        const double confidence = group.confidence();
+        if (confidence > config.t_conf) {  // Criteria 2
+          ScoredPattern pattern;
+          pattern.ac = group.ac;
+          pattern.confidence = confidence;
+          pattern.layer = layer;
+          candidates.push_back(pattern);
+          candidate_acs.push_back(group.ac);
+          stats.candidates_found += 1;
+
+          // Early stop (Algorithm 2 lines 9-11): the candidate set
+          // already explains every anomalous leaf.
+          if (config.early_stop) {
+            std::erase_if(uncovered, [&](dataset::RowId id) {
+              return group.ac.matchesLeaf(table.row(id).ac);
+            });
+            if (uncovered.empty()) {
+              stats.early_stopped = true;
+              return candidates;
+            }
+          }
+        }
+      }
+    }
+  }
+  return candidates;
+}
+
+}  // namespace rap::core

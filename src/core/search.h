@@ -1,0 +1,44 @@
+// Stage 2 of RAPMiner: Anomaly-Confidence guided layer-by-layer top-down
+// search (paper §IV-D, Algorithm 2).
+//
+// BFS over the cuboid lattice of the surviving attributes, coarsest layer
+// first.  Within each layer, cuboids with higher total classification
+// power are visited first (Algorithm 1 returns attributes sorted by CP,
+// and the search honors that order), which makes the early stop bite
+// sooner.  A combination with Confidence > t_conf (Criteria 2) whose
+// ancestors were all normal becomes a candidate RAP; its entire
+// descendant sub-DAG is pruned (Criteria 3).  The search early-stops as
+// soon as the candidates cover every anomalous leaf.
+#pragma once
+
+#include <vector>
+
+#include "core/types.h"
+#include "dataset/leaf_table.h"
+
+namespace rap::core {
+
+/// Visit order of cuboids within one layer (ablation knob; the paper's
+/// Algorithm 2 uses the CP-sorted attribute order of Algorithm 1).
+enum class CuboidOrder {
+  kCpWeighted,  ///< cuboids of higher-CP attributes first (the paper)
+  kNumeric,     ///< plain ascending mask order (ablation baseline)
+};
+
+struct SearchConfig {
+  double t_conf = 0.8;      ///< Criteria 2 confidence threshold
+  bool early_stop = true;   ///< Algorithm 2 lines 9-11
+  CuboidOrder order = CuboidOrder::kCpWeighted;
+};
+
+/// Runs Algorithm 2 over the cuboids formed by `kept_attributes` (the
+/// output of Algorithm 1; its order determines cuboid visit order).
+/// Returns all candidate RAPs with confidence and layer filled in; the
+/// caller ranks them (Eq. 3) and truncates to k.  `stats` accumulates
+/// search-effort counters.
+std::vector<ScoredPattern> acGuidedSearch(
+    const dataset::LeafTable& table,
+    const std::vector<dataset::AttrId>& kept_attributes,
+    const SearchConfig& config, SearchStats& stats);
+
+}  // namespace rap::core

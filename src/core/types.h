@@ -1,0 +1,37 @@
+// Result types of the RAPMiner pipeline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dataset/attribute_combination.h"
+
+namespace rap::core {
+
+/// One localized root anomaly pattern with its ranking signals.
+struct ScoredPattern {
+  dataset::AttributeCombination ac;
+  double confidence = 0.0;  ///< Confidence(ac => Anomaly), Criteria 2
+  std::int32_t layer = 0;   ///< cuboid layer the pattern was found in
+  double score = 0.0;       ///< RAPScore = confidence / sqrt(layer), Eq. 3
+};
+
+/// Search-effort counters — the quantities behind the paper's efficiency
+/// claims (Fig. 9, Table IV, Table VI).
+struct SearchStats {
+  std::vector<double> classification_power;  ///< CP per attribute (Eq. 1)
+  std::vector<dataset::AttrId> kept_attributes;  ///< Alg. 1 output order
+  std::int32_t attributes_deleted = 0;
+  std::uint64_t cuboids_visited = 0;
+  std::uint64_t combinations_evaluated = 0;
+  std::uint64_t candidates_found = 0;
+  bool early_stopped = false;
+};
+
+struct LocalizationResult {
+  std::vector<ScoredPattern> patterns;  ///< sorted by RAPScore descending
+  SearchStats stats;
+};
+
+}  // namespace rap::core

@@ -1,0 +1,82 @@
+// Cuboid lattice (paper Fig. 2).
+//
+// A cuboid is identified by a bitmask over the schema's attributes: bit i
+// set means attribute i is concrete in every combination of the cuboid.
+// Layer k of the lattice contains the cuboids whose mask has popcount k;
+// there are 2^n - 1 non-empty cuboids for n attributes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dataset/attribute_combination.h"
+#include "dataset/schema.h"
+
+namespace rap::dataset {
+
+using CuboidMask = std::uint32_t;
+
+/// Number of attributes in the cuboid (its lattice layer).
+std::int32_t cuboidLayer(CuboidMask mask) noexcept;
+
+/// The attribute ids present in the cuboid, ascending.
+std::vector<AttrId> cuboidAttributes(CuboidMask mask);
+
+/// Number of attribute combinations contained in the cuboid
+/// (product of the member attributes' cardinalities, paper §III-C).
+std::uint64_t cuboidSize(const Schema& schema, CuboidMask mask);
+
+/// "Cub{Location,Website}".
+std::string cuboidName(const Schema& schema, CuboidMask mask);
+
+/// All cuboids of exactly `layer` attributes, restricted to the attributes
+/// present in `allowed` (pass allAttributesMask for no restriction).
+/// Masks are returned in ascending numeric order, which is deterministic.
+std::vector<CuboidMask> cuboidsAtLayer(CuboidMask allowed, std::int32_t layer);
+
+/// All 2^n - 1 non-empty cuboids within `allowed`, ordered layer by layer
+/// (the BFS order of the paper's Algorithm 2).
+std::vector<CuboidMask> allCuboidsByLayer(CuboidMask allowed);
+
+/// Mask with one bit per schema attribute.
+CuboidMask allAttributesMask(const Schema& schema) noexcept;
+
+/// Enumerate every attribute combination in the cuboid (Cartesian product
+/// of the member attributes' elements); wildcard elsewhere.  Order is
+/// lexicographic in (attr order, element id), deterministic.
+std::vector<AttributeCombination> enumerateCuboid(const Schema& schema,
+                                                  CuboidMask mask);
+
+/// Dense index of a fully-concrete combination in [0, schema.leafCount()):
+/// mixed radix over the attributes in schema order.
+std::uint64_t leafToIndex(const Schema& schema, const AttributeCombination& ac);
+
+/// Inverse of leafToIndex.
+AttributeCombination leafFromIndex(const Schema& schema, std::uint64_t index);
+
+/// Iterate the cuboid without materializing it: calls fn(ac) for each
+/// combination, reusing one AttributeCombination buffer.
+template <typename Fn>
+void forEachInCuboid(const Schema& schema, CuboidMask mask, Fn&& fn) {
+  const std::vector<AttrId> attrs = cuboidAttributes(mask);
+  AttributeCombination ac(schema.attributeCount());
+  if (attrs.empty()) return;
+  std::vector<ElemId> counters(attrs.size(), 0);
+  for (;;) {
+    for (std::size_t i = 0; i < attrs.size(); ++i) {
+      ac.setSlot(attrs[i], counters[i]);
+    }
+    fn(ac);
+    // Odometer increment.
+    std::size_t pos = attrs.size();
+    while (pos > 0) {
+      --pos;
+      if (++counters[pos] < schema.cardinality(attrs[pos])) break;
+      counters[pos] = 0;
+      if (pos == 0) return;
+    }
+  }
+}
+
+}  // namespace rap::dataset

@@ -1,0 +1,38 @@
+// InvertedIndex — posting lists per (attribute, element) over a LeafTable.
+//
+// Baselines that probe many individual attribute combinations (iDice's BFS,
+// HotSpot's MCTS) would otherwise rescan the whole table per probe; the
+// index answers "which rows does this combination cover" by intersecting
+// the sorted posting lists of its concrete slots.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dataset/leaf_table.h"
+
+namespace rap::dataset {
+
+class InvertedIndex {
+ public:
+  explicit InvertedIndex(const LeafTable& table);
+
+  /// Sorted row ids with attribute `attr` equal to `elem`.
+  const std::vector<RowId>& posting(AttrId attr, ElemId elem) const;
+
+  /// Rows covered by `ac` (intersection of its slots' postings; all rows
+  /// for the lattice root).  Sorted ascending.
+  std::vector<RowId> rowsMatching(const AttributeCombination& ac) const;
+
+  /// Support counts for `ac` without materializing the row set.
+  GroupAggregate aggregateFor(const AttributeCombination& ac) const;
+
+  const LeafTable& table() const noexcept { return *table_; }
+
+ private:
+  const LeafTable* table_;
+  // postings_[attr][elem] — flattened per attribute.
+  std::vector<std::vector<std::vector<RowId>>> postings_;
+};
+
+}  // namespace rap::dataset

@@ -1,0 +1,96 @@
+#include "dataset/kpi.h"
+
+#include <algorithm>
+
+namespace rap::dataset {
+
+DerivedKpi ratioKpi(std::string name, KpiId numerator, KpiId denominator) {
+  return DerivedKpi{
+      std::move(name),
+      [numerator, denominator](const std::vector<double>& values) {
+        const double den = values[static_cast<std::size_t>(denominator)];
+        if (den == 0.0) return 0.0;
+        return values[static_cast<std::size_t>(numerator)] / den;
+      }};
+}
+
+MultiKpiTable::MultiKpiTable(Schema schema, std::vector<std::string> kpi_names)
+    : schema_(std::move(schema)), kpi_names_(std::move(kpi_names)) {
+  RAP_CHECK_MSG(!kpi_names_.empty(), "need at least one fundamental KPI");
+}
+
+const std::string& MultiKpiTable::kpiName(KpiId id) const {
+  RAP_CHECK(id >= 0 && id < kpiCount());
+  return kpi_names_[static_cast<std::size_t>(id)];
+}
+
+util::Result<KpiId> MultiKpiTable::kpiId(const std::string& name) const {
+  const auto it = std::find(kpi_names_.begin(), kpi_names_.end(), name);
+  if (it == kpi_names_.end()) {
+    return util::Status::notFound("KPI '" + name + "' not in table");
+  }
+  return static_cast<KpiId>(it - kpi_names_.begin());
+}
+
+void MultiKpiTable::addRow(MultiKpiRow row) {
+  RAP_CHECK_MSG(row.ac.isLeaf() &&
+                    row.ac.attributeCount() == schema_.attributeCount(),
+                "row must be a leaf over this schema");
+  RAP_CHECK_MSG(static_cast<std::int32_t>(row.v.size()) == kpiCount() &&
+                    static_cast<std::int32_t>(row.f.size()) == kpiCount(),
+                "KPI vectors must have " << kpiCount() << " entries");
+  rows_.push_back(std::move(row));
+}
+
+const MultiKpiRow& MultiKpiTable::row(RowId id) const {
+  RAP_CHECK(id < rows_.size());
+  return rows_[id];
+}
+
+std::pair<double, double> MultiKpiTable::aggregateFundamental(
+    const AttributeCombination& ac, KpiId kpi) const {
+  RAP_CHECK(kpi >= 0 && kpi < kpiCount());
+  double v_sum = 0.0;
+  double f_sum = 0.0;
+  for (const auto& row : rows_) {
+    if (!ac.matchesLeaf(row.ac)) continue;
+    v_sum += row.v[static_cast<std::size_t>(kpi)];
+    f_sum += row.f[static_cast<std::size_t>(kpi)];
+  }
+  return {v_sum, f_sum};
+}
+
+std::pair<double, double> MultiKpiTable::deriveAt(
+    const AttributeCombination& ac, const DerivedKpi& derived) const {
+  std::vector<double> v_agg(static_cast<std::size_t>(kpiCount()), 0.0);
+  std::vector<double> f_agg(static_cast<std::size_t>(kpiCount()), 0.0);
+  for (const auto& row : rows_) {
+    if (!ac.matchesLeaf(row.ac)) continue;
+    for (std::size_t k = 0; k < v_agg.size(); ++k) {
+      v_agg[k] += row.v[k];
+      f_agg[k] += row.f[k];
+    }
+  }
+  return {derived.fn(v_agg), derived.fn(f_agg)};
+}
+
+LeafTable MultiKpiTable::fundamentalLeafTable(KpiId kpi) const {
+  RAP_CHECK(kpi >= 0 && kpi < kpiCount());
+  LeafTable table(schema_);
+  for (const auto& row : rows_) {
+    table.addRow(row.ac, row.v[static_cast<std::size_t>(kpi)],
+                 row.f[static_cast<std::size_t>(kpi)], /*anomalous=*/false);
+  }
+  return table;
+}
+
+LeafTable MultiKpiTable::derivedLeafTable(const DerivedKpi& derived) const {
+  LeafTable table(schema_);
+  for (const auto& row : rows_) {
+    table.addRow(row.ac, derived.fn(row.v), derived.fn(row.f),
+                 /*anomalous=*/false);
+  }
+  return table;
+}
+
+}  // namespace rap::dataset

@@ -1,0 +1,91 @@
+// Fundamental vs. derived KPIs (paper §III-A, Fig. 4).
+//
+// Fundamental KPIs (traffic volume, request count, success count, ...)
+// are additive: the KPI of a coarse attribute combination is the sum of
+// its descendant leaves', so coarse values aggregate up the lattice.
+// Derived KPIs (success ratio, cache hit ratio, ...) are non-additive
+// but are functions of fundamentals, K^D = g(K^F_1, ..., K^F_m) — the
+// correct coarse-grained derived value applies g AFTER aggregating the
+// fundamentals, exactly as Fig. 4 prescribes.
+//
+// MultiKpiTable stores several fundamental KPI columns (actual and
+// forecast) per leaf and can
+//   * aggregate any fundamental over any cuboid (additivity),
+//   * evaluate a derived KPI at any attribute combination (aggregate
+//     fundamentals first, then apply g),
+//   * project a fundamental or derived KPI into a plain LeafTable so
+//     the detectors and localizers run on it unchanged — which is the
+//     paper's §IV-B point: RAPMiner consumes leaf verdicts and never
+//     needs to know which kind of KPI produced them.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dataset/leaf_table.h"
+
+namespace rap::dataset {
+
+using KpiId = std::int32_t;
+
+/// g: fundamental values -> derived value.  Receives one double per
+/// fundamental KPI column, in column order.
+using DerivedFn = std::function<double(const std::vector<double>&)>;
+
+struct DerivedKpi {
+  std::string name;
+  DerivedFn fn;
+};
+
+/// Ratio of two fundamental columns with a divide-by-zero guard —
+/// the most common derived KPI (success ratio, cache hit ratio).
+DerivedKpi ratioKpi(std::string name, KpiId numerator, KpiId denominator);
+
+struct MultiKpiRow {
+  AttributeCombination ac;          ///< fully concrete leaf
+  std::vector<double> v;            ///< actual, one per fundamental KPI
+  std::vector<double> f;            ///< forecast, one per fundamental KPI
+};
+
+class MultiKpiTable {
+ public:
+  MultiKpiTable(Schema schema, std::vector<std::string> kpi_names);
+
+  const Schema& schema() const noexcept { return schema_; }
+  std::int32_t kpiCount() const noexcept {
+    return static_cast<std::int32_t>(kpi_names_.size());
+  }
+  const std::string& kpiName(KpiId id) const;
+  util::Result<KpiId> kpiId(const std::string& name) const;
+
+  /// Appends a leaf row; value vectors must have kpiCount() entries.
+  void addRow(MultiKpiRow row);
+
+  std::size_t size() const noexcept { return rows_.size(); }
+  const MultiKpiRow& row(RowId id) const;
+
+  /// Additive aggregation of one fundamental KPI over a combination
+  /// (Fig. 4): (sum of actuals, sum of forecasts) across covered leaves.
+  std::pair<double, double> aggregateFundamental(
+      const AttributeCombination& ac, KpiId kpi) const;
+
+  /// Derived KPI at a combination: aggregate every fundamental first,
+  /// then apply g — once to the actuals, once to the forecasts.
+  std::pair<double, double> deriveAt(const AttributeCombination& ac,
+                                     const DerivedKpi& derived) const;
+
+  /// Projects one fundamental KPI into a LeafTable (verdicts unset).
+  LeafTable fundamentalLeafTable(KpiId kpi) const;
+
+  /// Projects a derived KPI into a LeafTable: per leaf, v = g(actuals),
+  /// f = g(forecasts).  Verdicts unset — run a detector afterwards.
+  LeafTable derivedLeafTable(const DerivedKpi& derived) const;
+
+ private:
+  Schema schema_;
+  std::vector<std::string> kpi_names_;
+  std::vector<MultiKpiRow> rows_;
+};
+
+}  // namespace rap::dataset

@@ -1,0 +1,205 @@
+#include "dataset/leaf_table.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace rap::dataset {
+
+void LeafTable::addRow(LeafRow row) {
+  RAP_CHECK_MSG(row.ac.attributeCount() == schema_.attributeCount(),
+                "row arity " << row.ac.attributeCount() << " vs schema "
+                             << schema_.attributeCount());
+  RAP_CHECK_MSG(row.ac.isLeaf(), "row must be a most fine-grained combination");
+  for (AttrId a = 0; a < schema_.attributeCount(); ++a) {
+    RAP_CHECK_MSG(row.ac.slot(a) >= 0 && row.ac.slot(a) < schema_.cardinality(a),
+                  "element id out of range in slot " << a);
+  }
+  rows_.push_back(std::move(row));
+}
+
+void LeafTable::addRow(AttributeCombination ac, double v, double f,
+                       bool anomalous) {
+  addRow(LeafRow{std::move(ac), v, f, anomalous});
+}
+
+std::uint32_t LeafTable::anomalousCount() const noexcept {
+  std::uint32_t n = 0;
+  for (const auto& row : rows_) n += row.anomalous ? 1 : 0;
+  return n;
+}
+
+double LeafTable::totalV() const noexcept {
+  double sum = 0.0;
+  for (const auto& row : rows_) sum += row.v;
+  return sum;
+}
+
+double LeafTable::totalF() const noexcept {
+  double sum = 0.0;
+  for (const auto& row : rows_) sum += row.f;
+  return sum;
+}
+
+std::uint64_t LeafTable::projectionKey(RowId id, CuboidMask mask) const {
+  RAP_CHECK(id < rows_.size());
+  const auto& ac = rows_[id].ac;
+  std::uint64_t key = 0;
+  for (AttrId a = 0; a < schema_.attributeCount(); ++a) {
+    if ((mask & (1u << a)) == 0) continue;
+    key = key * static_cast<std::uint64_t>(schema_.cardinality(a)) +
+          static_cast<std::uint64_t>(ac.slot(a));
+  }
+  return key;
+}
+
+namespace {
+
+/// Rebuild the projected combination from a mixed-radix key.
+AttributeCombination keyToCombination(const Schema& schema, CuboidMask mask,
+                                      std::uint64_t key) {
+  AttributeCombination ac(schema.attributeCount());
+  // Decode in reverse attribute order (the key was built forward).
+  for (AttrId a = schema.attributeCount() - 1; a >= 0; --a) {
+    if ((mask & (1u << a)) == 0) continue;
+    const auto card = static_cast<std::uint64_t>(schema.cardinality(a));
+    ac.setSlot(a, static_cast<ElemId>(key % card));
+    key /= card;
+  }
+  return ac;
+}
+
+}  // namespace
+
+std::vector<GroupAggregate> LeafTable::groupBy(CuboidMask mask) const {
+  // Projection keys are dense in [0, cuboidSize), so for any cuboid of
+  // reasonable size a flat accumulation array beats maps and sorting by
+  // a wide margin (see bench/micro_primitives) and yields ascending-key
+  // order for free.  Astronomically large cuboids (possible with many
+  // high-cardinality attributes) fall back to sort-and-aggregate.
+  const std::uint64_t size = cuboidSize(schema_, mask);
+  constexpr std::uint64_t kDenseLimit = 1u << 22;
+  if (size <= kDenseLimit) {
+    struct Cell {
+      std::uint32_t total = 0;
+      std::uint32_t anomalous = 0;
+      double v_sum = 0.0;
+      double f_sum = 0.0;
+    };
+    std::vector<Cell> dense(static_cast<std::size_t>(size));
+    for (RowId id = 0; id < rows_.size(); ++id) {
+      Cell& cell = dense[static_cast<std::size_t>(projectionKey(id, mask))];
+      const LeafRow& row = rows_[id];
+      cell.total += 1;
+      cell.anomalous += row.anomalous ? 1 : 0;
+      cell.v_sum += row.v;
+      cell.f_sum += row.f;
+    }
+    std::vector<GroupAggregate> out;
+    for (std::uint64_t key = 0; key < size; ++key) {
+      const Cell& cell = dense[static_cast<std::size_t>(key)];
+      if (cell.total == 0) continue;
+      GroupAggregate g;
+      g.total = cell.total;
+      g.anomalous = cell.anomalous;
+      g.v_sum = cell.v_sum;
+      g.f_sum = cell.f_sum;
+      g.ac = keyToCombination(schema_, mask, key);
+      out.push_back(std::move(g));
+    }
+    return out;
+  }
+
+  std::vector<std::pair<std::uint64_t, RowId>> keyed;
+  keyed.reserve(rows_.size());
+  for (RowId id = 0; id < rows_.size(); ++id) {
+    keyed.emplace_back(projectionKey(id, mask), id);
+  }
+  std::sort(keyed.begin(), keyed.end());
+
+  std::vector<GroupAggregate> out;
+  for (std::size_t i = 0; i < keyed.size();) {
+    const std::uint64_t key = keyed[i].first;
+    GroupAggregate g;
+    for (; i < keyed.size() && keyed[i].first == key; ++i) {
+      const LeafRow& row = rows_[keyed[i].second];
+      g.total += 1;
+      g.anomalous += row.anomalous ? 1 : 0;
+      g.v_sum += row.v;
+      g.f_sum += row.f;
+    }
+    g.ac = keyToCombination(schema_, mask, key);
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+std::vector<GroupWithRows> LeafTable::groupByWithRows(CuboidMask mask) const {
+  std::vector<RowId> all(rows_.size());
+  for (RowId id = 0; id < rows_.size(); ++id) all[id] = id;
+  return groupByWithRows(mask, all);
+}
+
+std::vector<GroupWithRows> LeafTable::groupByWithRows(
+    CuboidMask mask, const std::vector<RowId>& subset) const {
+  std::unordered_map<std::uint64_t, GroupWithRows> groups;
+  groups.reserve(subset.size() / 4 + 8);
+  for (const RowId id : subset) {
+    RAP_CHECK(id < rows_.size());
+    const auto key = projectionKey(id, mask);
+    GroupWithRows& g = groups[key];
+    const LeafRow& row = rows_[id];
+    g.agg.total += 1;
+    g.agg.anomalous += row.anomalous ? 1 : 0;
+    g.agg.v_sum += row.v;
+    g.agg.f_sum += row.f;
+    g.rows.push_back(id);
+  }
+  std::vector<std::pair<std::uint64_t, GroupWithRows>> sorted(
+      std::make_move_iterator(groups.begin()),
+      std::make_move_iterator(groups.end()));
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<GroupWithRows> out;
+  out.reserve(sorted.size());
+  for (auto& [key, g] : sorted) {
+    g.agg.ac = keyToCombination(schema_, mask, key);
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+GroupAggregate LeafTable::aggregateFor(const AttributeCombination& ac) const {
+  GroupAggregate g;
+  g.ac = ac;
+  for (const auto& row : rows_) {
+    if (!ac.matchesLeaf(row.ac)) continue;
+    g.total += 1;
+    g.anomalous += row.anomalous ? 1 : 0;
+    g.v_sum += row.v;
+    g.f_sum += row.f;
+  }
+  return g;
+}
+
+bool LeafTable::coversAllAnomalies(
+    const std::vector<AttributeCombination>& acs) const {
+  for (const auto& row : rows_) {
+    if (!row.anomalous) continue;
+    const bool covered =
+        std::any_of(acs.begin(), acs.end(), [&row](const auto& ac) {
+          return ac.matchesLeaf(row.ac);
+        });
+    if (!covered) return false;
+  }
+  return true;
+}
+
+std::vector<RowId> LeafTable::anomalousRows() const {
+  std::vector<RowId> out;
+  for (RowId id = 0; id < rows_.size(); ++id) {
+    if (rows_[id].anomalous) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace rap::dataset

@@ -1,0 +1,119 @@
+// LeafTable — the paper's most fine-grained dataset D (Table III): one row
+// per leaf attribute combination with its actual value v, forecast value f
+// and the per-leaf anomaly-detection verdict.  This is the only input the
+// RAPMiner algorithm consumes (paper §IV-B).
+//
+// The table owns a copy of the Schema and offers the group-by aggregation
+// that both RAPMiner and the baselines are built on: projecting every leaf
+// onto a cuboid and accumulating counts / KPI sums per projected
+// combination is one O(rows) pass with a dense or hashed key.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dataset/attribute_combination.h"
+#include "dataset/cuboid.h"
+#include "dataset/schema.h"
+
+namespace rap::dataset {
+
+using RowId = std::uint32_t;
+
+struct LeafRow {
+  AttributeCombination ac;  ///< fully concrete combination
+  double v = 0.0;           ///< actual KPI value
+  double f = 0.0;           ///< forecast KPI value
+  bool anomalous = false;   ///< leaf-level detection verdict
+};
+
+/// Aggregate of all leaves that project onto one attribute combination of
+/// a cuboid.  `total`/`anomalous` are the paper's support_count(ac) and
+/// support_count(ac, Anomaly); Confidence(ac => Anomaly) = anomalous/total.
+struct GroupAggregate {
+  AttributeCombination ac;
+  std::uint32_t total = 0;
+  std::uint32_t anomalous = 0;
+  double v_sum = 0.0;
+  double f_sum = 0.0;
+
+  double confidence() const noexcept {
+    return total == 0 ? 0.0
+                      : static_cast<double>(anomalous) /
+                            static_cast<double>(total);
+  }
+};
+
+/// GroupAggregate plus the member rows (needed by baselines that inspect
+/// leaf values per group, e.g. Squeeze's GPS).
+struct GroupWithRows {
+  GroupAggregate agg;
+  std::vector<RowId> rows;
+};
+
+class LeafTable {
+ public:
+  explicit LeafTable(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const noexcept { return schema_; }
+
+  /// Appends a leaf row.  The combination must be a leaf over this schema
+  /// with in-range element ids; duplicate leaves are allowed (a sparse
+  /// table may legitimately carry repeated measurements).
+  void addRow(LeafRow row);
+
+  /// Convenience used heavily by tests and generators.
+  void addRow(AttributeCombination ac, double v, double f, bool anomalous);
+
+  std::size_t size() const noexcept { return rows_.size(); }
+  bool empty() const noexcept { return rows_.empty(); }
+  const LeafRow& row(RowId id) const {
+    RAP_CHECK(id < rows_.size());
+    return rows_[id];
+  }
+  const std::vector<LeafRow>& rows() const noexcept { return rows_; }
+
+  /// Overwrite the verdict of one row (used by detectors).
+  void setAnomalous(RowId id, bool anomalous) {
+    RAP_CHECK(id < rows_.size());
+    rows_[id].anomalous = anomalous;
+  }
+
+  std::uint32_t anomalousCount() const noexcept;
+  double totalV() const noexcept;
+  double totalF() const noexcept;
+
+  /// Mixed-radix projection key of a row onto the cuboid `mask`;
+  /// keys are dense in [0, cuboidSize(mask)).
+  std::uint64_t projectionKey(RowId id, CuboidMask mask) const;
+
+  /// One-pass aggregation of all leaves by their projection onto `mask`.
+  /// Only combinations with at least one supporting leaf are returned
+  /// (the table may be sparse).  Deterministic order (ascending key).
+  std::vector<GroupAggregate> groupBy(CuboidMask mask) const;
+
+  /// Same, with member row ids attached.
+  std::vector<GroupWithRows> groupByWithRows(CuboidMask mask) const;
+
+  /// Aggregation restricted to a subset of rows (e.g. one Squeeze
+  /// deviation cluster).
+  std::vector<GroupWithRows> groupByWithRows(
+      CuboidMask mask, const std::vector<RowId>& subset) const;
+
+  /// Support counts for a single combination by a scan over the table.
+  GroupAggregate aggregateFor(const AttributeCombination& ac) const;
+
+  /// True iff every anomalous leaf is covered by at least one of the
+  /// given combinations — the early-stop test of Algorithm 2.
+  bool coversAllAnomalies(const std::vector<AttributeCombination>& acs) const;
+
+  /// Row ids of anomalous leaves.
+  std::vector<RowId> anomalousRows() const;
+
+ private:
+  Schema schema_;
+  std::vector<LeafRow> rows_;
+};
+
+}  // namespace rap::dataset

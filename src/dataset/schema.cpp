@@ -1,0 +1,117 @@
+#include "dataset/schema.h"
+
+#include "util/strings.h"
+
+namespace rap::dataset {
+
+Attribute::Attribute(std::string name, std::vector<std::string> elements)
+    : name_(std::move(name)), elements_(std::move(elements)) {
+  RAP_CHECK_MSG(!elements_.empty(), "attribute '" << name_ << "' has no elements");
+  index_.reserve(elements_.size());
+  for (std::size_t i = 0; i < elements_.size(); ++i) {
+    const bool inserted =
+        index_.emplace(elements_[i], static_cast<ElemId>(i)).second;
+    RAP_CHECK_MSG(inserted, "duplicate element '" << elements_[i]
+                                                  << "' in attribute '"
+                                                  << name_ << "'");
+  }
+}
+
+const std::string& Attribute::elementName(ElemId id) const {
+  RAP_CHECK_MSG(id >= 0 && id < cardinality(),
+                "element id " << id << " out of range for '" << name_ << "'");
+  return elements_[static_cast<std::size_t>(id)];
+}
+
+util::Result<ElemId> Attribute::elementId(const std::string& element_name) const {
+  auto it = index_.find(element_name);
+  if (it == index_.end()) {
+    return util::Status::notFound("element '" + element_name +
+                                  "' not in attribute '" + name_ + "'");
+  }
+  return it->second;
+}
+
+Schema::Schema(std::vector<Attribute> attributes)
+    : attributes_(std::move(attributes)) {
+  RAP_CHECK_MSG(!attributes_.empty(), "schema needs at least one attribute");
+  RAP_CHECK_MSG(attributes_.size() <= 32,
+                "cuboid masks are 32-bit; got " << attributes_.size()
+                                                << " attributes");
+  for (std::size_t i = 0; i < attributes_.size(); ++i) {
+    const bool inserted =
+        index_.emplace(attributes_[i].name(), static_cast<AttrId>(i)).second;
+    RAP_CHECK_MSG(inserted,
+                  "duplicate attribute '" << attributes_[i].name() << "'");
+  }
+}
+
+const Attribute& Schema::attribute(AttrId id) const {
+  RAP_CHECK_MSG(id >= 0 && id < attributeCount(),
+                "attribute id " << id << " out of range");
+  return attributes_[static_cast<std::size_t>(id)];
+}
+
+util::Result<AttrId> Schema::attributeId(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return util::Status::notFound("attribute '" + name + "' not in schema");
+  }
+  return it->second;
+}
+
+std::uint64_t Schema::leafCount() const noexcept {
+  std::uint64_t product = 1;
+  for (const auto& attr : attributes_) {
+    product *= static_cast<std::uint64_t>(attr.cardinality());
+  }
+  return product;
+}
+
+std::uint64_t Schema::cuboidCount() const noexcept {
+  return (std::uint64_t{1} << attributeCount()) - 1;
+}
+
+namespace {
+
+std::vector<std::string> namedElements(const std::string& prefix,
+                                       std::int32_t count) {
+  std::vector<std::string> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::int32_t i = 1; i <= count; ++i) {
+    out.push_back(prefix + std::to_string(i));
+  }
+  return out;
+}
+
+}  // namespace
+
+Schema Schema::cdn() {
+  return Schema({
+      Attribute("Location", namedElements("L", 33)),
+      Attribute("AccessType", {"Wireless", "Fixed", "Mobile", "Satellite"}),
+      Attribute("OS", {"Android", "IOS", "Windows", "Other"}),
+      Attribute("Website", namedElements("Site", 20)),
+  });
+}
+
+Schema Schema::tiny() {
+  return Schema({
+      Attribute("A", {"a1", "a2", "a3"}),
+      Attribute("B", {"b1", "b2"}),
+      Attribute("C", {"c1", "c2"}),
+      Attribute("D", {"d1", "d2"}),
+  });
+}
+
+Schema Schema::synthetic(const std::vector<std::int32_t>& cardinalities) {
+  std::vector<Attribute> attrs;
+  attrs.reserve(cardinalities.size());
+  for (std::size_t i = 0; i < cardinalities.size(); ++i) {
+    const std::string name = "A" + std::to_string(i);
+    attrs.emplace_back(name, namedElements(name + "=e", cardinalities[i]));
+  }
+  return Schema(std::move(attrs));
+}
+
+}  // namespace rap::dataset

@@ -1,0 +1,78 @@
+// Attribute schema for a multi-dimensional KPI space.
+//
+// A Schema is an ordered list of attributes (e.g. Location, AccessType,
+// OS, Website for the CDN of the paper's Table I); each attribute has a
+// dictionary of named elements.  Attribute combinations refer to elements
+// by integer id, so the Schema is the single source of truth for the
+// id <-> name mapping and for cardinalities.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rap::dataset {
+
+using AttrId = std::int32_t;
+using ElemId = std::int32_t;
+
+/// One dimension of the KPI space: a name plus an element dictionary.
+class Attribute {
+ public:
+  Attribute(std::string name, std::vector<std::string> elements);
+
+  const std::string& name() const noexcept { return name_; }
+  std::int32_t cardinality() const noexcept {
+    return static_cast<std::int32_t>(elements_.size());
+  }
+  const std::string& elementName(ElemId id) const;
+  /// Returns the element id, or an error if the name is unknown.
+  util::Result<ElemId> elementId(const std::string& element_name) const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> elements_;
+  std::unordered_map<std::string, ElemId> index_;
+};
+
+/// Ordered set of attributes.  Immutable once constructed.
+class Schema {
+ public:
+  explicit Schema(std::vector<Attribute> attributes);
+
+  std::int32_t attributeCount() const noexcept {
+    return static_cast<std::int32_t>(attributes_.size());
+  }
+  const Attribute& attribute(AttrId id) const;
+  util::Result<AttrId> attributeId(const std::string& name) const;
+
+  std::int32_t cardinality(AttrId id) const { return attribute(id).cardinality(); }
+
+  /// Product of all cardinalities = number of most fine-grained
+  /// attribute combinations ("leaves"), paper §III-C.
+  std::uint64_t leafCount() const noexcept;
+
+  /// Number of cuboids in the lattice: 2^n - 1 (paper §II-B).
+  std::uint64_t cuboidCount() const noexcept;
+
+  /// The paper's Table I CDN schema: Location(33), AccessType(4),
+  /// OS(4), Website(20) — 10,560 leaves.
+  static Schema cdn();
+
+  /// A small schema handy for unit tests and the worked examples of
+  /// the paper's Fig. 6/7: A(3), B(2), C(2), D(2).
+  static Schema tiny();
+
+  /// Synthetic schema with the given cardinalities; attribute names are
+  /// "A0", "A1", ... and elements "A0=e<j>".
+  static Schema synthetic(const std::vector<std::int32_t>& cardinalities);
+
+ private:
+  std::vector<Attribute> attributes_;
+  std::unordered_map<std::string, AttrId> index_;
+};
+
+}  // namespace rap::dataset

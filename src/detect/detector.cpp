@@ -1,0 +1,42 @@
+#include "detect/detector.h"
+
+#include <cmath>
+
+#include "stats/descriptive.h"
+
+namespace rap::detect {
+
+double relativeDeviation(const dataset::LeafRow& row, double eps) noexcept {
+  const double denom = std::max(std::fabs(row.f), eps);
+  return (row.f - row.v) / denom;
+}
+
+std::uint32_t RelativeDeviationDetector::run(dataset::LeafTable& table) const {
+  std::uint32_t flagged = 0;
+  for (dataset::RowId id = 0; id < table.size(); ++id) {
+    const double dev = relativeDeviation(table.row(id), eps_);
+    const bool anomalous =
+        two_sided_ ? std::fabs(dev) > threshold_ : dev > threshold_;
+    table.setAnomalous(id, anomalous);
+    flagged += anomalous ? 1 : 0;
+  }
+  return flagged;
+}
+
+std::uint32_t NSigmaDetector::run(dataset::LeafTable& table) const {
+  std::vector<double> residuals;
+  residuals.reserve(table.size());
+  for (const auto& row : table.rows()) residuals.push_back(row.v - row.f);
+  const double mu = stats::mean(residuals);
+  const double sigma = stats::stddev(residuals);
+  std::uint32_t flagged = 0;
+  for (dataset::RowId id = 0; id < table.size(); ++id) {
+    const bool anomalous =
+        sigma > 0.0 && std::fabs(residuals[id] - mu) > n_sigma_ * sigma;
+    table.setAnomalous(id, anomalous);
+    flagged += anomalous ? 1 : 0;
+  }
+  return flagged;
+}
+
+}  // namespace rap::detect

@@ -1,0 +1,50 @@
+#include "eval/export.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace rap::eval {
+
+util::Status writeRunsCsv(const std::string& path,
+                          const dataset::Schema& schema,
+                          const std::vector<CaseRun>& runs,
+                          const std::vector<gen::Case>& cases) {
+  if (runs.size() != cases.size()) {
+    return util::Status::invalidArgument(
+        "runs and cases must be matched vectors");
+  }
+  std::vector<io::CsvRow> rows;
+  rows.push_back({"case_id", "rank", "pattern", "confidence", "layer",
+                  "score", "seconds", "hit"});
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto& run = runs[i];
+    const auto& truth = cases[i].truth;
+    for (std::size_t r = 0; r < run.predictions.size(); ++r) {
+      const auto& p = run.predictions[r];
+      const bool hit =
+          std::find(truth.begin(), truth.end(), p.ac) != truth.end();
+      rows.push_back({run.case_id, std::to_string(r + 1),
+                      p.ac.toString(schema),
+                      util::strFormat("%.6f", p.confidence),
+                      std::to_string(p.layer),
+                      util::strFormat("%.6f", p.score),
+                      util::strFormat("%.6f", run.seconds),
+                      hit ? "1" : "0"});
+    }
+  }
+  return io::writeCsvFile(path, rows);
+}
+
+util::Status writeMetricsCsv(const std::string& path,
+                             const std::vector<MetricRow>& rows) {
+  std::vector<io::CsvRow> out;
+  out.push_back({"experiment", "method", "metric", "value"});
+  for (const auto& row : rows) {
+    out.push_back({row.experiment, row.method, row.metric,
+                   util::strFormat("%.6f", row.value)});
+  }
+  return io::writeCsvFile(path, out);
+}
+
+}  // namespace rap::eval

@@ -1,0 +1,33 @@
+// Export of experiment artifacts: per-case runs and aggregated metric
+// rows as CSV, so bench outputs can be archived and re-plotted without
+// re-running (EXPERIMENTS.md workflow).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "eval/runner.h"
+#include "io/csv.h"
+
+namespace rap::eval {
+
+/// One CSV row per (case, rank): case_id, rank, pattern, confidence,
+/// layer, score, seconds, hit (1 when the pattern is in the case's
+/// ground truth).
+util::Status writeRunsCsv(const std::string& path,
+                          const dataset::Schema& schema,
+                          const std::vector<CaseRun>& runs,
+                          const std::vector<gen::Case>& cases);
+
+/// A named metric value destined for one row of a summary CSV.
+struct MetricRow {
+  std::string experiment;  ///< e.g. "fig8b"
+  std::string method;      ///< e.g. "RAPMiner"
+  std::string metric;      ///< e.g. "RC@3"
+  double value = 0.0;
+};
+
+util::Status writeMetricsCsv(const std::string& path,
+                             const std::vector<MetricRow>& rows);
+
+}  // namespace rap::eval

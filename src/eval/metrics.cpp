@@ -1,0 +1,87 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+namespace rap::eval {
+
+using dataset::AttributeCombination;
+
+MatchCounts matchPatterns(const std::vector<AttributeCombination>& predicted,
+                          const std::vector<AttributeCombination>& truth) {
+  MatchCounts counts;
+  for (const auto& p : predicted) {
+    const bool hit = std::find(truth.begin(), truth.end(), p) != truth.end();
+    if (hit) {
+      counts.tp += 1;
+    } else {
+      counts.fp += 1;
+    }
+  }
+  for (const auto& t : truth) {
+    const bool hit =
+        std::find(predicted.begin(), predicted.end(), t) != predicted.end();
+    if (!hit) counts.fn += 1;
+  }
+  return counts;
+}
+
+void F1Accumulator::add(const MatchCounts& counts) noexcept {
+  counts_.tp += counts.tp;
+  counts_.fp += counts.fp;
+  counts_.fn += counts.fn;
+}
+
+void F1Accumulator::add(const std::vector<AttributeCombination>& predicted,
+                        const std::vector<AttributeCombination>& truth) {
+  add(matchPatterns(predicted, truth));
+}
+
+double F1Accumulator::precision() const noexcept {
+  const auto denom = counts_.tp + counts_.fp;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(counts_.tp) /
+                          static_cast<double>(denom);
+}
+
+double F1Accumulator::recall() const noexcept {
+  const auto denom = counts_.tp + counts_.fn;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(counts_.tp) /
+                          static_cast<double>(denom);
+}
+
+double F1Accumulator::f1() const noexcept {
+  const double p = precision();
+  const double r = recall();
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+void RecallAtKAccumulator::add(
+    const std::vector<core::ScoredPattern>& ranked_predictions,
+    const std::vector<AttributeCombination>& truth) {
+  total_truth_ += truth.size();
+  const auto limit = std::min<std::size_t>(
+      ranked_predictions.size(), static_cast<std::size_t>(k_));
+  for (std::size_t i = 0; i < limit; ++i) {
+    const auto& ac = ranked_predictions[i].ac;
+    if (std::find(truth.begin(), truth.end(), ac) != truth.end()) {
+      hits_ += 1;
+    }
+  }
+}
+
+double RecallAtKAccumulator::value() const noexcept {
+  return total_truth_ == 0
+             ? 0.0
+             : static_cast<double>(hits_) / static_cast<double>(total_truth_);
+}
+
+std::vector<AttributeCombination> patternsToAcs(
+    const std::vector<core::ScoredPattern>& patterns) {
+  std::vector<AttributeCombination> out;
+  out.reserve(patterns.size());
+  for (const auto& p : patterns) out.push_back(p.ac);
+  return out;
+}
+
+}  // namespace rap::eval

@@ -1,0 +1,71 @@
+// Evaluation metrics of the paper's §V-B.
+//
+//  * F1-score (Eq. 6) — used on the Squeeze-style dataset where the
+//    number of returned results is fixed to the true RAP count; TP/FP/FN
+//    are accumulated over all cases of a group and exact-match compares
+//    attribute combinations.
+//  * RC@k (Eq. 7) — recall of the top-k recommendations over all cases,
+//    used on RAPMD where the RAP count is unknown a priori.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+#include "dataset/attribute_combination.h"
+
+namespace rap::eval {
+
+struct MatchCounts {
+  std::uint64_t tp = 0;
+  std::uint64_t fp = 0;
+  std::uint64_t fn = 0;
+};
+
+/// Exact-match counts of one case's prediction against its ground truth.
+MatchCounts matchPatterns(
+    const std::vector<dataset::AttributeCombination>& predicted,
+    const std::vector<dataset::AttributeCombination>& truth);
+
+/// Accumulates TP/FP/FN over cases; precision/recall/F1 per Eq. 6.
+class F1Accumulator {
+ public:
+  void add(const MatchCounts& counts) noexcept;
+  void add(const std::vector<dataset::AttributeCombination>& predicted,
+           const std::vector<dataset::AttributeCombination>& truth);
+
+  std::uint64_t tp() const noexcept { return counts_.tp; }
+  std::uint64_t fp() const noexcept { return counts_.fp; }
+  std::uint64_t fn() const noexcept { return counts_.fn; }
+
+  double precision() const noexcept;
+  double recall() const noexcept;
+  double f1() const noexcept;
+
+ private:
+  MatchCounts counts_;
+};
+
+/// RC@k accumulator (Eq. 7): sums over cases the number of true RAPs hit
+/// by the top-k recommendations, normalized by the total true RAP count.
+class RecallAtKAccumulator {
+ public:
+  explicit RecallAtKAccumulator(std::int32_t k) : k_(k) {}
+
+  void add(const std::vector<core::ScoredPattern>& ranked_predictions,
+           const std::vector<dataset::AttributeCombination>& truth);
+
+  double value() const noexcept;
+  std::int32_t k() const noexcept { return k_; }
+
+ private:
+  std::int32_t k_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t total_truth_ = 0;
+};
+
+/// Strip ScoredPatterns down to their combinations (rank order kept).
+std::vector<dataset::AttributeCombination> patternsToAcs(
+    const std::vector<core::ScoredPattern>& patterns);
+
+}  // namespace rap::eval

@@ -1,0 +1,122 @@
+#include "eval/runner.h"
+
+#include "baselines/adtributor.h"
+#include "baselines/fp_rap.h"
+#include "baselines/hotspot.h"
+#include "baselines/idice.h"
+#include "baselines/squeeze.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace rap::eval {
+
+std::vector<NamedLocalizer> standardLocalizers(
+    const core::RapMinerConfig& rapminer_config, bool include_hotspot) {
+  std::vector<NamedLocalizer> out;
+  out.push_back(rapminerLocalizer(rapminer_config));
+  out.push_back({"Adtributor",
+                 [](const dataset::LeafTable& table, std::int32_t k) {
+                   return baselines::adtributorLocalize(table, {}, k);
+                 }});
+  out.push_back({"iDice",
+                 [](const dataset::LeafTable& table, std::int32_t k) {
+                   return baselines::idiceLocalize(table, {}, k);
+                 }});
+  out.push_back({"FP-growth",
+                 [](const dataset::LeafTable& table, std::int32_t k) {
+                   return baselines::fpGrowthLocalize(table, {}, k);
+                 }});
+  out.push_back({"Squeeze",
+                 [](const dataset::LeafTable& table, std::int32_t k) {
+                   // Squeeze cannot return a caller-chosen count (paper
+                   // §V-E.2): it reports each cluster's root set.  The
+                   // bench still truncates for RC@k bookkeeping.
+                   return baselines::squeezeLocalize(table, {}, k);
+                 }});
+  if (include_hotspot) {
+    out.push_back({"HotSpot",
+                   [](const dataset::LeafTable& table, std::int32_t k) {
+                     return baselines::hotspotLocalize(table, {}, k);
+                   }});
+  }
+  return out;
+}
+
+NamedLocalizer rapminerLocalizer(const core::RapMinerConfig& config,
+                                 std::string name) {
+  return {std::move(name),
+          [config](const dataset::LeafTable& table, std::int32_t k) {
+            return core::RapMiner(config).localize(table, k).patterns;
+          }};
+}
+
+std::vector<CaseRun> runLocalizer(const NamedLocalizer& localizer,
+                                  const std::vector<gen::Case>& cases,
+                                  const RunOptions& options) {
+  std::vector<CaseRun> runs;
+  runs.reserve(cases.size());
+  for (const auto& c : cases) {
+    const std::int32_t k =
+        options.k_equals_truth ? static_cast<std::int32_t>(c.truth.size())
+                               : options.k;
+    CaseRun run;
+    run.case_id = c.id;
+    const util::WallTimer timer;
+    run.predictions = localizer.fn(c.table, k);
+    run.seconds = timer.elapsedSeconds();
+    runs.push_back(std::move(run));
+  }
+  return runs;
+}
+
+std::vector<CaseRun> runLocalizerParallel(const NamedLocalizer& localizer,
+                                          const std::vector<gen::Case>& cases,
+                                          const RunOptions& options,
+                                          std::size_t threads) {
+  std::vector<CaseRun> runs(cases.size());
+  util::parallelFor(
+      cases.size(),
+      [&](std::size_t i) {
+        const auto& c = cases[i];
+        const std::int32_t k =
+            options.k_equals_truth ? static_cast<std::int32_t>(c.truth.size())
+                                   : options.k;
+        CaseRun run;
+        run.case_id = c.id;
+        const util::WallTimer timer;
+        run.predictions = localizer.fn(c.table, k);
+        run.seconds = timer.elapsedSeconds();
+        runs[i] = std::move(run);
+      },
+      threads);
+  return runs;
+}
+
+double aggregateF1(const std::vector<CaseRun>& runs,
+                   const std::vector<gen::Case>& cases) {
+  RAP_CHECK(runs.size() == cases.size());
+  F1Accumulator acc;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    acc.add(patternsToAcs(runs[i].predictions), cases[i].truth);
+  }
+  return acc.f1();
+}
+
+double aggregateRecallAtK(const std::vector<CaseRun>& runs,
+                          const std::vector<gen::Case>& cases,
+                          std::int32_t k) {
+  RAP_CHECK(runs.size() == cases.size());
+  RecallAtKAccumulator acc(k);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    acc.add(runs[i].predictions, cases[i].truth);
+  }
+  return acc.value();
+}
+
+util::TimingStats aggregateTiming(const std::vector<CaseRun>& runs) {
+  util::TimingStats stats;
+  for (const auto& run : runs) stats.add(run.seconds);
+  return stats;
+}
+
+}  // namespace rap::eval

@@ -1,0 +1,72 @@
+// Experiment runner: applies a named localizer to a set of cases with
+// per-case wall-clock timing, and aggregates the paper's metrics.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/rapminer.h"
+#include "eval/metrics.h"
+#include "gen/case.h"
+#include "util/timer.h"
+
+namespace rap::eval {
+
+/// A localization algorithm under test: table + k -> ranked patterns.
+using LocalizeFn = std::function<std::vector<core::ScoredPattern>(
+    const dataset::LeafTable&, std::int32_t k)>;
+
+struct NamedLocalizer {
+  std::string name;
+  LocalizeFn fn;
+};
+
+/// The paper's §V-C line-up (RAPMiner + 4 baselines) with the default
+/// configurations used by every bench; `include_hotspot` appends the
+/// extension baseline.
+std::vector<NamedLocalizer> standardLocalizers(
+    const core::RapMinerConfig& rapminer_config = {},
+    bool include_hotspot = false);
+
+/// Just the RAPMiner entry (for sensitivity sweeps).
+NamedLocalizer rapminerLocalizer(const core::RapMinerConfig& config,
+                                 std::string name = "RAPMiner");
+
+struct CaseRun {
+  std::string case_id;
+  std::vector<core::ScoredPattern> predictions;
+  double seconds = 0.0;
+};
+
+struct RunOptions {
+  /// Fixed k for every case; ignored when k_equals_truth.
+  std::int32_t k = 5;
+  /// Paper §V-B: on the Squeeze dataset the returned count equals the
+  /// true RAP count of each case.
+  bool k_equals_truth = false;
+};
+
+/// Run one localizer over all cases (timing included).
+std::vector<CaseRun> runLocalizer(const NamedLocalizer& localizer,
+                                  const std::vector<gen::Case>& cases,
+                                  const RunOptions& options);
+
+/// Parallel variant for parameter sweeps: cases fan out across
+/// `threads` workers (0 = hardware concurrency).  Results are identical
+/// to runLocalizer and in the same order; per-case wall times include
+/// scheduler contention, so use the serial runner when timing is the
+/// measurement (Fig. 9).
+std::vector<CaseRun> runLocalizerParallel(const NamedLocalizer& localizer,
+                                          const std::vector<gen::Case>& cases,
+                                          const RunOptions& options,
+                                          std::size_t threads = 0);
+
+/// Aggregate helpers over matched (runs, cases) vectors.
+double aggregateF1(const std::vector<CaseRun>& runs,
+                   const std::vector<gen::Case>& cases);
+double aggregateRecallAtK(const std::vector<CaseRun>& runs,
+                          const std::vector<gen::Case>& cases, std::int32_t k);
+util::TimingStats aggregateTiming(const std::vector<CaseRun>& runs);
+
+}  // namespace rap::eval

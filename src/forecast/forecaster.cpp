@@ -1,0 +1,94 @@
+#include "forecast/forecaster.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/status.h"
+
+namespace rap::forecast {
+
+MovingAverageForecaster::MovingAverageForecaster(std::int32_t window)
+    : window_(window) {
+  RAP_CHECK_MSG(window_ >= 1, "window must be positive, got " << window_);
+}
+
+double MovingAverageForecaster::forecastNext(
+    const std::vector<double>& history) const {
+  if (history.empty()) return 0.0;
+  const auto n = std::min<std::size_t>(history.size(),
+                                       static_cast<std::size_t>(window_));
+  const double sum =
+      std::accumulate(history.end() - static_cast<std::ptrdiff_t>(n),
+                      history.end(), 0.0);
+  return sum / static_cast<double>(n);
+}
+
+EwmaForecaster::EwmaForecaster(double alpha) : alpha_(alpha) {
+  RAP_CHECK_MSG(alpha_ > 0.0 && alpha_ <= 1.0,
+                "alpha must be in (0,1], got " << alpha_);
+}
+
+double EwmaForecaster::forecastNext(const std::vector<double>& history) const {
+  if (history.empty()) return 0.0;
+  double level = history.front();
+  for (std::size_t i = 1; i < history.size(); ++i) {
+    level = alpha_ * history[i] + (1.0 - alpha_) * level;
+  }
+  return level;
+}
+
+HoltWintersForecaster::HoltWintersForecaster(std::int32_t season_length,
+                                             Params params)
+    : season_length_(season_length), params_(params) {
+  RAP_CHECK_MSG(season_length_ >= 2,
+                "season must be >= 2, got " << season_length_);
+  RAP_CHECK(params_.alpha > 0.0 && params_.alpha <= 1.0);
+  RAP_CHECK(params_.beta >= 0.0 && params_.beta <= 1.0);
+  RAP_CHECK(params_.gamma >= 0.0 && params_.gamma <= 1.0);
+}
+
+double HoltWintersForecaster::forecastNext(
+    const std::vector<double>& history) const {
+  const auto m = static_cast<std::size_t>(season_length_);
+  if (history.size() < 2 * m) {
+    // Not enough data to estimate seasonality — degrade gracefully.
+    return EwmaForecaster(params_.alpha).forecastNext(history);
+  }
+
+  // Initialize level/trend from the first two seasons; seasonal indices
+  // from the first season's deviation around its mean.
+  const double first_mean =
+      std::accumulate(history.begin(),
+                      history.begin() + static_cast<std::ptrdiff_t>(m), 0.0) /
+      static_cast<double>(m);
+  const double second_mean =
+      std::accumulate(history.begin() + static_cast<std::ptrdiff_t>(m),
+                      history.begin() + static_cast<std::ptrdiff_t>(2 * m),
+                      0.0) /
+      static_cast<double>(m);
+
+  double level = first_mean;
+  double trend = (second_mean - first_mean) / static_cast<double>(m);
+  std::vector<double> seasonal(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    seasonal[i] = history[i] - first_mean;
+  }
+
+  // Run the recurrences over the remaining history.
+  for (std::size_t t = m; t < history.size(); ++t) {
+    const std::size_t s = t % m;
+    const double value = history[t];
+    const double prev_level = level;
+    level = params_.alpha * (value - seasonal[s]) +
+            (1.0 - params_.alpha) * (level + trend);
+    trend = params_.beta * (level - prev_level) +
+            (1.0 - params_.beta) * trend;
+    seasonal[s] = params_.gamma * (value - level) +
+                  (1.0 - params_.gamma) * seasonal[s];
+  }
+
+  const std::size_t next_s = history.size() % m;
+  return level + trend + seasonal[next_s];
+}
+
+}  // namespace rap::forecast

@@ -1,0 +1,89 @@
+// Per-KPI one-step-ahead forecasters.
+//
+// The paper's pipeline needs a predicted value f for every leaf KPI
+// before localization can run ("we can get the corresponding predicted
+// values via some prediction methods", §III-C — prediction itself is
+// delegated to prior work).  This module provides the standard
+// statistical forecasters that IT-operations pipelines use, so the
+// repository's end-to-end path (history -> forecast -> detect ->
+// localize) is runnable without external models:
+//
+//   * MovingAverageForecaster — mean of the last w observations;
+//   * EwmaForecaster          — exponentially weighted moving average;
+//   * HoltWintersForecaster   — additive level/trend/seasonality, the
+//     classic fit for diurnal CDN traffic.
+//
+// All forecasters consume a history vector (oldest first) and return
+// the one-step-ahead prediction.  They are deterministic and stateless
+// across calls.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rap::forecast {
+
+class Forecaster {
+ public:
+  virtual ~Forecaster() = default;
+
+  /// One-step-ahead forecast from `history` (oldest first).  An empty
+  /// history forecasts 0.  Implementations must tolerate short
+  /// histories (fewer points than their window/season).
+  virtual double forecastNext(const std::vector<double>& history) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Mean of the trailing `window` observations.
+class MovingAverageForecaster final : public Forecaster {
+ public:
+  explicit MovingAverageForecaster(std::int32_t window);
+
+  double forecastNext(const std::vector<double>& history) const override;
+  std::string name() const override { return "moving-average"; }
+
+ private:
+  std::int32_t window_;
+};
+
+/// Exponentially weighted moving average with smoothing factor alpha.
+class EwmaForecaster final : public Forecaster {
+ public:
+  explicit EwmaForecaster(double alpha);
+
+  double forecastNext(const std::vector<double>& history) const override;
+  std::string name() const override { return "ewma"; }
+
+ private:
+  double alpha_;
+};
+
+/// Additive Holt-Winters (triple exponential smoothing): level + trend +
+/// additive seasonal component of the given period.  Falls back to EWMA
+/// behaviour while the history is shorter than two seasons.
+class HoltWintersForecaster final : public Forecaster {
+ public:
+  struct Params {
+    double alpha = 0.3;  ///< level smoothing
+    double beta = 0.05;  ///< trend smoothing
+    double gamma = 0.2;  ///< seasonal smoothing
+  };
+
+  explicit HoltWintersForecaster(std::int32_t season_length)
+      : HoltWintersForecaster(season_length, Params{}) {}
+  HoltWintersForecaster(std::int32_t season_length, Params params);
+
+  double forecastNext(const std::vector<double>& history) const override;
+  std::string name() const override { return "holt-winters"; }
+
+  std::int32_t seasonLength() const noexcept { return season_length_; }
+
+ private:
+  std::int32_t season_length_;
+  Params params_;
+};
+
+}  // namespace rap::forecast

@@ -1,0 +1,30 @@
+#include "forecast/pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rap::forecast {
+
+dataset::LeafTable buildDetectedTable(const dataset::Schema& schema,
+                                      const std::vector<LeafSeries>& series,
+                                      const Forecaster& forecaster,
+                                      const PipelineConfig& config) {
+  dataset::LeafTable table(schema);
+  for (const auto& s : series) {
+    const bool dead_history =
+        std::all_of(s.history.begin(), s.history.end(),
+                    [](double x) { return x == 0.0; });
+    if (dead_history && s.current == 0.0) continue;  // no traffic at all
+
+    const double f = forecaster.forecastNext(s.history);
+    const double v = s.current;
+    const double dev = (f - v) / std::max(std::fabs(f), 1e-9);
+    const bool anomalous = config.two_sided
+                               ? std::fabs(dev) > config.detect_threshold
+                               : dev > config.detect_threshold;
+    table.addRow(s.leaf, v, f, anomalous);
+  }
+  return table;
+}
+
+}  // namespace rap::forecast

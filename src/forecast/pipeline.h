@@ -1,0 +1,38 @@
+// History -> forecast -> detect: assembling a labeled LeafTable from
+// per-leaf KPI time series, the way a production deployment of the
+// paper's pipeline would (the data-collection stage of §IV-B).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dataset/leaf_table.h"
+#include "forecast/forecaster.h"
+
+namespace rap::forecast {
+
+/// One leaf's KPI history plus its current observation.
+struct LeafSeries {
+  dataset::AttributeCombination leaf;
+  std::vector<double> history;  ///< oldest first; may be empty
+  double current = 0.0;         ///< the alarmed timestamp's actual value
+};
+
+struct PipelineConfig {
+  /// Relative-deviation threshold for the leaf verdict
+  /// ((f - v) / max(f, eps) > threshold).
+  double detect_threshold = 0.1;
+  bool two_sided = false;
+};
+
+/// Builds the labeled leaf table for the alarmed timestamp: per leaf,
+/// forecast from the history with `forecaster`, attach the current
+/// actual value, and set the anomaly verdict with the relative-deviation
+/// rule.  Leaves with an all-zero history and zero current value are
+/// skipped (no traffic, as in a sparse CDN collection).
+dataset::LeafTable buildDetectedTable(const dataset::Schema& schema,
+                                      const std::vector<LeafSeries>& series,
+                                      const Forecaster& forecaster,
+                                      const PipelineConfig& config = {});
+
+}  // namespace rap::forecast

@@ -1,0 +1,58 @@
+#include "gen/background.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace rap::gen {
+
+CdnBackgroundModel::CdnBackgroundModel(const dataset::Schema& schema,
+                                       BackgroundConfig config,
+                                       std::uint64_t seed)
+    : schema_(&schema), config_(config) {
+  RAP_CHECK(config_.sparsity >= 0.0 && config_.sparsity < 1.0);
+  RAP_CHECK(config_.diurnal_depth >= 0.0 && config_.diurnal_depth < 1.0);
+  util::Rng rng(seed);
+  base_rate_.resize(schema.leafCount());
+  for (auto& rate : base_rate_) {
+    if (rng.bernoulli(config_.sparsity)) {
+      rate = 0.0;  // leaf never sees traffic
+    } else {
+      rate = rng.logNormal(config_.log_mean, config_.log_sigma);
+    }
+  }
+}
+
+bool CdnBackgroundModel::isActive(std::uint64_t leaf_index) const {
+  RAP_CHECK(leaf_index < base_rate_.size());
+  return base_rate_[leaf_index] > 0.0;
+}
+
+double CdnBackgroundModel::expectedVolume(std::uint64_t leaf_index,
+                                          std::int64_t minute) const {
+  RAP_CHECK(leaf_index < base_rate_.size());
+  const double base = base_rate_[leaf_index];
+  if (base <= 0.0) return 0.0;
+  const double day_phase =
+      2.0 * std::numbers::pi *
+      static_cast<double>(minute % config_.minutes_per_day) /
+      static_cast<double>(config_.minutes_per_day);
+  // Peak in the evening (phase shift ~20:00).
+  const double diurnal =
+      1.0 + config_.diurnal_depth * std::sin(day_phase - 2.0 * std::numbers::pi * 20.0 / 24.0);
+  const auto day = static_cast<double>(minute / config_.minutes_per_day);
+  const double weekly =
+      1.0 - config_.weekly_depth *
+                (std::fmod(day, 7.0) >= 5.0 ? 1.0 : 0.0);  // weekend dip
+  return base * diurnal * weekly;
+}
+
+double CdnBackgroundModel::sampleVolume(std::uint64_t leaf_index,
+                                        std::int64_t minute,
+                                        util::Rng& rng) const {
+  const double expected = expectedVolume(leaf_index, minute);
+  if (expected <= 0.0) return 0.0;
+  const double jitter = 1.0 + config_.noise_sigma * rng.gaussian();
+  return expected * std::max(0.05, jitter);
+}
+
+}  // namespace rap::gen

@@ -1,0 +1,65 @@
+// Synthetic CDN background traffic (substitute for the paper's production
+// KPI feed — see DESIGN.md).
+//
+// The paper's background data is the "Out_Flow" fundamental KPI of every
+// most fine-grained combination of the Table I schema, sampled every 60 s
+// for 35 days.  What the localization algorithms actually see per case is
+// a single timestamp's leaf vector, so the model only needs to reproduce
+// its cross-sectional properties:
+//   * heavy-tailed per-leaf volume (few hot site/location pairs dominate) —
+//     log-normal base rate per leaf;
+//   * diurnal + weekly modulation so different timestamps differ;
+//   * sparsity — a sizable fraction of leaves carries no traffic at a
+//     given minute and is absent from the collected table.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dataset/schema.h"
+#include "util/rng.h"
+
+namespace rap::gen {
+
+struct BackgroundConfig {
+  double log_mean = 3.0;    ///< mu of the per-leaf log-normal base rate
+  double log_sigma = 1.2;   ///< sigma of the base rate
+  double diurnal_depth = 0.45;  ///< peak-to-mean modulation, in [0,1)
+  double weekly_depth = 0.15;   ///< weekend dip depth, in [0,1)
+  double noise_sigma = 0.03;    ///< multiplicative per-sample jitter
+  double sparsity = 0.15;       ///< fraction of leaves with no traffic
+  std::int32_t minutes_per_day = 1440;
+};
+
+/// Deterministic per-leaf traffic model.  The base rate of each leaf is a
+/// pure function of (seed, leaf index), so two timestamps of the same
+/// model describe the same CDN.
+class CdnBackgroundModel {
+ public:
+  CdnBackgroundModel(const dataset::Schema& schema, BackgroundConfig config,
+                     std::uint64_t seed);
+
+  const dataset::Schema& schema() const noexcept { return *schema_; }
+  const BackgroundConfig& config() const noexcept { return config_; }
+
+  std::uint64_t leafCount() const noexcept { return base_rate_.size(); }
+
+  /// True when the leaf carries traffic at all (sparsity mask).
+  bool isActive(std::uint64_t leaf_index) const;
+
+  /// Expected (noise-free) traffic of a leaf at a minute-of-history index.
+  double expectedVolume(std::uint64_t leaf_index,
+                        std::int64_t minute) const;
+
+  /// One sampled observation: expected volume times jitter.  Uses the
+  /// caller's RNG so repeated draws differ.
+  double sampleVolume(std::uint64_t leaf_index, std::int64_t minute,
+                      util::Rng& rng) const;
+
+ private:
+  const dataset::Schema* schema_;
+  BackgroundConfig config_;
+  std::vector<double> base_rate_;  ///< per leaf; 0 == inactive
+};
+
+}  // namespace rap::gen

@@ -1,0 +1,20 @@
+// A localization case: one timestamp's leaf table plus its ground-truth
+// root anomaly patterns.  Produced by the generators, consumed by the
+// evaluation harness.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataset/attribute_combination.h"
+#include "dataset/leaf_table.h"
+
+namespace rap::gen {
+
+struct Case {
+  std::string id;
+  dataset::LeafTable table;
+  std::vector<dataset::AttributeCombination> truth;
+};
+
+}  // namespace rap::gen

@@ -1,0 +1,160 @@
+#include "gen/rapmd.h"
+
+#include <algorithm>
+
+#include "dataset/cuboid.h"
+#include "util/logging.h"
+
+namespace rap::gen {
+
+using dataset::AttributeCombination;
+using dataset::CuboidMask;
+using dataset::Schema;
+
+RapmdGenerator::RapmdGenerator(Schema schema, RapmdConfig config,
+                               std::uint64_t seed)
+    : schema_(std::move(schema)),
+      config_(config),
+      background_(schema_, config.background, seed),
+      seed_(seed) {
+  RAP_CHECK(config_.min_raps >= 1 && config_.min_raps <= config_.max_raps);
+  RAP_CHECK(config_.min_rap_dim >= 1);
+  RAP_CHECK(config_.max_rap_dim <= schema_.attributeCount());
+  RAP_CHECK(config_.anomalous_dev_lo > config_.normal_dev_hi);
+}
+
+AttributeCombination RapmdGenerator::drawRap(
+    util::Rng& rng, std::int32_t dim,
+    const std::vector<AttributeCombination>& existing,
+    const std::vector<std::uint64_t>& active_leaves) {
+  // Candidate cuboids of the requested layer over the full attribute set.
+  const auto cuboids = dataset::cuboidsAtLayer(
+      dataset::allAttributesMask(schema_), dim);
+  RAP_CHECK(!cuboids.empty());
+
+  for (std::int32_t attempt = 0; attempt < 256; ++attempt) {
+    const CuboidMask mask = cuboids[static_cast<std::size_t>(
+        rng.uniformInt(0, static_cast<std::int64_t>(cuboids.size()) - 1))];
+    AttributeCombination rap(schema_.attributeCount());
+    for (const auto attr : dataset::cuboidAttributes(mask)) {
+      rap.setSlot(attr, static_cast<dataset::ElemId>(
+                            rng.uniformInt(0, schema_.cardinality(attr) - 1)));
+    }
+    const bool related =
+        std::any_of(existing.begin(), existing.end(),
+                    [&rap](const AttributeCombination& other) {
+                      return rap.covers(other) || other.covers(rap);
+                    });
+    if (related) continue;
+    // Require enough active leaves under the RAP for the case to be
+    // localizable at all.
+    std::uint32_t support = 0;
+    for (const auto leaf_index : active_leaves) {
+      if (rap.matchesLeaf(dataset::leafFromIndex(schema_, leaf_index))) {
+        ++support;
+        if (support >= config_.min_rap_support) break;
+      }
+    }
+    if (support >= config_.min_rap_support) return rap;
+  }
+  // Extremely sparse corner: fall back to the element combination of the
+  // first active leaf projected to `dim` attributes.
+  RAP_CHECK_MSG(!active_leaves.empty(), "no active leaves to inject into");
+  const auto leaf = dataset::leafFromIndex(schema_, active_leaves.front());
+  AttributeCombination rap(schema_.attributeCount());
+  for (std::int32_t a = 0; a < dim; ++a) rap.setSlot(a, leaf.slot(a));
+  return rap;
+}
+
+Case RapmdGenerator::generateCase(std::int32_t index) {
+  // Independent stream per case so generateCase(i) == generate()[i].
+  util::Rng rng(seed_ ^ (0x9E3779B97F4A7C15ULL *
+                         static_cast<std::uint64_t>(index + 1)));
+
+  // The paper samples 3 random minutes per day over 35 days; emulate by
+  // drawing a random minute of the 35-day horizon.
+  const std::int64_t minute = rng.uniformInt(
+      0, 35LL * config_.background.minutes_per_day - 1);
+
+  // Active leaves at this timestamp.
+  std::vector<std::uint64_t> active;
+  active.reserve(background_.leafCount());
+  for (std::uint64_t leaf = 0; leaf < background_.leafCount(); ++leaf) {
+    if (background_.isActive(leaf)) active.push_back(leaf);
+  }
+
+  // Randomness 1 — number and shape of RAPs.
+  const auto n_raps = static_cast<std::int32_t>(
+      rng.uniformInt(config_.min_raps, config_.max_raps));
+  std::vector<AttributeCombination> raps;
+  raps.reserve(static_cast<std::size_t>(n_raps));
+  for (std::int32_t i = 0; i < n_raps; ++i) {
+    const auto dim = static_cast<std::int32_t>(
+        rng.uniformInt(config_.min_rap_dim, config_.max_rap_dim));
+    raps.push_back(drawRap(rng, dim, raps, active));
+  }
+
+  // Randomness 2 — per-leaf deviations and back-derived forecasts.
+  dataset::LeafTable table(schema_);
+  for (const auto leaf_index : active) {
+    const auto ac = dataset::leafFromIndex(schema_, leaf_index);
+    const double v = background_.sampleVolume(leaf_index, minute, rng);
+    if (v <= 0.0) continue;
+    const bool injected =
+        std::any_of(raps.begin(), raps.end(),
+                    [&ac](const AttributeCombination& rap) {
+                      return rap.matchesLeaf(ac);
+                    });
+    const double dev =
+        injected ? rng.uniform(config_.anomalous_dev_lo, config_.anomalous_dev_hi)
+                 : rng.uniform(config_.normal_dev_lo, config_.normal_dev_hi);
+    const double f = (v + dev * config_.eps) / (1.0 - dev);  // paper Eq. 5
+    bool verdict = injected;
+    if (config_.label_noise > 0.0 && rng.bernoulli(config_.label_noise)) {
+      verdict = !verdict;
+    }
+    table.addRow(ac, v, f, verdict);
+  }
+
+  Case out{std::to_string(index), std::move(table), std::move(raps)};
+  return out;
+}
+
+RapmdGenerator::MultiKpiCase RapmdGenerator::generateMultiKpiCase(
+    std::int32_t index) {
+  // Reuse the scalar case's traffic and RAPs, re-expressed as a
+  // success-ratio failure: requests stay at the healthy level, while
+  // successes under a RAP drop by that leaf's injected Dev.
+  Case base = generateCase(index);
+  constexpr double kHealthyRate = 0.99;
+
+  dataset::MultiKpiTable table(schema_, {"requests", "successes"});
+  for (const auto& row : base.table.rows()) {
+    // Recover the injected relative deviation from Eq. 4.
+    const double dev = (row.f - row.v) / (row.f + config_.eps);
+    dataset::MultiKpiRow out;
+    out.ac = row.ac;
+    const double requests = row.f;  // traffic unaffected by the failure
+    const double healthy_successes = requests * kHealthyRate;
+    const double successes = row.anomalous
+                                 ? healthy_successes * (1.0 - dev)
+                                 : healthy_successes;
+    out.v = {requests, successes};
+    out.f = {requests, healthy_successes};
+    table.addRow(std::move(out));
+  }
+  return MultiKpiCase{std::move(base.id), std::move(table),
+                      std::move(base.truth)};
+}
+
+std::vector<Case> RapmdGenerator::generate() {
+  std::vector<Case> cases;
+  cases.reserve(static_cast<std::size_t>(config_.num_cases));
+  for (std::int32_t i = 0; i < config_.num_cases; ++i) {
+    cases.push_back(generateCase(i));
+  }
+  RAP_LOG(Debug) << "RAPMD: generated " << cases.size() << " cases";
+  return cases;
+}
+
+}  // namespace rap::gen

@@ -1,0 +1,94 @@
+// RAPMD generator — the paper's semi-synthetic CDN dataset (§V-A),
+// reproduced from its published injection recipe:
+//
+//   * background: per-leaf traffic of the Table I CDN schema at randomly
+//     chosen timestamps (here: the synthetic CdnBackgroundModel);
+//   * Randomness 1: each case carries 1..3 RAPs; each RAP may live in any
+//     cuboid (dimension chosen independently per RAP), so different RAPs
+//     of one case may sit in different cuboids — unlike the Squeeze
+//     dataset's single-cuboid assumption;
+//   * Randomness 2: each anomalous leaf draws its own relative deviation
+//     Dev ~ U[0.1, 0.9]; every normal leaf draws Dev ~ U[-0.02, 0.09];
+//     the forecast is back-derived as f = (v + Dev*eps) / (1 - Dev)
+//     (paper Eq. 4/5), so deviations are NOT constant under one RAP and
+//     MAY coincide across different RAPs — breaking both of Squeeze's
+//     assumptions on purpose.
+//
+// Leaf verdicts are set from the injected deviation (the [0.1,0.9] vs
+// [-0.02,0.09] ranges are separable at threshold ~0.095, which is what the
+// pipeline's RelativeDeviationDetector recovers); optional label noise
+// flips a fraction of verdicts to emulate an imperfect detector.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dataset/kpi.h"
+#include "gen/background.h"
+#include "gen/case.h"
+
+namespace rap::gen {
+
+struct RapmdConfig {
+  std::int32_t num_cases = 105;    ///< paper: 105 injected failure timepoints
+  std::int32_t min_raps = 1;       ///< Randomness 1 lower bound
+  std::int32_t max_raps = 3;       ///< Randomness 1 upper bound
+  std::int32_t min_rap_dim = 1;    ///< smallest cuboid layer a RAP may use
+  std::int32_t max_rap_dim = 3;    ///< paper: "many 3-dimensional RAPs"
+  double anomalous_dev_lo = 0.1;   ///< Randomness 2
+  double anomalous_dev_hi = 0.9;
+  double normal_dev_lo = -0.02;
+  double normal_dev_hi = 0.09;
+  double eps = 1e-6;               ///< the paper's division guard
+  double label_noise = 0.0;        ///< fraction of leaf verdicts flipped
+  /// Minimum leaves a RAP must cover so that ground truth is meaningful
+  /// on a sparse table.
+  std::uint32_t min_rap_support = 3;
+  BackgroundConfig background;
+};
+
+class RapmdGenerator {
+ public:
+  /// `schema` defaults to Schema::cdn() in the callers; kept explicit so
+  /// tests can use small spaces.
+  RapmdGenerator(dataset::Schema schema, RapmdConfig config,
+                 std::uint64_t seed);
+
+  /// Generate all cases (deterministic for a fixed seed).
+  std::vector<Case> generate();
+
+  /// Generate only the i-th case (same content as generate()[i]).
+  Case generateCase(std::int32_t index);
+
+  /// Multi-KPI variant of a case: fundamental columns {requests,
+  /// successes} with the SAME injected RAPs expressed as a success-ratio
+  /// failure (traffic unchanged, successes drop by Dev) — the derived-
+  /// KPI scenario of the paper's §III-A.  Forecast columns carry the
+  /// healthy values.  Leaf verdicts are NOT set (detect on the derived
+  /// view via MultiKpiTable::derivedLeafTable + a detector).
+  struct MultiKpiCase {
+    std::string id;
+    dataset::MultiKpiTable table;
+    std::vector<dataset::AttributeCombination> truth;
+  };
+  MultiKpiCase generateMultiKpiCase(std::int32_t index);
+
+  const dataset::Schema& schema() const noexcept { return schema_; }
+
+ private:
+  /// Draw a RAP of dimension `dim` that covers >= min_rap_support active
+  /// leaves and is not in an ancestor/descendant/equality relation with
+  /// any already chosen RAP.  Overlap through different cuboids is
+  /// allowed, as in the paper's own example.
+  dataset::AttributeCombination drawRap(
+      util::Rng& rng, std::int32_t dim,
+      const std::vector<dataset::AttributeCombination>& existing,
+      const std::vector<std::uint64_t>& active_leaves);
+
+  dataset::Schema schema_;
+  RapmdConfig config_;
+  CdnBackgroundModel background_;
+  std::uint64_t seed_;
+};
+
+}  // namespace rap::gen

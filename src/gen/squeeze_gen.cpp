@@ -1,0 +1,164 @@
+#include "gen/squeeze_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dataset/cuboid.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace rap::gen {
+
+using dataset::AttributeCombination;
+using dataset::CuboidMask;
+using dataset::Schema;
+
+double squeezeNoiseSigma(std::int32_t level) noexcept {
+  // B0 is the *lowest* noise level of the published dataset, not a
+  // noise-free one: real forecasts always carry residual error.
+  switch (level) {
+    case 0:
+      return 0.04;
+    case 1:
+      return 0.08;
+    case 2:
+      return 0.12;
+    case 3:
+      return 0.16;
+    case 4:
+      return 0.20;
+    default:
+      return 0.04;
+  }
+}
+
+SqueezeGenerator::SqueezeGenerator(SqueezeGenConfig config, std::uint64_t seed)
+    : config_(std::move(config)),
+      schema_(Schema::synthetic(config_.cardinalities)),
+      background_(schema_, config_.background, seed),
+      seed_(seed) {
+  RAP_CHECK(config_.dev_lo > 0.0 && config_.dev_hi < 1.0 &&
+            config_.dev_lo < config_.dev_hi);
+}
+
+Case SqueezeGenerator::generateCase(std::int32_t n_dims, std::int32_t n_raps,
+                                    std::uint64_t case_seed,
+                                    const std::string& id) {
+  util::Rng rng(case_seed);
+  const std::int64_t minute =
+      rng.uniformInt(0, 35LL * config_.background.minutes_per_day - 1);
+
+  // Pick the single cuboid all RAPs of this case share.
+  const auto cuboids =
+      dataset::cuboidsAtLayer(dataset::allAttributesMask(schema_), n_dims);
+  RAP_CHECK(!cuboids.empty());
+  const CuboidMask mask = cuboids[static_cast<std::size_t>(
+      rng.uniformInt(0, static_cast<std::int64_t>(cuboids.size()) - 1))];
+  const auto attrs = dataset::cuboidAttributes(mask);
+
+  // Active leaves and their combinations.
+  std::vector<std::uint64_t> active;
+  for (std::uint64_t leaf = 0; leaf < background_.leafCount(); ++leaf) {
+    if (background_.isActive(leaf)) active.push_back(leaf);
+  }
+  RAP_CHECK(!active.empty());
+
+  // Draw distinct RAPs inside the cuboid, each with enough active support.
+  std::vector<AttributeCombination> raps;
+  for (std::int32_t attempt = 0;
+       attempt < 1024 && static_cast<std::int32_t>(raps.size()) < n_raps;
+       ++attempt) {
+    AttributeCombination rap(schema_.attributeCount());
+    for (const auto attr : attrs) {
+      rap.setSlot(attr, static_cast<dataset::ElemId>(
+                            rng.uniformInt(0, schema_.cardinality(attr) - 1)));
+    }
+    if (std::find(raps.begin(), raps.end(), rap) != raps.end()) continue;
+    std::uint32_t support = 0;
+    for (const auto leaf_index : active) {
+      if (rap.matchesLeaf(dataset::leafFromIndex(schema_, leaf_index))) {
+        ++support;
+        if (support >= config_.min_rap_support) break;
+      }
+    }
+    if (support >= config_.min_rap_support) raps.push_back(std::move(rap));
+  }
+  RAP_CHECK_MSG(static_cast<std::int32_t>(raps.size()) == n_raps,
+                "could not place " << n_raps << " RAPs in layer " << n_dims);
+
+  // Horizontal assumption: deviation magnitudes differ between the RAPs
+  // of the case (enforced minimum separation so clustering can tell them
+  // apart, as the published dataset does).
+  std::vector<double> devs;
+  while (static_cast<std::int32_t>(devs.size()) < n_raps) {
+    const double candidate = rng.uniform(config_.dev_lo, config_.dev_hi);
+    const bool distinct =
+        std::all_of(devs.begin(), devs.end(), [&](double d) {
+          return std::fabs(d - candidate) >= config_.dev_separation;
+        });
+    if (distinct) devs.push_back(candidate);
+  }
+
+  // Build the table: forecast = expected traffic, actual = forecast
+  // scaled down by the owning RAP's deviation (vertical assumption),
+  // plus the noise-level jitter on every leaf.
+  dataset::LeafTable table(schema_);
+  const double detect_threshold = config_.dev_lo / 2.0;
+  for (const auto leaf_index : active) {
+    const auto ac = dataset::leafFromIndex(schema_, leaf_index);
+    const double f = background_.expectedVolume(leaf_index, minute);
+    if (f <= 0.0) continue;
+    double v = f;
+    std::int32_t owner = -1;
+    for (std::size_t r = 0; r < raps.size(); ++r) {
+      if (raps[r].matchesLeaf(ac)) {
+        owner = static_cast<std::int32_t>(r);
+        break;
+      }
+    }
+    if (owner >= 0) {
+      v = f * (1.0 - devs[static_cast<std::size_t>(owner)]);
+    }
+    if (config_.noise_sigma > 0.0) {
+      v *= std::max(0.05, 1.0 + config_.noise_sigma * rng.gaussian());
+    }
+    // Leaf verdict: the relative deviation the pipeline's detector would
+    // recover at half the minimum injected magnitude.
+    const bool verdict = (f - v) / std::max(f, 1e-9) > detect_threshold;
+    table.addRow(ac, v, f, verdict);
+  }
+
+  return Case{id, std::move(table), std::move(raps)};
+}
+
+SqueezeGroup SqueezeGenerator::generateGroup(std::int32_t n_dims,
+                                             std::int32_t n_raps) {
+  RAP_CHECK(n_dims >= 1 && n_dims <= schema_.attributeCount());
+  RAP_CHECK(n_raps >= 1);
+  SqueezeGroup group;
+  group.n_dims = n_dims;
+  group.n_raps = n_raps;
+  group.cases.reserve(static_cast<std::size_t>(config_.cases_per_group));
+  for (std::int32_t i = 0; i < config_.cases_per_group; ++i) {
+    const std::uint64_t case_seed =
+        seed_ ^ (0xD1B54A32D192ED03ULL *
+                 static_cast<std::uint64_t>((n_dims * 100 + n_raps) * 1000 + i + 1));
+    group.cases.push_back(generateCase(
+        n_dims, n_raps, case_seed,
+        util::strFormat("(%d,%d)#%d", n_dims, n_raps, i)));
+  }
+  return group;
+}
+
+std::vector<SqueezeGroup> SqueezeGenerator::generateAllGroups() {
+  std::vector<SqueezeGroup> groups;
+  for (std::int32_t n = 1; n <= 3; ++n) {
+    for (std::int32_t m = 1; m <= 3; ++m) {
+      groups.push_back(generateGroup(n, m));
+    }
+  }
+  RAP_LOG(Debug) << "Squeeze-style dataset: " << groups.size() << " groups";
+  return groups;
+}
+
+}  // namespace rap::gen

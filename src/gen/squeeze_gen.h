@@ -1,0 +1,71 @@
+// Squeeze-style semi-synthetic dataset generator (the "published Squeeze
+// dataset" of the paper's §V-A, rebuilt from its documented assumptions;
+// see DESIGN.md for the substitution note).
+//
+// Cases are grouped by (n_dims, n_raps) exactly as the paper's Fig. 8(a)
+// axis labels "(1,1) ... (3,3)":
+//   * all RAPs of one case live in a single cuboid of layer n_dims
+//     (Squeeze/HotSpot single-cuboid assumption);
+//   * Vertical assumption — every descendant leaf of one RAP gets the
+//     SAME relative deviation;
+//   * Horizontal assumption — deviations differ across the RAPs of a
+//     case (and across cases), which is what Squeeze's deviation-score
+//     clustering exploits;
+//   * noise level Bk adds multiplicative Gaussian noise of increasing
+//     sigma to every leaf's actual value; B0 (used by the paper's
+//     comparison) is noise-free.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gen/background.h"
+#include "gen/case.h"
+
+namespace rap::gen {
+
+struct SqueezeGenConfig {
+  /// Attribute cardinalities of the synthetic schema.
+  std::vector<std::int32_t> cardinalities{10, 8, 12, 15};
+  std::int32_t cases_per_group = 30;
+  double dev_lo = 0.25;       ///< per-RAP deviation magnitude range
+  double dev_hi = 0.85;
+  double dev_separation = 0.08;  ///< min gap between two RAPs' deviations
+  double noise_sigma = 0.0;      ///< B0 = 0; B1..B4 raise this
+  /// Minimum leaves each RAP must cover.
+  std::uint32_t min_rap_support = 3;
+  BackgroundConfig background;
+};
+
+/// Noise sigma of the published dataset's level Bk (k in 0..4).
+double squeezeNoiseSigma(std::int32_t level) noexcept;
+
+struct SqueezeGroup {
+  std::int32_t n_dims = 1;  ///< cuboid layer of the RAPs
+  std::int32_t n_raps = 1;  ///< number of RAPs per case
+  std::vector<Case> cases;
+};
+
+class SqueezeGenerator {
+ public:
+  SqueezeGenerator(SqueezeGenConfig config, std::uint64_t seed);
+
+  const dataset::Schema& schema() const noexcept { return schema_; }
+
+  /// One group of cases for the given (n_dims, n_raps).
+  SqueezeGroup generateGroup(std::int32_t n_dims, std::int32_t n_raps);
+
+  /// The nine paper groups (n, m) for n, m in 1..3.
+  std::vector<SqueezeGroup> generateAllGroups();
+
+ private:
+  Case generateCase(std::int32_t n_dims, std::int32_t n_raps,
+                    std::uint64_t case_seed, const std::string& id);
+
+  SqueezeGenConfig config_;
+  dataset::Schema schema_;
+  CdnBackgroundModel background_;
+  std::uint64_t seed_;
+};
+
+}  // namespace rap::gen

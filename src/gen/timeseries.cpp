@@ -1,0 +1,87 @@
+#include "gen/timeseries.h"
+
+#include <algorithm>
+
+#include "dataset/cuboid.h"
+
+namespace rap::gen {
+
+using dataset::AttributeCombination;
+using dataset::CuboidMask;
+
+TimeSeriesGenerator::TimeSeriesGenerator(dataset::Schema schema,
+                                         TimeSeriesConfig config,
+                                         std::uint64_t seed)
+    : schema_(std::move(schema)),
+      config_(config),
+      background_(schema_, config.background, seed),
+      seed_(seed) {
+  RAP_CHECK(config_.history_days >= 1);
+  RAP_CHECK(config_.min_raps >= 1 && config_.min_raps <= config_.max_raps);
+  RAP_CHECK(config_.min_rap_dim >= 1 &&
+            config_.max_rap_dim <= schema_.attributeCount());
+  RAP_CHECK(config_.drop_lo > 0.0 && config_.drop_hi <= 1.0 &&
+            config_.drop_lo <= config_.drop_hi);
+}
+
+TimeSeriesCase TimeSeriesGenerator::generateCase(std::int32_t index) {
+  util::Rng rng(seed_ ^ (0xA24BAED4963EE407ULL *
+                         static_cast<std::uint64_t>(index + 1)));
+
+  const std::int64_t per_day = config_.background.minutes_per_day;
+  const std::int64_t history = config_.history_days * per_day;
+  // Failure lands somewhere in the day after the history window.
+  const std::int64_t failure_minute = history + rng.uniformInt(0, per_day - 1);
+
+  // Draw RAPs the way RapmdGenerator does: any cuboid per RAP, mutually
+  // non-related (overlap through different cuboids allowed).
+  const auto n_raps = static_cast<std::int32_t>(
+      rng.uniformInt(config_.min_raps, config_.max_raps));
+  std::vector<AttributeCombination> raps;
+  while (static_cast<std::int32_t>(raps.size()) < n_raps) {
+    const auto dim = static_cast<std::int32_t>(
+        rng.uniformInt(config_.min_rap_dim, config_.max_rap_dim));
+    const auto cuboids =
+        dataset::cuboidsAtLayer(dataset::allAttributesMask(schema_), dim);
+    const CuboidMask mask = cuboids[static_cast<std::size_t>(
+        rng.uniformInt(0, static_cast<std::int64_t>(cuboids.size()) - 1))];
+    AttributeCombination rap(schema_.attributeCount());
+    for (const auto attr : dataset::cuboidAttributes(mask)) {
+      rap.setSlot(attr, static_cast<dataset::ElemId>(
+                            rng.uniformInt(0, schema_.cardinality(attr) - 1)));
+    }
+    const bool related = std::any_of(
+        raps.begin(), raps.end(), [&rap](const AttributeCombination& other) {
+          return rap.covers(other) || other.covers(rap);
+        });
+    if (!related) raps.push_back(std::move(rap));
+  }
+
+  TimeSeriesCase out;
+  out.id = std::to_string(index);
+  out.truth = raps;
+  out.failure_minute = failure_minute;
+  for (std::uint64_t leaf = 0; leaf < background_.leafCount(); ++leaf) {
+    if (!background_.isActive(leaf)) continue;
+    forecast::LeafSeries s;
+    s.leaf = dataset::leafFromIndex(schema_, leaf);
+    s.history.reserve(static_cast<std::size_t>(history));
+    // History ends at the failure minute so its diurnal phase lines up
+    // with the observation the forecaster will be asked about.
+    for (std::int64_t t = failure_minute - history; t < failure_minute; ++t) {
+      s.history.push_back(background_.sampleVolume(leaf, t, rng));
+    }
+    s.current = background_.sampleVolume(leaf, failure_minute, rng);
+    const bool hit = std::any_of(
+        raps.begin(), raps.end(), [&s](const AttributeCombination& rap) {
+          return rap.matchesLeaf(s.leaf);
+        });
+    if (hit) {
+      s.current *= 1.0 - rng.uniform(config_.drop_lo, config_.drop_hi);
+    }
+    out.series.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace rap::gen

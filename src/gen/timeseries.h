@@ -1,0 +1,56 @@
+// Time-series RAPMD (the paper's §V-A collection shape): the background
+// KPIs span ~35 days at fixed granularity and failures are injected at
+// randomly chosen minutes.  Unlike RapmdGenerator — which emits the
+// alarmed snapshot with the forecast already attached via Eq. 5 — this
+// generator emits the RAW per-leaf history plus the failure minute, so
+// the full production loop (forecast -> detect -> localize) can be
+// exercised end-to-end with the rap::forecast pipeline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "forecast/pipeline.h"
+#include "gen/background.h"
+
+namespace rap::gen {
+
+struct TimeSeriesConfig {
+  std::int32_t history_days = 5;   ///< history before the failure minute
+  std::int32_t min_raps = 1;
+  std::int32_t max_raps = 3;
+  std::int32_t min_rap_dim = 1;
+  std::int32_t max_rap_dim = 3;
+  /// Traffic share lost by leaves under a RAP at the failure minute,
+  /// drawn uniformly per leaf (Randomness 2's spirit, applied to raw
+  /// traffic instead of Eq. 5 forecasts).
+  double drop_lo = 0.3;
+  double drop_hi = 0.9;
+  BackgroundConfig background;
+};
+
+struct TimeSeriesCase {
+  std::string id;
+  std::vector<forecast::LeafSeries> series;  ///< history + failure minute
+  std::vector<dataset::AttributeCombination> truth;
+  std::int64_t failure_minute = 0;
+};
+
+class TimeSeriesGenerator {
+ public:
+  TimeSeriesGenerator(dataset::Schema schema, TimeSeriesConfig config,
+                      std::uint64_t seed);
+
+  const dataset::Schema& schema() const noexcept { return schema_; }
+
+  /// Deterministic per index (independent of other calls).
+  TimeSeriesCase generateCase(std::int32_t index);
+
+ private:
+  dataset::Schema schema_;
+  TimeSeriesConfig config_;
+  CdnBackgroundModel background_;
+  std::uint64_t seed_;
+};
+
+}  // namespace rap::gen

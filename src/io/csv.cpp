@@ -1,0 +1,136 @@
+#include "io/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace rap::io {
+
+util::Result<std::vector<CsvRow>> parseCsv(const std::string& text) {
+  std::vector<CsvRow> rows;
+  CsvRow current;
+  std::string field;
+  bool in_quotes = false;
+  bool row_has_content = false;
+
+  auto endField = [&] {
+    current.push_back(std::move(field));
+    field.clear();
+  };
+  auto endRow = [&] {
+    endField();
+    rows.push_back(std::move(current));
+    current.clear();
+    row_has_content = false;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;  // escaped quote
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!field.empty()) {
+          return util::Status::invalidArgument(
+              "quote inside unquoted field near offset " + std::to_string(i));
+        }
+        in_quotes = true;
+        row_has_content = true;
+        break;
+      case ',':
+        endField();
+        row_has_content = true;
+        break;
+      case '\r':
+        break;  // swallow; LF handles the row break
+      case '\n':
+        if (row_has_content || !field.empty() || !current.empty()) {
+          endRow();
+        }
+        break;
+      default:
+        field += c;
+        row_has_content = true;
+        break;
+    }
+  }
+  if (in_quotes) {
+    return util::Status::invalidArgument("unterminated quoted field");
+  }
+  if (row_has_content || !field.empty() || !current.empty()) {
+    endRow();
+  }
+  return rows;
+}
+
+util::Result<std::vector<CsvRow>> readCsvFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return util::Status::notFound("cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parseCsv(buffer.str());
+}
+
+namespace {
+
+bool needsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string quoteField(const std::string& field) {
+  if (!needsQuoting(field)) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string writeCsv(const std::vector<CsvRow>& rows) {
+  std::string out;
+  for (const auto& row : rows) {
+    // A row of exactly one empty field would serialize as a blank line
+    // and be skipped on re-read; quote it so it round-trips.
+    if (row.size() == 1 && row[0].empty()) {
+      out += "\"\"\n";
+      continue;
+    }
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ',';
+      out += quoteField(row[i]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+util::Status writeCsvFile(const std::string& path,
+                          const std::vector<CsvRow>& rows) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return util::Status::notFound("cannot open '" + path + "' for writing");
+  }
+  out << writeCsv(rows);
+  if (!out) {
+    return util::Status::internal("write to '" + path + "' failed");
+  }
+  return util::Status::ok();
+}
+
+}  // namespace rap::io

@@ -1,0 +1,29 @@
+// Minimal RFC-4180-ish CSV reader/writer: quoted fields, embedded commas
+// and quotes, both LF and CRLF line endings.  No external dependencies —
+// the paper's datasets ship as plain CSV (one file per timestamp with
+// columns  attr1,...,attrN,real,predict).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rap::io {
+
+using CsvRow = std::vector<std::string>;
+
+/// Parse an entire CSV document from a string.
+util::Result<std::vector<CsvRow>> parseCsv(const std::string& text);
+
+/// Read and parse a CSV file.
+util::Result<std::vector<CsvRow>> readCsvFile(const std::string& path);
+
+/// Serialize rows, quoting any field containing comma / quote / newline.
+std::string writeCsv(const std::vector<CsvRow>& rows);
+
+/// Write rows to a file, overwriting it.
+util::Status writeCsvFile(const std::string& path,
+                          const std::vector<CsvRow>& rows);
+
+}  // namespace rap::io

@@ -1,0 +1,173 @@
+#include "io/dataset_io.h"
+
+#include "util/strings.h"
+
+namespace rap::io {
+
+using dataset::AttrId;
+using dataset::AttributeCombination;
+using dataset::LeafTable;
+using dataset::Schema;
+
+util::Status saveLeafTable(const LeafTable& table, const std::string& path) {
+  const Schema& schema = table.schema();
+  std::vector<CsvRow> rows;
+  rows.reserve(table.size() + 1);
+
+  CsvRow header;
+  for (AttrId a = 0; a < schema.attributeCount(); ++a) {
+    header.push_back(schema.attribute(a).name());
+  }
+  header.emplace_back("real");
+  header.emplace_back("predict");
+  header.emplace_back("label");
+  rows.push_back(std::move(header));
+
+  for (const auto& row : table.rows()) {
+    CsvRow out;
+    out.reserve(static_cast<std::size_t>(schema.attributeCount()) + 3);
+    for (AttrId a = 0; a < schema.attributeCount(); ++a) {
+      out.push_back(schema.attribute(a).elementName(row.ac.slot(a)));
+    }
+    out.push_back(util::strFormat("%.6g", row.v));
+    out.push_back(util::strFormat("%.6g", row.f));
+    out.push_back(row.anomalous ? "1" : "0");
+    rows.push_back(std::move(out));
+  }
+  return writeCsvFile(path, rows);
+}
+
+util::Result<LeafTable> loadLeafTable(const Schema& schema,
+                                      const std::string& path) {
+  auto parsed = readCsvFile(path);
+  if (!parsed) return parsed.status();
+  const auto& rows = parsed.value();
+  if (rows.empty()) {
+    return util::Status::invalidArgument("'" + path + "' is empty");
+  }
+
+  const auto n_attrs = static_cast<std::size_t>(schema.attributeCount());
+  const std::size_t min_cols = n_attrs + 2;  // + real + predict
+  LeafTable table(schema);
+
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    const CsvRow& row = rows[r];
+    if (row.size() < min_cols) {
+      return util::Status::invalidArgument(
+          util::strFormat("%s:%zu: expected >= %zu columns, got %zu",
+                          path.c_str(), r + 1, min_cols, row.size()));
+    }
+    std::vector<dataset::ElemId> slots(n_attrs, dataset::kWildcard);
+    for (std::size_t a = 0; a < n_attrs; ++a) {
+      auto elem = schema.attribute(static_cast<AttrId>(a)).elementId(row[a]);
+      if (!elem) {
+        return util::Status::invalidArgument(
+            util::strFormat("%s:%zu: %s", path.c_str(), r + 1,
+                            elem.status().message().c_str()));
+      }
+      slots[a] = elem.value();
+    }
+    auto v = util::parseDouble(row[n_attrs]);
+    if (!v) return v.status();
+    auto f = util::parseDouble(row[n_attrs + 1]);
+    if (!f) return f.status();
+    bool anomalous = false;
+    if (row.size() > min_cols) {
+      anomalous = util::trim(row[n_attrs + 2]) == "1";
+    }
+    table.addRow(AttributeCombination(std::move(slots)), v.value(), f.value(),
+                 anomalous);
+  }
+  return table;
+}
+
+util::Status saveSchema(const Schema& schema, const std::string& path) {
+  std::vector<CsvRow> rows;
+  for (AttrId a = 0; a < schema.attributeCount(); ++a) {
+    const auto& attr = schema.attribute(a);
+    CsvRow row{attr.name()};
+    for (dataset::ElemId e = 0; e < attr.cardinality(); ++e) {
+      row.push_back(attr.elementName(e));
+    }
+    rows.push_back(std::move(row));
+  }
+  return writeCsvFile(path, rows);
+}
+
+util::Result<Schema> loadSchema(const std::string& path) {
+  auto parsed = readCsvFile(path);
+  if (!parsed) return parsed.status();
+  std::vector<dataset::Attribute> attrs;
+  for (const auto& row : parsed.value()) {
+    if (row.size() < 2) {
+      return util::Status::invalidArgument(
+          "schema row needs a name and at least one element in '" + path + "'");
+    }
+    attrs.emplace_back(row[0],
+                       std::vector<std::string>(row.begin() + 1, row.end()));
+  }
+  if (attrs.empty()) {
+    return util::Status::invalidArgument("schema file '" + path + "' is empty");
+  }
+  return Schema(std::move(attrs));
+}
+
+util::Status saveGroundTruth(const Schema& schema,
+                             const std::vector<GroundTruthEntry>& entries,
+                             const std::string& path) {
+  std::vector<CsvRow> rows;
+  rows.push_back({"case_id", "raps"});
+  for (const auto& entry : entries) {
+    std::vector<std::string> raps;
+    raps.reserve(entry.raps.size());
+    for (const auto& ac : entry.raps) raps.push_back(ac.toString(schema));
+    rows.push_back({entry.case_id, util::join(raps, ";")});
+  }
+  return writeCsvFile(path, rows);
+}
+
+util::Result<LoadedDataset> loadDatasetDirectory(const std::string& dir) {
+  auto schema = loadSchema(dir + "/schema.csv");
+  if (!schema) return schema.status();
+
+  auto truth = loadGroundTruth(schema.value(), dir + "/injection_info.csv");
+  if (!truth) return truth.status();
+
+  LoadedDataset out{std::move(schema.value()), {}};
+  out.cases.reserve(truth->size());
+  for (auto& entry : truth.value()) {
+    auto table = loadLeafTable(out.schema, dir + "/" + entry.case_id + ".csv");
+    if (!table) return table.status();
+    out.cases.push_back(gen::Case{std::move(entry.case_id),
+                                  std::move(table.value()),
+                                  std::move(entry.raps)});
+  }
+  return out;
+}
+
+util::Result<std::vector<GroundTruthEntry>> loadGroundTruth(
+    const Schema& schema, const std::string& path) {
+  auto parsed = readCsvFile(path);
+  if (!parsed) return parsed.status();
+  const auto& rows = parsed.value();
+  std::vector<GroundTruthEntry> entries;
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    const CsvRow& row = rows[r];
+    if (row.size() < 2) {
+      return util::Status::invalidArgument(
+          util::strFormat("%s:%zu: expected case_id,raps", path.c_str(), r + 1));
+    }
+    GroundTruthEntry entry;
+    entry.case_id = row[0];
+    for (const auto& text : util::split(row[1], ';')) {
+      if (util::trim(text).empty()) continue;
+      auto ac = AttributeCombination::parse(schema, text);
+      if (!ac) return ac.status();
+      entry.raps.push_back(std::move(ac.value()));
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+}  // namespace rap::io

@@ -1,0 +1,59 @@
+// Dataset (de)serialization in the layout the Squeeze repository uses:
+//
+//   <timestamp>.csv        attr1,...,attrN,real,predict   (one leaf per row)
+//   injection_info.csv     timestamp,set(ground-truth RAPs ';'-separated)
+//
+// plus a schema sidecar of our own (attribute name -> elements) so a
+// table round-trips without external knowledge.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataset/leaf_table.h"
+#include "gen/case.h"
+#include "io/csv.h"
+
+namespace rap::io {
+
+/// Writes one leaf table: header "attr...,real,predict,label" then rows.
+/// The label column carries the detection verdict (0/1) so a saved table
+/// can be re-localized without re-running detection.
+util::Status saveLeafTable(const dataset::LeafTable& table,
+                           const std::string& path);
+
+/// Reads a leaf table against a known schema.  Accepts files with or
+/// without the trailing label column (absent -> all rows normal).
+util::Result<dataset::LeafTable> loadLeafTable(const dataset::Schema& schema,
+                                               const std::string& path);
+
+/// Schema sidecar: one row per attribute, "name,elem1,elem2,...".
+util::Status saveSchema(const dataset::Schema& schema, const std::string& path);
+util::Result<dataset::Schema> loadSchema(const std::string& path);
+
+/// Ground truth: one row per case, "case_id,rap1;rap2;...", each RAP in
+/// the textual form AttributeCombination::toString produces.
+struct GroundTruthEntry {
+  std::string case_id;
+  std::vector<dataset::AttributeCombination> raps;
+};
+
+util::Status saveGroundTruth(const dataset::Schema& schema,
+                             const std::vector<GroundTruthEntry>& entries,
+                             const std::string& path);
+util::Result<std::vector<GroundTruthEntry>> loadGroundTruth(
+    const dataset::Schema& schema, const std::string& path);
+
+/// A materialized dataset directory (the layout `generate_dataset`
+/// writes and the Squeeze repository uses):
+///   schema.csv            attribute dictionaries
+///   injection_info.csv    case_id -> ground-truth RAPs
+///   <case_id>.csv         one leaf table per case
+struct LoadedDataset {
+  dataset::Schema schema;
+  std::vector<gen::Case> cases;  ///< ordered as in injection_info.csv
+};
+
+util::Result<LoadedDataset> loadDatasetDirectory(const std::string& dir);
+
+}  // namespace rap::io

@@ -1,0 +1,283 @@
+#include "mining/fpgrowth.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <unordered_map>
+
+#include "util/status.h"
+
+namespace rap::mining {
+namespace {
+
+struct Node {
+  Item item = -1;
+  std::uint64_t count = 0;
+  Node* parent = nullptr;
+  Node* next_same_item = nullptr;  ///< header-table chain
+  std::unordered_map<Item, Node*> children;
+};
+
+/// FP-tree over (transaction, weight) pairs.  Nodes live in a deque so
+/// pointers stay stable as the tree grows.
+class FpTree {
+ public:
+  explicit FpTree(std::uint64_t min_support) : min_support_(min_support) {
+    root_ = &newNode(-1, nullptr);
+  }
+
+  /// Frequency-count pass + insertion pass.
+  void build(const std::vector<std::pair<Transaction, std::uint64_t>>& rows) {
+    std::unordered_map<Item, std::uint64_t> freq;
+    Transaction deduped;
+    for (const auto& [txn, weight] : rows) {
+      deduped = txn;
+      std::sort(deduped.begin(), deduped.end());
+      deduped.erase(std::unique(deduped.begin(), deduped.end()),
+                    deduped.end());
+      for (const Item item : deduped) freq[item] += weight;
+    }
+    // Frequent items, ordered by (count desc, item asc) for determinism.
+    std::vector<std::pair<Item, std::uint64_t>> frequent;
+    for (const auto& [item, count] : freq) {
+      if (count >= min_support_) frequent.emplace_back(item, count);
+    }
+    std::sort(frequent.begin(), frequent.end(),
+              [](const auto& a, const auto& b) {
+                return a.second != b.second ? a.second > b.second
+                                            : a.first < b.first;
+              });
+    for (std::size_t rank = 0; rank < frequent.size(); ++rank) {
+      rank_[frequent[rank].first] = rank;
+      item_support_[frequent[rank].first] = frequent[rank].second;
+    }
+
+    Transaction filtered;
+    for (const auto& [txn, weight] : rows) {
+      filtered.clear();
+      for (const Item item : txn) {
+        if (rank_.contains(item)) filtered.push_back(item);
+      }
+      std::sort(filtered.begin(), filtered.end(),
+                [this](Item a, Item b) { return rank_.at(a) < rank_.at(b); });
+      filtered.erase(std::unique(filtered.begin(), filtered.end()),
+                     filtered.end());
+      insert(filtered, weight);
+    }
+  }
+
+  bool empty() const noexcept { return rank_.empty(); }
+
+  /// Items present in the tree, least-frequent first (the growth order).
+  std::vector<Item> itemsLeastFrequentFirst() const {
+    std::vector<Item> items;
+    items.reserve(rank_.size());
+    for (const auto& [item, rank] : rank_) items.push_back(item);
+    std::sort(items.begin(), items.end(), [this](Item a, Item b) {
+      return rank_.at(a) > rank_.at(b);
+    });
+    return items;
+  }
+
+  std::uint64_t supportOf(Item item) const {
+    auto it = item_support_.find(item);
+    return it == item_support_.end() ? 0 : it->second;
+  }
+
+  /// Conditional pattern base of `item`: prefix paths with the item's
+  /// node counts as weights.
+  std::vector<std::pair<Transaction, std::uint64_t>> conditionalPatternBase(
+      Item item) const {
+    std::vector<std::pair<Transaction, std::uint64_t>> base;
+    auto it = header_.find(item);
+    if (it == header_.end()) return base;
+    for (const Node* node = it->second; node != nullptr;
+         node = node->next_same_item) {
+      Transaction path;
+      for (const Node* up = node->parent; up != nullptr && up->item >= 0;
+           up = up->parent) {
+        path.push_back(up->item);
+      }
+      if (!path.empty()) {
+        std::reverse(path.begin(), path.end());
+        base.emplace_back(std::move(path), node->count);
+      }
+    }
+    return base;
+  }
+
+  /// True when the tree is a single path (enables the combination
+  /// shortcut of the original algorithm); unused in this implementation
+  /// but kept for the tests that assert structure.
+  bool singlePath() const {
+    const Node* node = root_;
+    while (!node->children.empty()) {
+      if (node->children.size() > 1) return false;
+      node = node->children.begin()->second;
+    }
+    return true;
+  }
+
+ private:
+  Node& newNode(Item item, Node* parent) {
+    nodes_.emplace_back();
+    Node& n = nodes_.back();
+    n.item = item;
+    n.parent = parent;
+    return n;
+  }
+
+  void insert(const Transaction& txn, std::uint64_t weight) {
+    Node* node = root_;
+    for (const Item item : txn) {
+      auto child = node->children.find(item);
+      if (child == node->children.end()) {
+        Node& fresh = newNode(item, node);
+        fresh.next_same_item = header_[item];
+        header_[item] = &fresh;
+        node->children.emplace(item, &fresh);
+        node = &fresh;
+      } else {
+        node = child->second;
+      }
+      node->count += weight;
+    }
+  }
+
+  std::uint64_t min_support_;
+  std::deque<Node> nodes_;
+  Node* root_;
+  std::unordered_map<Item, Node*> header_;
+  std::map<Item, std::size_t> rank_;  // ordered map -> deterministic output
+  std::unordered_map<Item, std::uint64_t> item_support_;
+};
+
+void growRecursive(const FpTree& tree, const std::vector<Item>& suffix,
+                   const FpGrowthOptions& options,
+                   std::vector<FrequentItemset>& out) {
+  for (const Item item : tree.itemsLeastFrequentFirst()) {
+    if (options.max_itemsets != 0 && out.size() >= options.max_itemsets) return;
+
+    std::vector<Item> itemset = suffix;
+    itemset.push_back(item);
+    std::sort(itemset.begin(), itemset.end());
+    out.push_back(FrequentItemset{itemset, tree.supportOf(item)});
+
+    if (options.max_itemset_size != 0 &&
+        static_cast<std::int32_t>(itemset.size()) >=
+            options.max_itemset_size) {
+      continue;
+    }
+    FpTree conditional(options.min_support);
+    conditional.build(tree.conditionalPatternBase(item));
+    if (!conditional.empty()) {
+      growRecursive(conditional, itemset, options, out);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<FrequentItemset> mineFrequentItemsets(
+    const std::vector<Transaction>& transactions,
+    const FpGrowthOptions& options) {
+  RAP_CHECK(options.min_support >= 1);
+  std::vector<std::pair<Transaction, std::uint64_t>> rows;
+  rows.reserve(transactions.size());
+  for (const auto& txn : transactions) rows.emplace_back(txn, 1);
+
+  FpTree tree(options.min_support);
+  tree.build(rows);
+
+  std::vector<FrequentItemset> out;
+  growRecursive(tree, {}, options, out);
+  std::sort(out.begin(), out.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              return a.items < b.items;
+            });
+  return out;
+}
+
+std::vector<FrequentItemset> mineFrequentItemsetsApriori(
+    const std::vector<Transaction>& transactions,
+    const FpGrowthOptions& options) {
+  RAP_CHECK(options.min_support >= 1);
+  // Level-wise candidate generation over the (deduplicated, sorted)
+  // transactions.  Exponential — test-only, as advertised in the header.
+  std::vector<Transaction> txns;
+  txns.reserve(transactions.size());
+  for (const auto& t : transactions) {
+    Transaction copy = t;
+    std::sort(copy.begin(), copy.end());
+    copy.erase(std::unique(copy.begin(), copy.end()), copy.end());
+    txns.push_back(std::move(copy));
+  }
+
+  auto supportOf = [&txns](const std::vector<Item>& itemset) {
+    std::uint64_t support = 0;
+    for (const auto& txn : txns) {
+      if (std::includes(txn.begin(), txn.end(), itemset.begin(),
+                        itemset.end())) {
+        ++support;
+      }
+    }
+    return support;
+  };
+
+  // Frequent 1-itemsets.
+  std::map<Item, std::uint64_t> freq;
+  for (const auto& txn : txns) {
+    for (const Item item : txn) freq[item] += 1;
+  }
+  std::vector<FrequentItemset> out;
+  std::vector<std::vector<Item>> level;
+  for (const auto& [item, count] : freq) {
+    if (count >= options.min_support) {
+      out.push_back(FrequentItemset{{item}, count});
+      level.push_back({item});
+    }
+  }
+
+  while (!level.empty()) {
+    if (options.max_itemset_size != 0 &&
+        static_cast<std::int32_t>(level.front().size()) >=
+            options.max_itemset_size) {
+      break;
+    }
+    std::vector<std::vector<Item>> next;
+    for (std::size_t i = 0; i < level.size(); ++i) {
+      for (std::size_t j = i + 1; j < level.size(); ++j) {
+        // Join itemsets sharing all but the last item.
+        const auto& a = level[i];
+        const auto& b = level[j];
+        if (!std::equal(a.begin(), a.end() - 1, b.begin(), b.end() - 1)) {
+          continue;
+        }
+        std::vector<Item> candidate = a;
+        candidate.push_back(b.back());
+        std::sort(candidate.begin(), candidate.end());
+        const std::uint64_t support = supportOf(candidate);
+        if (support >= options.min_support) {
+          out.push_back(FrequentItemset{candidate, support});
+          next.push_back(std::move(candidate));
+        }
+      }
+    }
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    level = std::move(next);
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              return a.items < b.items;
+            });
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const FrequentItemset& a, const FrequentItemset& b) {
+                          return a.items == b.items;
+                        }),
+            out.end());
+  return out;
+}
+
+}  // namespace rap::mining

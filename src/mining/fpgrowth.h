@@ -1,0 +1,44 @@
+// FP-growth frequent-itemset mining (Han, Pei & Yin, SIGMOD'00) — the
+// substrate behind the association-rule baseline of the paper's §V-C.3.
+//
+// Items are opaque non-negative integers; a transaction is an item set.
+// The miner builds the classic FP-tree (items reordered by descending
+// global frequency, shared-prefix paths with counts, header-table node
+// links) and grows frequent itemsets from per-item conditional trees.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rap::mining {
+
+using Item = std::int32_t;
+using Transaction = std::vector<Item>;
+
+struct FrequentItemset {
+  std::vector<Item> items;  ///< sorted ascending
+  std::uint64_t support = 0;
+};
+
+struct FpGrowthOptions {
+  std::uint64_t min_support = 1;  ///< absolute transaction count
+  /// 0 = unlimited; otherwise stop growing itemsets beyond this length.
+  std::int32_t max_itemset_size = 0;
+  /// Safety valve for pathological inputs; 0 = unlimited.
+  std::uint64_t max_itemsets = 0;
+};
+
+/// Mines all itemsets with support >= options.min_support.  Duplicate
+/// items inside one transaction are collapsed.  Deterministic output
+/// order (sorted by itemset).
+std::vector<FrequentItemset> mineFrequentItemsets(
+    const std::vector<Transaction>& transactions,
+    const FpGrowthOptions& options);
+
+/// Reference implementation (exponential; only for cross-checking the
+/// FP-tree in tests on small inputs).
+std::vector<FrequentItemset> mineFrequentItemsetsApriori(
+    const std::vector<Transaction>& transactions,
+    const FpGrowthOptions& options);
+
+}  // namespace rap::mining

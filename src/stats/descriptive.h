@@ -1,0 +1,33 @@
+// Descriptive statistics helpers shared by the generators (to calibrate
+// background traffic), the detectors (n-sigma residuals) and the report
+// tables.
+#pragma once
+
+#include <vector>
+
+namespace rap::stats {
+
+double mean(const std::vector<double>& xs) noexcept;
+/// Unbiased sample variance; 0 for fewer than two samples.
+double variance(const std::vector<double>& xs) noexcept;
+double stddev(const std::vector<double>& xs) noexcept;
+/// Linear-interpolated quantile, q in [0,1]; 0 for an empty vector.
+double quantile(std::vector<double> xs, double q) noexcept;
+double median(std::vector<double> xs) noexcept;
+
+/// Online mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ == 0 ? 0.0 : mean_; }
+  double variance() const noexcept;
+  double stddev() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace rap::stats

@@ -1,0 +1,53 @@
+#include "stats/divergence.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace rap::stats {
+
+double klTerm(double p, double q) noexcept {
+  if (p <= 0.0) return 0.0;
+  if (q <= 0.0) return p * std::log(p / 1e-300);
+  return p * std::log(p / q);
+}
+
+double jsDivergence(const std::vector<double>& p,
+                    const std::vector<double>& q) noexcept {
+  RAP_CHECK(p.size() == q.size());
+  // Clamp and renormalize defensively.
+  auto normalized = [](const std::vector<double>& in) {
+    std::vector<double> out(in.size());
+    double sum = 0.0;
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      out[i] = std::max(0.0, in[i]);
+      sum += out[i];
+    }
+    if (sum > 0.0) {
+      for (double& x : out) x /= sum;
+    }
+    return out;
+  };
+  const std::vector<double> pn = normalized(p);
+  const std::vector<double> qn = normalized(q);
+  double d = 0.0;
+  for (std::size_t i = 0; i < pn.size(); ++i) {
+    const double m = 0.5 * (pn[i] + qn[i]);
+    d += 0.5 * klTerm(pn[i], m) + 0.5 * klTerm(qn[i], m);
+  }
+  return d;
+}
+
+double surprise(double p, double q) noexcept {
+  const double pp = std::max(0.0, p);
+  const double qq = std::max(0.0, q);
+  const double m = pp + qq;
+  if (m <= 0.0) return 0.0;
+  double s = 0.0;
+  if (pp > 0.0) s += 0.5 * pp * std::log(2.0 * pp / m);
+  if (qq > 0.0) s += 0.5 * qq * std::log(2.0 * qq / m);
+  return s;
+}
+
+}  // namespace rap::stats

@@ -1,0 +1,25 @@
+// Divergence measures.  Adtributor's "surprise" is the Jensen–Shannon
+// divergence between the forecast and actual probability of one attribute
+// element (NSDI'14 §3.2), evaluated on the 2-point distribution
+// {element, rest}.
+#pragma once
+
+#include <vector>
+
+namespace rap::stats {
+
+/// KL divergence sum term p*ln(p/q); 0 when p == 0.
+double klTerm(double p, double q) noexcept;
+
+/// Jensen–Shannon divergence between discrete distributions p and q
+/// (same arity; entries are clamped at 0 and renormalized).  Symmetric,
+/// bounded by ln 2.
+double jsDivergence(const std::vector<double>& p,
+                    const std::vector<double>& q) noexcept;
+
+/// Adtributor's per-element surprise: JS divergence of the scalar pair
+/// (p, 1-p) vs (q, 1-q) reduced to the 0.5*(p ln 2p/(p+q) + q ln 2q/(p+q))
+/// form of the paper — the contribution of this single element.
+double surprise(double p, double q) noexcept;
+
+}  // namespace rap::stats

@@ -1,0 +1,58 @@
+#include "stats/entropy.h"
+
+#include <cmath>
+
+namespace rap::stats {
+
+double binaryEntropy(double p) noexcept {
+  if (p <= 0.0 || p >= 1.0) return 0.0;
+  return -(p * std::log(p) + (1.0 - p) * std::log(1.0 - p));
+}
+
+double entropyFromCounts(const std::vector<std::uint64_t>& counts) noexcept {
+  std::uint64_t total = 0;
+  for (const auto c : counts) total += c;
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (const auto c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+double datasetInfo(std::uint64_t positives, std::uint64_t total) noexcept {
+  if (total == 0) return 0.0;
+  return binaryEntropy(static_cast<double>(positives) /
+                       static_cast<double>(total));
+}
+
+double splitInfo(const std::vector<BranchCounts>& branches) noexcept {
+  std::uint64_t total = 0;
+  for (const auto& b : branches) total += b.total;
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (const auto& b : branches) {
+    if (b.total == 0) continue;
+    const double weight =
+        static_cast<double>(b.total) / static_cast<double>(total);
+    const double p =
+        static_cast<double>(b.positives) / static_cast<double>(b.total);
+    h += weight * binaryEntropy(p);
+  }
+  return h;
+}
+
+double classificationPower(
+    std::uint64_t positives, std::uint64_t total,
+    const std::vector<BranchCounts>& branches) noexcept {
+  const double info = datasetInfo(positives, total);
+  if (info <= 0.0) return 0.0;
+  const double split = splitInfo(branches);
+  const double cp = (info - split) / info;
+  // Guard tiny negative values from floating-point cancellation.
+  return cp < 0.0 ? 0.0 : cp;
+}
+
+}  // namespace rap::stats

@@ -1,0 +1,38 @@
+// Shannon entropy and information gain (paper Eq. 1, following Quinlan's
+// decision-tree attribute selection).  All logarithms are natural; the
+// Classification Power is a ratio of entropies so the base cancels.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rap::stats {
+
+/// Entropy of a Bernoulli(p) label: -(p ln p + (1-p) ln(1-p)); 0 at the
+/// endpoints by continuity.
+double binaryEntropy(double p) noexcept;
+
+/// Entropy of a discrete distribution given raw non-negative counts.
+double entropyFromCounts(const std::vector<std::uint64_t>& counts) noexcept;
+
+/// Counts for one branch of an attribute split.
+struct BranchCounts {
+  std::uint64_t positives = 0;  ///< anomalous leaves in the branch
+  std::uint64_t total = 0;      ///< all leaves in the branch
+};
+
+/// Info(D): entropy of the anomalous/normal label over the whole dataset
+/// (Eq. 1b), given total positives and total size.
+double datasetInfo(std::uint64_t positives, std::uint64_t total) noexcept;
+
+/// Info_attr(D): size-weighted entropy after splitting by an attribute
+/// (Eq. 1c).
+double splitInfo(const std::vector<BranchCounts>& branches) noexcept;
+
+/// Classification Power (Eq. 1a): (Info(D) - Info_attr(D)) / Info(D).
+/// Returns 0 when Info(D) == 0 (no anomalies or all anomalous — no label
+/// uncertainty left for any attribute to explain).
+double classificationPower(std::uint64_t positives, std::uint64_t total,
+                           const std::vector<BranchCounts>& branches) noexcept;
+
+}  // namespace rap::stats

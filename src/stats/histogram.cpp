@@ -1,0 +1,149 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace rap::stats {
+
+Histogram::Histogram(double lo, double hi, std::int32_t bins)
+    : lo_(lo), hi_(hi) {
+  RAP_CHECK_MSG(bins >= 1, "need at least one bin");
+  RAP_CHECK_MSG(hi > lo, "empty histogram range");
+  counts_.assign(static_cast<std::size_t>(bins), 0);
+  width_ = (hi - lo) / static_cast<double>(bins);
+}
+
+void Histogram::add(double value) noexcept {
+  counts_[static_cast<std::size_t>(binOf(value))] += 1;
+  total_ += 1;
+}
+
+void Histogram::addAll(const std::vector<double>& values) noexcept {
+  for (const double v : values) add(v);
+}
+
+std::uint64_t Histogram::count(std::int32_t bin) const {
+  RAP_CHECK(bin >= 0 && bin < binCount());
+  return counts_[static_cast<std::size_t>(bin)];
+}
+
+std::int32_t Histogram::binOf(double value) const noexcept {
+  const auto raw = static_cast<std::int64_t>(
+      std::floor((value - lo_) / width_));
+  const std::int64_t clamped =
+      std::clamp<std::int64_t>(raw, 0, binCount() - 1);
+  return static_cast<std::int32_t>(clamped);
+}
+
+double Histogram::binCenter(std::int32_t bin) const {
+  RAP_CHECK(bin >= 0 && bin < binCount());
+  return lo_ + (static_cast<double>(bin) + 0.5) * width_;
+}
+
+std::vector<double> Histogram::smoothedCounts(std::int32_t radius) const {
+  RAP_CHECK(radius >= 0);
+  std::vector<double> out(counts_.size(), 0.0);
+  const auto n = static_cast<std::int32_t>(counts_.size());
+  for (std::int32_t i = 0; i < n; ++i) {
+    const std::int32_t lo = std::max(0, i - radius);
+    const std::int32_t hi = std::min(n - 1, i + radius);
+    double sum = 0.0;
+    for (std::int32_t j = lo; j <= hi; ++j) {
+      sum += static_cast<double>(counts_[static_cast<std::size_t>(j)]);
+    }
+    out[static_cast<std::size_t>(i)] = sum / static_cast<double>(hi - lo + 1);
+  }
+  return out;
+}
+
+std::vector<DensityCluster> densityClusters(const Histogram& hist,
+                                            std::int32_t smooth_radius,
+                                            double valley_ratio) {
+  const std::vector<double> density = hist.smoothedCounts(smooth_radius);
+  const std::int32_t n = hist.binCount();
+
+  // Mark cut points: bins that are empty in the raw histogram, or strict
+  // local minima of the smoothed density sufficiently below both
+  // neighbouring peaks.
+  std::vector<bool> is_cut(static_cast<std::size_t>(n), false);
+  for (std::int32_t i = 0; i < n; ++i) {
+    if (hist.count(i) == 0) {
+      is_cut[static_cast<std::size_t>(i)] = true;
+    }
+  }
+  for (std::int32_t i = 1; i + 1 < n; ++i) {
+    const double here = density[static_cast<std::size_t>(i)];
+    // Find the peak to the left and to the right.
+    double left_peak = 0.0;
+    for (std::int32_t j = i - 1; j >= 0; --j) {
+      left_peak = std::max(left_peak, density[static_cast<std::size_t>(j)]);
+    }
+    double right_peak = 0.0;
+    for (std::int32_t j = i + 1; j < n; ++j) {
+      right_peak = std::max(right_peak, density[static_cast<std::size_t>(j)]);
+    }
+    const double smaller_peak = std::min(left_peak, right_peak);
+    if (smaller_peak > 0.0 && here < valley_ratio * smaller_peak &&
+        here <= density[static_cast<std::size_t>(i - 1)] &&
+        here <= density[static_cast<std::size_t>(i + 1)]) {
+      is_cut[static_cast<std::size_t>(i)] = true;
+    }
+  }
+
+  // Collect maximal runs of non-cut bins carrying at least one sample.
+  std::vector<DensityCluster> clusters;
+  std::int32_t run_start = -1;
+  for (std::int32_t i = 0; i <= n; ++i) {
+    const bool in_run =
+        i < n && !is_cut[static_cast<std::size_t>(i)] && hist.count(i) > 0;
+    if (in_run && run_start < 0) run_start = i;
+    if (!in_run && run_start >= 0) {
+      DensityCluster c;
+      c.lo = hist.binCenter(run_start) - hist.binWidth() / 2.0;
+      c.hi = hist.binCenter(i - 1) + hist.binWidth() / 2.0;
+      for (std::int32_t j = run_start; j < i; ++j) c.weight += hist.count(j);
+      clusters.push_back(c);
+      run_start = -1;
+    }
+  }
+  // Isolated non-empty cut bins (empty bins never carry weight) still hold
+  // samples; attach each as its own cluster so no sample is lost.
+  for (std::int32_t i = 0; i < n; ++i) {
+    if (is_cut[static_cast<std::size_t>(i)] && hist.count(i) > 0) {
+      DensityCluster c;
+      c.lo = hist.binCenter(i) - hist.binWidth() / 2.0;
+      c.hi = hist.binCenter(i) + hist.binWidth() / 2.0;
+      c.weight = hist.count(i);
+      clusters.push_back(c);
+    }
+  }
+  std::sort(clusters.begin(), clusters.end(),
+            [](const DensityCluster& a, const DensityCluster& b) {
+              return a.lo < b.lo;
+            });
+  return clusters;
+}
+
+std::vector<std::int32_t> assignToClusters(
+    const std::vector<double>& values,
+    const std::vector<DensityCluster>& clusters) noexcept {
+  std::vector<std::int32_t> out(values.size(), -1);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    for (std::size_t c = 0; c < clusters.size(); ++c) {
+      // Tolerance absorbs the rounding of bin-edge arithmetic, so a value
+      // sitting exactly on a cluster boundary is never orphaned.
+      const double eps =
+          1e-9 * std::max(1.0, std::fabs(clusters[c].hi - clusters[c].lo));
+      if (values[i] >= clusters[c].lo - eps &&
+          values[i] <= clusters[c].hi + eps) {
+        out[i] = static_cast<std::int32_t>(c);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace rap::stats

@@ -1,0 +1,63 @@
+// 1-D histogram plus the density-based clustering the Squeeze baseline
+// uses to group leaves by deviation score (ISSRE'19 §IV-B): build a
+// histogram of the scores, smooth it, and cut clusters at density valleys.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rap::stats {
+
+class Histogram {
+ public:
+  /// Equal-width bins spanning [lo, hi]; values outside are clamped to the
+  /// boundary bins.  bins >= 1.
+  Histogram(double lo, double hi, std::int32_t bins);
+
+  void add(double value) noexcept;
+  void addAll(const std::vector<double>& values) noexcept;
+
+  std::int32_t binCount() const noexcept {
+    return static_cast<std::int32_t>(counts_.size());
+  }
+  std::uint64_t count(std::int32_t bin) const;
+  std::uint64_t totalCount() const noexcept { return total_; }
+
+  std::int32_t binOf(double value) const noexcept;
+  double binCenter(std::int32_t bin) const;
+  double binWidth() const noexcept { return width_; }
+
+  /// Moving-average smoothed counts (window = 2*radius + 1, edge-truncated).
+  std::vector<double> smoothedCounts(std::int32_t radius) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// A density cluster over the histogram's value axis.
+struct DensityCluster {
+  double lo = 0.0;  ///< inclusive lower value bound
+  double hi = 0.0;  ///< inclusive upper value bound
+  std::uint64_t weight = 0;  ///< samples inside
+};
+
+/// Splits the histogram at valleys of the smoothed density: a boundary is
+/// placed at any bin whose smoothed count is a strict local minimum and
+/// below `valley_ratio` x the smaller of the two neighbouring peaks.
+/// Empty-bin runs always separate clusters.
+std::vector<DensityCluster> densityClusters(const Histogram& hist,
+                                            std::int32_t smooth_radius,
+                                            double valley_ratio);
+
+/// Assign each value to the index of the cluster containing it, or -1 if
+/// it falls outside every cluster (cannot happen when clusters came from
+/// the same histogram and values are in range).
+std::vector<std::int32_t> assignToClusters(
+    const std::vector<double>& values,
+    const std::vector<DensityCluster>& clusters) noexcept;
+
+}  // namespace rap::stats

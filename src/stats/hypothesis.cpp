@@ -1,0 +1,47 @@
+#include "stats/hypothesis.h"
+
+#include <cmath>
+
+namespace rap::stats {
+
+double normalCdf(double z) noexcept {
+  return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+double twoProportionPValue(std::uint64_t k1, std::uint64_t n1,
+                           std::uint64_t k2, std::uint64_t n2) noexcept {
+  if (n1 == 0 || n2 == 0) return 1.0;
+  const double p1 = static_cast<double>(k1) / static_cast<double>(n1);
+  const double p2 = static_cast<double>(k2) / static_cast<double>(n2);
+  const double pooled = static_cast<double>(k1 + k2) /
+                        static_cast<double>(n1 + n2);
+  const double variance =
+      pooled * (1.0 - pooled) *
+      (1.0 / static_cast<double>(n1) + 1.0 / static_cast<double>(n2));
+  if (variance <= 0.0) return (p1 == p2) ? 1.0 : 0.0;
+  const double z = (p1 - p2) / std::sqrt(variance);
+  return 2.0 * (1.0 - normalCdf(std::fabs(z)));
+}
+
+double chiSquare2x2(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                    std::uint64_t d) noexcept {
+  const double n = static_cast<double>(a + b + c + d);
+  const double r1 = static_cast<double>(a + b);
+  const double r2 = static_cast<double>(c + d);
+  const double c1 = static_cast<double>(a + c);
+  const double c2 = static_cast<double>(b + d);
+  if (r1 == 0.0 || r2 == 0.0 || c1 == 0.0 || c2 == 0.0) return 0.0;
+  const double det = static_cast<double>(a) * static_cast<double>(d) -
+                     static_cast<double>(b) * static_cast<double>(c);
+  double num = std::fabs(det) - n / 2.0;  // Yates correction
+  if (num < 0.0) num = 0.0;
+  return n * num * num / (r1 * r2 * c1 * c2);
+}
+
+double chiSquarePValue1Df(double statistic) noexcept {
+  if (statistic <= 0.0) return 1.0;
+  // Chi-square(1) survival = erfc(sqrt(x/2)).
+  return std::erfc(std::sqrt(statistic / 2.0));
+}
+
+}  // namespace rap::stats

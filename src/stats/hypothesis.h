@@ -1,0 +1,29 @@
+// Hypothesis tests used by the iDice baseline's change detection: the
+// two-proportion z-test checks whether the anomaly proportion under an
+// attribute combination deviates significantly from the background, and
+// the chi-square statistic backs the isolation-power ranking.
+#pragma once
+
+#include <cstdint>
+
+namespace rap::stats {
+
+/// Standard normal CDF.
+double normalCdf(double z) noexcept;
+
+/// Two-proportion z-test.  Sample 1: k1 successes of n1; sample 2: k2 of
+/// n2.  Returns the two-sided p-value (1.0 when a sample is empty).
+double twoProportionPValue(std::uint64_t k1, std::uint64_t n1,
+                           std::uint64_t k2, std::uint64_t n2) noexcept;
+
+/// Pearson chi-square statistic of the 2x2 table
+///   [ a  b ]
+///   [ c  d ]
+/// with the 0.5 Yates continuity correction; 0 when a margin is empty.
+double chiSquare2x2(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                    std::uint64_t d) noexcept;
+
+/// p-value of a chi-square statistic with 1 degree of freedom.
+double chiSquarePValue1Df(double statistic) noexcept;
+
+}  // namespace rap::stats

@@ -1,0 +1,68 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace rap::util {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+
+// Serializes whole lines so interleaved threads stay readable.
+std::mutex& logMutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+void setLogLevel(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel logLevel() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+const char* logLevelName(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << logLevelName(level) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  using Clock = std::chrono::system_clock;
+  const auto now = Clock::to_time_t(Clock::now());
+  char ts[32];
+  std::tm tm_buf{};
+  localtime_r(&now, &tm_buf);
+  std::strftime(ts, sizeof(ts), "%H:%M:%S", &tm_buf);
+
+  std::lock_guard<std::mutex> lock(logMutex());
+  std::fprintf(stderr, "%s %s\n", ts, stream_.str().c_str());
+  (void)level_;
+}
+
+}  // namespace internal
+}  // namespace rap::util

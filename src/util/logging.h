@@ -1,0 +1,57 @@
+// Minimal leveled logging to stderr.
+//
+// Usage:
+//   RAP_LOG(INFO) << "localized " << n << " patterns";
+//
+// The global level defaults to kInfo and can be raised/lowered with
+// setLogLevel (benchmarks raise it to kWarn to keep output tables clean).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace rap::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+void setLogLevel(LogLevel level) noexcept;
+LogLevel logLevel() noexcept;
+
+const char* logLevelName(LogLevel level) noexcept;
+
+namespace internal {
+
+/// Collects one log statement and flushes it (with timestamp + level tag)
+/// on destruction.  Not for use outside the RAP_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a log statement below the active level at zero formatting cost.
+struct NullLogStream {
+  template <typename T>
+  NullLogStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace rap::util
+
+#define RAP_LOG(severity)                                                    \
+  if (::rap::util::LogLevel::k##severity < ::rap::util::logLevel()) {       \
+  } else                                                                     \
+    ::rap::util::internal::LogMessage(::rap::util::LogLevel::k##severity,   \
+                                      __FILE__, __LINE__)                    \
+        .stream()

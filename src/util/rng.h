@@ -1,0 +1,73 @@
+// Deterministic random number generation.
+//
+// Every experiment in this repository is seeded explicitly so that the
+// benchmark tables are reproducible run-to-run.  Rng wraps xoshiro256**
+// (public-domain algorithm by Blackman & Vigna) seeded via splitmix64,
+// and exposes the handful of distributions the generators need.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rap::util {
+
+/// splitmix64 step — used for seeding and as a cheap stateless mixer.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** PRNG with convenience distributions.  Satisfies
+/// UniformRandomBitGenerator so it can also feed <random> if needed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept { return next(); }
+  std::uint64_t next() noexcept;
+
+  /// Uniform integer in [lo, hi] (inclusive).  Requires lo <= hi.
+  std::int64_t uniformInt(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Standard normal via Box–Muller (cached second draw).
+  double gaussian() noexcept;
+  double gaussian(double mean, double stddev) noexcept;
+
+  /// Log-normal: exp(N(mu, sigma)).
+  double logNormal(double mu, double sigma) noexcept;
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) noexcept;
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j =
+          static_cast<std::size_t>(uniformInt(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Sample k distinct indices from [0, n) in random order.  k must be <= n.
+  std::vector<std::size_t> sampleIndices(std::size_t n, std::size_t k) noexcept;
+
+  /// Derive an independent child generator (for per-case streams).
+  Rng fork() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace rap::util

@@ -1,0 +1,155 @@
+// Lightweight status / result types used across the RAPMiner libraries.
+//
+// Error handling policy (see DESIGN.md): recoverable failures that callers
+// are expected to handle (file I/O, malformed input, invalid user-supplied
+// configuration) are reported through Status / Result<T>.  Violations of
+// internal invariants are programming errors and are guarded with
+// RAP_CHECK, which aborts with a message.
+#pragma once
+
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace rap::util {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Human-readable name for a status code ("OK", "INVALID_ARGUMENT", ...).
+const char* statusCodeName(StatusCode code) noexcept;
+
+/// A success-or-error value.  Cheap to copy on the success path (no message
+/// allocation), explicit about failure on the error path.
+class [[nodiscard]] Status {
+ public:
+  Status() noexcept = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() noexcept { return {}; }
+  static Status invalidArgument(std::string msg) {
+    return {StatusCode::kInvalidArgument, std::move(msg)};
+  }
+  static Status notFound(std::string msg) {
+    return {StatusCode::kNotFound, std::move(msg)};
+  }
+  static Status outOfRange(std::string msg) {
+    return {StatusCode::kOutOfRange, std::move(msg)};
+  }
+  static Status failedPrecondition(std::string msg) {
+    return {StatusCode::kFailedPrecondition, std::move(msg)};
+  }
+  static Status internal(std::string msg) {
+    return {StatusCode::kInternal, std::move(msg)};
+  }
+  static Status unimplemented(std::string msg) {
+    return {StatusCode::kUnimplemented, std::move(msg)};
+  }
+
+  bool isOk() const noexcept { return code_ == StatusCode::kOk; }
+  explicit operator bool() const noexcept { return isOk(); }
+  StatusCode code() const noexcept { return code_; }
+  const std::string& message() const noexcept { return message_; }
+
+  /// "OK" or "INVALID_ARGUMENT: <message>".
+  std::string toString() const {
+    if (isOk()) return "OK";
+    std::string out = statusCodeName(code_);
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value of type T or a non-OK Status.  A minimal stand-in for
+/// std::expected (C++23) so the project stays on C++20.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : repr_(std::move(status)) {
+    if (std::get<Status>(repr_).isOk()) {
+      // An OK status carries no value; treat as a caller bug.
+      repr_ = Status::internal("Result constructed from OK status");
+    }
+  }
+
+  bool isOk() const noexcept { return std::holds_alternative<T>(repr_); }
+  explicit operator bool() const noexcept { return isOk(); }
+
+  const Status& status() const {
+    static const Status kOk{};
+    if (isOk()) return kOk;
+    return std::get<Status>(repr_);
+  }
+
+  T& value() & { return std::get<T>(repr_); }
+  const T& value() const& { return std::get<T>(repr_); }
+  T&& value() && { return std::get<T>(std::move(repr_)); }
+
+  T valueOr(T fallback) const& {
+    return isOk() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+namespace internal {
+[[noreturn]] void checkFailed(const char* file, int line, const char* expr,
+                              const std::string& extra);
+}  // namespace internal
+
+}  // namespace rap::util
+
+/// Abort with a diagnostic when an internal invariant does not hold.
+#define RAP_CHECK(expr)                                                   \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::rap::util::internal::checkFailed(__FILE__, __LINE__, #expr, ""); \
+    }                                                                     \
+  } while (0)
+
+/// RAP_CHECK with a streamed message: RAP_CHECK_MSG(x > 0, "x=" << x).
+#define RAP_CHECK_MSG(expr, stream_expr)                                   \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream rap_check_oss_;                                   \
+      rap_check_oss_ << stream_expr;                                       \
+      ::rap::util::internal::checkFailed(__FILE__, __LINE__, #expr,        \
+                                         rap_check_oss_.str());            \
+    }                                                                      \
+  } while (0)
+
+/// Propagate a non-OK Status from an expression returning Status.
+#define RAP_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::rap::util::Status rap_status_ = (expr);      \
+    if (!rap_status_.isOk()) return rap_status_;   \
+  } while (0)

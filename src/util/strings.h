@@ -1,0 +1,34 @@
+// Small string helpers shared by the CSV layer and the CLI tools.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rap::util {
+
+/// Split on a single-character delimiter; keeps empty fields.
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Join with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view text) noexcept;
+
+bool startsWith(std::string_view text, std::string_view prefix) noexcept;
+bool endsWith(std::string_view text, std::string_view suffix) noexcept;
+
+/// Strict parse of a double / integer; rejects trailing garbage.
+Result<double> parseDouble(std::string_view text);
+Result<std::int64_t> parseInt(std::string_view text);
+
+/// printf-style formatting into a std::string.
+std::string strFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Lower-case an ASCII string.
+std::string toLower(std::string_view text);
+
+}  // namespace rap::util

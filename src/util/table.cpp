@@ -1,0 +1,84 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace rap::util {
+
+void TextTable::setHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::addRow(std::vector<std::string> row) {
+  Row r;
+  r.cells = std::move(row);
+  r.rule_before = pending_rule_;
+  pending_rule_ = false;
+  rows_.push_back(std::move(r));
+}
+
+void TextTable::addRule() { pending_rule_ = true; }
+
+std::string TextTable::render() const {
+  std::size_t cols = header_.size();
+  for (const auto& row : rows_) cols = std::max(cols, row.cells.size());
+  if (cols == 0) return "";
+
+  std::vector<std::size_t> width(cols, 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = std::max(width[c], header_[c].size());
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      width[c] = std::max(width[c], row.cells[c].size());
+    }
+  }
+
+  auto drawRule = [&](std::ostringstream& oss) {
+    oss << '+';
+    for (std::size_t c = 0; c < cols; ++c) {
+      oss << std::string(width[c] + 2, '-') << '+';
+    }
+    oss << '\n';
+  };
+  auto drawCells = [&](std::ostringstream& oss,
+                       const std::vector<std::string>& cells) {
+    oss << '|';
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      oss << ' ' << cell << std::string(width[c] - cell.size() + 1, ' ') << '|';
+    }
+    oss << '\n';
+  };
+
+  std::ostringstream oss;
+  drawRule(oss);
+  if (!header_.empty()) {
+    drawCells(oss, header_);
+    drawRule(oss);
+  }
+  for (const auto& row : rows_) {
+    if (row.rule_before) drawRule(oss);
+    drawCells(oss, row.cells);
+  }
+  drawRule(oss);
+  return oss.str();
+}
+
+std::string TextTable::num(double value, int precision) {
+  return strFormat("%.*f", precision, value);
+}
+
+std::string TextTable::pct(double fraction, int precision) {
+  return strFormat("%.*f%%", precision, fraction * 100.0);
+}
+
+std::string TextTable::duration(double seconds) {
+  if (seconds < 1e-3) return strFormat("%.1fus", seconds * 1e6);
+  if (seconds < 1.0) return strFormat("%.2fms", seconds * 1e3);
+  return strFormat("%.3fs", seconds);
+}
+
+}  // namespace rap::util

@@ -1,0 +1,40 @@
+// ASCII table printer used by the bench harnesses to reproduce the paper's
+// tables and figure series as aligned text.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rap::util {
+
+/// Column-aligned text table.  Add a header once, then rows; render()
+/// computes widths and draws separators.
+class TextTable {
+ public:
+  void setHeader(std::vector<std::string> header);
+  void addRow(std::vector<std::string> row);
+  /// Insert a horizontal rule before the next row.
+  void addRule();
+
+  std::size_t rowCount() const noexcept { return rows_.size(); }
+
+  std::string render() const;
+
+  /// Convenience: format a double with the given precision.
+  static std::string num(double value, int precision = 3);
+  /// Format as percentage ("83.1%").
+  static std::string pct(double fraction, int precision = 1);
+  /// Format seconds adaptively ("12.3ms", "1.24s").
+  static std::string duration(double seconds);
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+}  // namespace rap::util

@@ -1,0 +1,55 @@
+// Minimal fixed-size thread pool plus a parallel-for helper.
+//
+// Used by the evaluation runner to fan localization cases across cores
+// during parameter sweeps.  Timing-sensitive benches stay serial (the
+// Fig. 9 harnesses measure per-case wall time); the pool is for the
+// sweeps where only the aggregate metric matters.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace rap::util {
+
+class ThreadPool {
+ public:
+  /// `threads` == 0 picks hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t threadCount() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task.  Tasks must not throw (they run under noexcept
+  /// workers; violate this and the process terminates, loudly).
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait();
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Runs fn(i) for i in [0, n) across `threads` workers (0 = hardware
+/// concurrency).  Blocks until every index is processed.  fn must be
+/// safe to call concurrently for distinct indices.
+void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
+                 std::size_t threads = 0);
+
+}  // namespace rap::util

@@ -1,0 +1,49 @@
+// Wall-clock timing helpers for the efficiency experiments (Fig. 9,
+// Table VI).  WallTimer measures one interval; TimingStats accumulates
+// per-case localization times and reports mean / percentiles.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <vector>
+
+namespace rap::util {
+
+class WallTimer {
+ public:
+  WallTimer() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  double elapsedSeconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double elapsedMillis() const noexcept { return elapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Aggregates a set of duration samples (seconds).
+class TimingStats {
+ public:
+  void add(double seconds) { samples_.push_back(seconds); }
+
+  std::size_t count() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+
+  double total() const noexcept;
+  double mean() const noexcept;
+  double min() const noexcept;
+  double max() const noexcept;
+  /// q in [0,1]; nearest-rank on a sorted copy.
+  double percentile(double q) const;
+
+  const std::vector<double>& samples() const noexcept { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace rap::util

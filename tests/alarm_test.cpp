@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "alarm/monitor.h"
+#include "util/rng.h"
+
+namespace rap::alarm {
+namespace {
+
+/// Diurnal signal with mild noise.
+double signal(std::int64_t t, std::int32_t period, util::Rng& rng) {
+  const double base =
+      100.0 + 40.0 * std::sin(2.0 * std::numbers::pi *
+                              static_cast<double>(t % period) /
+                              static_cast<double>(period));
+  return base * (1.0 + 0.02 * rng.gaussian());
+}
+
+MonitorConfig testConfig() {
+  MonitorConfig config;
+  config.season_length = 48;
+  config.seasons_kept = 5;
+  config.k_mad = 6.0;
+  return config;
+}
+
+TEST(KpiMonitor, QuietOnHealthySeasonalTraffic) {
+  KpiMonitor monitor(testConfig());
+  util::Rng rng(1);
+  int false_alarms = 0;
+  for (std::int64_t t = 0; t < 48 * 10; ++t) {
+    false_alarms += monitor.observe(signal(t, 48, rng)).anomalous ? 1 : 0;
+  }
+  EXPECT_LE(false_alarms, 2);
+}
+
+TEST(KpiMonitor, FlagsASharpDrop) {
+  KpiMonitor monitor(testConfig());
+  util::Rng rng(2);
+  std::int64_t t = 0;
+  for (; t < 48 * 6; ++t) monitor.observe(signal(t, 48, rng));
+  // 50% outage.
+  const auto verdict = monitor.observe(signal(t, 48, rng) * 0.5);
+  EXPECT_TRUE(verdict.anomalous);
+  EXPECT_LT(verdict.residual, 0.0);
+  EXPECT_GT(verdict.scale, 0.0);
+}
+
+TEST(KpiMonitor, DropsOnlyIgnoresSpikesByDefault) {
+  KpiMonitor monitor(testConfig());
+  util::Rng rng(3);
+  std::int64_t t = 0;
+  for (; t < 48 * 6; ++t) monitor.observe(signal(t, 48, rng));
+  EXPECT_FALSE(monitor.observe(signal(t, 48, rng) * 2.0).anomalous);
+
+  MonitorConfig two_sided = testConfig();
+  two_sided.drops_only = false;
+  KpiMonitor spiky(two_sided);
+  util::Rng rng2(3);
+  for (t = 0; t < 48 * 6; ++t) spiky.observe(signal(t, 48, rng2));
+  EXPECT_TRUE(spiky.observe(signal(t, 48, rng2) * 2.0).anomalous);
+}
+
+TEST(KpiMonitor, WarmupSuppressesEarlyVerdicts) {
+  MonitorConfig config = testConfig();
+  config.warmup = 100;
+  KpiMonitor monitor(config);
+  for (int t = 0; t < 50; ++t) {
+    EXPECT_FALSE(monitor.observe(t % 2 == 0 ? 100.0 : 0.0).anomalous);
+  }
+}
+
+TEST(KpiMonitor, BaselineTracksSeasonalPhase) {
+  KpiMonitor monitor(testConfig());
+  util::Rng rng(5);
+  std::int64_t t = 0;
+  for (; t < 48 * 6; ++t) monitor.observe(signal(t, 48, rng));
+  const auto verdict = monitor.observe(signal(t, 48, rng));
+  const double expected =
+      100.0 + 40.0 * std::sin(2.0 * std::numbers::pi *
+                              static_cast<double>(t % 48) / 48.0);
+  EXPECT_NEAR(verdict.baseline, expected, 8.0);
+}
+
+TEST(AlarmManager, RequiresConsecutiveAbnormalPoints) {
+  AlarmManager manager(testConfig(), {.consecutive = 3, .cooldown = 10});
+  util::Rng rng(7);
+  std::int64_t t = 0;
+  for (; t < 48 * 6; ++t) manager.observe(signal(t, 48, rng));
+
+  // One bad point: no alarm.
+  EXPECT_FALSE(manager.observe(signal(t, 48, rng) * 0.4).has_value());
+  ++t;
+  // A healthy point resets the streak.
+  EXPECT_FALSE(manager.observe(signal(t, 48, rng)).has_value());
+  ++t;
+  // Three bad points in a row: alarm on the third.
+  EXPECT_FALSE(manager.observe(signal(t, 48, rng) * 0.4).has_value());
+  ++t;
+  EXPECT_FALSE(manager.observe(signal(t, 48, rng) * 0.4).has_value());
+  ++t;
+  const auto event = manager.observe(signal(t, 48, rng) * 0.4);
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(manager.state(), AlarmState::kRaised);
+  EXPECT_EQ(manager.events().size(), 1u);
+}
+
+TEST(AlarmManager, DoesNotRefireWhileRaised) {
+  AlarmManager manager(testConfig(), {.consecutive = 2, .cooldown = 5});
+  util::Rng rng(9);
+  std::int64_t t = 0;
+  for (; t < 48 * 6; ++t) manager.observe(signal(t, 48, rng));
+  int fired = 0;
+  for (int i = 0; i < 20; ++i, ++t) {
+    fired += manager.observe(signal(t, 48, rng) * 0.4).has_value() ? 1 : 0;
+  }
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(AlarmManager, RecoversAndCanRefireAfterCooldown) {
+  AlarmManager manager(testConfig(), {.consecutive = 2, .cooldown = 4});
+  util::Rng rng(11);
+  std::int64_t t = 0;
+  for (; t < 48 * 6; ++t) manager.observe(signal(t, 48, rng));
+  // First outage.
+  for (int i = 0; i < 4; ++i, ++t) manager.observe(signal(t, 48, rng) * 0.4);
+  EXPECT_EQ(manager.events().size(), 1u);
+  // Recovery.
+  for (int i = 0; i < 10; ++i, ++t) manager.observe(signal(t, 48, rng));
+  EXPECT_EQ(manager.state(), AlarmState::kQuiet);
+  // Second outage fires again.
+  for (int i = 0; i < 4; ++i, ++t) manager.observe(signal(t, 48, rng) * 0.4);
+  EXPECT_EQ(manager.events().size(), 2u);
+}
+
+}  // namespace
+}  // namespace rap::alarm

@@ -1,0 +1,357 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/adtributor.h"
+#include "baselines/fp_rap.h"
+#include "baselines/hotspot.h"
+#include "baselines/idice.h"
+#include "baselines/squeeze.h"
+#include "dataset/cuboid.h"
+
+namespace rap::baselines {
+namespace {
+
+using dataset::AttributeCombination;
+using dataset::LeafTable;
+using dataset::Schema;
+
+/// Dense tiny table: leaves under any `broken` pattern drop to
+/// `broken_share` of their forecast and are flagged anomalous.
+LeafTable makeTable(const std::vector<std::string>& broken_patterns,
+                    double broken_share = 0.1) {
+  const Schema schema = Schema::tiny();
+  std::vector<AttributeCombination> broken;
+  for (const auto& text : broken_patterns) {
+    broken.push_back(AttributeCombination::parse(schema, text).value());
+  }
+  LeafTable table(schema);
+  for (std::uint64_t i = 0; i < schema.leafCount(); ++i) {
+    const auto leaf = dataset::leafFromIndex(schema, i);
+    const bool anomalous =
+        std::any_of(broken.begin(), broken.end(),
+                    [&leaf](const AttributeCombination& ac) {
+                      return ac.matchesLeaf(leaf);
+                    });
+    const double f = 100.0;
+    table.addRow(leaf, anomalous ? f * broken_share : f, f, anomalous);
+  }
+  return table;
+}
+
+bool contains(const std::vector<core::ScoredPattern>& patterns,
+              const LeafTable& table, const std::string& text) {
+  const auto target =
+      AttributeCombination::parse(table.schema(), text).value();
+  return std::any_of(patterns.begin(), patterns.end(),
+                     [&target](const core::ScoredPattern& p) {
+                       return p.ac == target;
+                     });
+}
+
+// -------------------------------------------------------------- Adtributor
+
+TEST(Adtributor, FindsOneDimensionalCause) {
+  const LeafTable table = makeTable({"(a1, *, *, *)"});
+  const auto patterns = adtributorLocalize(table, {}, 3);
+  ASSERT_FALSE(patterns.empty());
+  EXPECT_EQ(patterns[0].ac.toString(table.schema()), "(a1, *, *, *)");
+  EXPECT_EQ(patterns[0].layer, 1);
+}
+
+TEST(Adtributor, ReturnsOnlyOneDimensionalPatterns) {
+  const LeafTable table = makeTable({"(a1, b1, *, *)"});
+  for (const auto& p : adtributorLocalize(table, {}, 10)) {
+    EXPECT_EQ(p.ac.dim(), 1);
+  }
+}
+
+TEST(Adtributor, NoChangeNoFindings) {
+  const LeafTable table = makeTable({});
+  EXPECT_TRUE(adtributorLocalize(table, {}, 5).empty());
+}
+
+TEST(Adtributor, RespectsK) {
+  const LeafTable table = makeTable({"(a1, *, *, *)", "(a2, *, *, *)"});
+  EXPECT_LE(adtributorLocalize(table, {}, 1).size(), 1u);
+}
+
+TEST(Adtributor, ScoresMonotoneNonIncreasing) {
+  const LeafTable table = makeTable({"(a1, *, *, *)", "(*, *, *, d1)"});
+  const auto patterns = adtributorLocalize(table, {}, 10);
+  for (std::size_t i = 1; i < patterns.size(); ++i) {
+    EXPECT_LE(patterns[i].score, patterns[i - 1].score);
+  }
+}
+
+// ------------------------------------------------------------------ iDice
+
+TEST(IDice, FindsMultiDimensionalCombination) {
+  const LeafTable table = makeTable({"(a1, b2, *, *)"});
+  const auto patterns = idiceLocalize(table, {}, 3);
+  ASSERT_FALSE(patterns.empty());
+  EXPECT_TRUE(contains(patterns, table, "(a1, b2, *, *)"));
+}
+
+TEST(IDice, PrefersGeneralCombination) {
+  const LeafTable table = makeTable({"(a2, *, *, *)"});
+  const auto patterns = idiceLocalize(table, {}, 3);
+  ASSERT_FALSE(patterns.empty());
+  EXPECT_EQ(patterns[0].ac.toString(table.schema()), "(a2, *, *, *)");
+  // No descendant of the winner may appear.
+  for (const auto& p : patterns) {
+    EXPECT_FALSE(patterns[0].ac.isAncestorOf(p.ac));
+  }
+}
+
+TEST(IDice, NoAnomaliesNothingReturned) {
+  const LeafTable table = makeTable({});
+  EXPECT_TRUE(idiceLocalize(table, {}, 5).empty());
+}
+
+TEST(IDice, ImpactPruningDropsTinyCombinations) {
+  // One single anomalous leaf is below any reasonable impact floor when
+  // the ratio threshold is high.
+  const Schema schema = Schema::tiny();
+  LeafTable table(schema);
+  for (std::uint64_t i = 0; i < schema.leafCount(); ++i) {
+    const auto leaf = dataset::leafFromIndex(schema, i);
+    table.addRow(leaf, 100.0, 100.0, i == 0);
+  }
+  IDiceConfig config;
+  config.min_impact_abs = 2;
+  EXPECT_TRUE(idiceLocalize(table, config, 5).empty());
+}
+
+TEST(IDice, MaxLayerBoundsSearch) {
+  const LeafTable table = makeTable({"(a1, b1, c1, *)"});
+  IDiceConfig config;
+  config.max_layer = 1;
+  for (const auto& p : idiceLocalize(table, config, 10)) {
+    EXPECT_LE(p.ac.dim(), 1);
+  }
+}
+
+// -------------------------------------------------------------- FP-growth
+
+TEST(FpRap, FindsGeneralPattern) {
+  const LeafTable table = makeTable({"(a1, *, c2, *)"});
+  const auto patterns = fpGrowthLocalize(table, {}, 3);
+  ASSERT_FALSE(patterns.empty());
+  EXPECT_EQ(patterns[0].ac.toString(table.schema()), "(a1, *, c2, *)");
+}
+
+TEST(FpRap, GeneralizationFilterDropsDescendants) {
+  const LeafTable table = makeTable({"(a1, *, *, *)"});
+  const auto patterns = fpGrowthLocalize(table, {}, 10);
+  ASSERT_FALSE(patterns.empty());
+  EXPECT_EQ(patterns[0].ac.toString(table.schema()), "(a1, *, *, *)");
+  for (const auto& p : patterns) {
+    EXPECT_FALSE(patterns[0].ac.isAncestorOf(p.ac));
+  }
+}
+
+TEST(FpRap, TwoIndependentRaps) {
+  const LeafTable table = makeTable({"(a1, *, *, *)", "(*, *, c1, d2)"});
+  const auto patterns = fpGrowthLocalize(table, {}, 5);
+  EXPECT_TRUE(contains(patterns, table, "(a1, *, *, *)"));
+  EXPECT_TRUE(contains(patterns, table, "(*, *, c1, d2)"));
+}
+
+TEST(FpRap, ConfidenceFilterSuppressesWeakRules) {
+  // Anomalies confined to half of (a1): rule a1 => anomaly has
+  // confidence 0.5 and must not pass a 0.7 bar; the true pattern does.
+  const LeafTable table = makeTable({"(a1, b1, *, *)"});
+  FpRapConfig config;
+  config.min_confidence = 0.7;
+  const auto patterns = fpGrowthLocalize(table, config, 5);
+  EXPECT_FALSE(contains(patterns, table, "(a1, *, *, *)"));
+  EXPECT_TRUE(contains(patterns, table, "(a1, b1, *, *)"));
+}
+
+TEST(FpRap, NoAnomaliesNothingReturned) {
+  const LeafTable table = makeTable({});
+  EXPECT_TRUE(fpGrowthLocalize(table, {}, 5).empty());
+}
+
+// ---------------------------------------------------------------- Squeeze
+
+/// Table with per-pattern deviation magnitudes (Squeeze's assumptions).
+LeafTable makeSqueezeStyleTable(
+    const std::vector<std::pair<std::string, double>>& patterns_with_dev) {
+  const Schema schema = Schema::tiny();
+  std::vector<std::pair<AttributeCombination, double>> broken;
+  for (const auto& [text, dev] : patterns_with_dev) {
+    broken.emplace_back(AttributeCombination::parse(schema, text).value(), dev);
+  }
+  LeafTable table(schema);
+  for (std::uint64_t i = 0; i < schema.leafCount(); ++i) {
+    const auto leaf = dataset::leafFromIndex(schema, i);
+    const double f = 100.0;
+    double v = f;
+    bool anomalous = false;
+    for (const auto& [ac, dev] : broken) {
+      if (ac.matchesLeaf(leaf)) {
+        v = f * (1.0 - dev);
+        anomalous = true;
+        break;
+      }
+    }
+    table.addRow(leaf, v, f, anomalous);
+  }
+  return table;
+}
+
+TEST(Squeeze, SingleRapRecovered) {
+  const auto table = makeSqueezeStyleTable({{"(a3, *, *, *)", 0.6}});
+  const auto patterns = squeezeLocalize(table, {}, 3);
+  ASSERT_FALSE(patterns.empty());
+  EXPECT_EQ(patterns[0].ac.toString(table.schema()), "(a3, *, *, *)");
+  EXPECT_EQ(patterns[0].layer, 1);
+}
+
+TEST(Squeeze, TwoMagnitudesSplitIntoClusters) {
+  const auto table = makeSqueezeStyleTable(
+      {{"(a1, *, *, *)", 0.8}, {"(a2, *, *, *)", 0.35}});
+  const auto patterns = squeezeLocalize(table, {}, 5);
+  EXPECT_TRUE(contains(patterns, table, "(a1, *, *, *)"));
+  EXPECT_TRUE(contains(patterns, table, "(a2, *, *, *)"));
+}
+
+TEST(Squeeze, PrefersCoarseCuboidOnTies) {
+  // Regression test for the float-tie bug: a layer-1 pattern must beat
+  // its own layer-2 decomposition.
+  const auto table = makeSqueezeStyleTable({{"(*, b1, *, *)", 0.5}});
+  const auto patterns = squeezeLocalize(table, {}, 4);
+  ASSERT_FALSE(patterns.empty());
+  EXPECT_EQ(patterns[0].ac.toString(table.schema()), "(*, b1, *, *)");
+  EXPECT_EQ(patterns.size(), 1u);
+}
+
+TEST(Squeeze, QuietTableNothingReturned) {
+  const auto table = makeSqueezeStyleTable({});
+  EXPECT_TRUE(squeezeLocalize(table, {}, 5).empty());
+}
+
+TEST(Squeeze, GpsScoreWithinUnitRange) {
+  const auto table = makeSqueezeStyleTable({{"(a1, *, *, *)", 0.7}});
+  for (const auto& p : squeezeLocalize(table, {}, 5)) {
+    EXPECT_GE(p.score, 0.0);
+    EXPECT_LE(p.score, 1.0 + 1e-9);
+  }
+}
+
+// ---------------------------------------------------------------- HotSpot
+
+TEST(HotSpot, SingleRapRecovered) {
+  const auto table = makeSqueezeStyleTable({{"(a2, *, *, *)", 0.7}});
+  const auto patterns = hotspotLocalize(table, {}, 3);
+  ASSERT_FALSE(patterns.empty());
+  EXPECT_EQ(patterns[0].ac.toString(table.schema()), "(a2, *, *, *)");
+}
+
+TEST(HotSpot, MultiElementSetInOneCuboid) {
+  // HotSpot's own assumption: both causes in the same cuboid with the
+  // same magnitude.
+  const auto table = makeSqueezeStyleTable(
+      {{"(a1, *, *, *)", 0.6}, {"(a3, *, *, *)", 0.6}});
+  const auto patterns = hotspotLocalize(table, {}, 5);
+  EXPECT_TRUE(contains(patterns, table, "(a1, *, *, *)"));
+  EXPECT_TRUE(contains(patterns, table, "(a3, *, *, *)"));
+}
+
+TEST(HotSpot, DeterministicForFixedSeed) {
+  const auto table = makeSqueezeStyleTable({{"(a1, *, c1, *)", 0.5}});
+  const auto a = hotspotLocalize(table, {}, 5);
+  const auto b = hotspotLocalize(table, {}, 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].ac, b[i].ac);
+}
+
+TEST(HotSpot, QuietTableNothingReturned) {
+  const auto table = makeSqueezeStyleTable({});
+  EXPECT_TRUE(hotspotLocalize(table, {}, 5).empty());
+}
+
+TEST(HotSpot, MaxSetSizeBoundsResult) {
+  const auto table = makeSqueezeStyleTable(
+      {{"(a1, *, *, *)", 0.6}, {"(a2, *, *, *)", 0.6}, {"(a3, *, *, *)", 0.6}});
+  HotSpotConfig config;
+  config.max_set_size = 1;
+  EXPECT_LE(hotspotLocalize(table, config, 5).size(), 1u);
+}
+
+// ----------------------------------------------------- config behaviour
+
+TEST(Adtributor, SuccinctnessCapHonored) {
+  // Four independently broken elements of A; a cap of 2 keeps at most
+  // two of them in the attribute's explanatory set.
+  const Schema schema = Schema::synthetic({6, 3, 3});
+  LeafTable table(schema);
+  for (std::uint64_t i = 0; i < schema.leafCount(); ++i) {
+    const auto leaf = dataset::leafFromIndex(schema, i);
+    const bool broken = leaf.slot(0) < 4;
+    table.addRow(leaf, broken ? 10.0 : 100.0, 100.0, broken);
+  }
+  AdtributorConfig config;
+  config.max_elements_per_attribute = 2;
+  config.t_ep = 0.3;  // reachable with two of four elements
+  const auto patterns = adtributorLocalize(table, config, 10);
+  // The cap is per attribute: at most 2 of A0's four broken elements
+  // may appear (other attributes may contribute their own sets).
+  std::size_t from_a0 = 0;
+  for (const auto& p : patterns) {
+    if (!p.ac.isWildcard(0)) ++from_a0;
+  }
+  EXPECT_LE(from_a0, 2u);
+  EXPECT_GE(from_a0, 1u);
+}
+
+TEST(IDice, LooserSignificanceAcceptsMoreCandidates) {
+  const LeafTable table = makeTable({"(a1, *, *, *)", "(*, b2, c1, *)"});
+  IDiceConfig strict;
+  strict.significance = 1e-12;
+  IDiceConfig loose;
+  loose.significance = 0.05;
+  const auto few = idiceLocalize(table, strict, 0);
+  const auto many = idiceLocalize(table, loose, 0);
+  EXPECT_LE(few.size(), many.size());
+}
+
+TEST(Squeeze, MinClusterSizeFiltersNoise) {
+  // A single deviating leaf is below any sane cluster floor.
+  const Schema schema = Schema::tiny();
+  LeafTable table(schema);
+  for (std::uint64_t i = 0; i < schema.leafCount(); ++i) {
+    const auto leaf = dataset::leafFromIndex(schema, i);
+    const bool broken = i == 0;
+    table.addRow(leaf, broken ? 10.0 : 100.0, 100.0, broken);
+  }
+  SqueezeConfig config;
+  config.min_cluster_size = 3;
+  EXPECT_TRUE(squeezeLocalize(table, config, 5).empty());
+}
+
+TEST(FpRap, EnginesProduceIdenticalPatterns) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    (void)seed;  // tables below are deterministic; loop widens shapes
+  }
+  for (const char* pattern : {"(a1, *, *, *)", "(a2, b1, *, *)",
+                              "(*, *, c1, d2)"}) {
+    const LeafTable table = makeTable({pattern});
+    FpRapConfig fp_config;
+    fp_config.engine = RuleMiningEngine::kFpGrowth;
+    FpRapConfig ap_config;
+    ap_config.engine = RuleMiningEngine::kApriori;
+    const auto fp = fpGrowthLocalize(table, fp_config, 0);
+    const auto ap = fpGrowthLocalize(table, ap_config, 0);
+    ASSERT_EQ(fp.size(), ap.size()) << pattern;
+    for (std::size_t i = 0; i < fp.size(); ++i) {
+      EXPECT_EQ(fp[i].ac, ap[i].ac) << pattern;
+      EXPECT_DOUBLE_EQ(fp[i].score, ap[i].score) << pattern;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rap::baselines

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "eval/runner.h"
+#include "gen/rapmd.h"
+#include "util/thread_pool.h"
+
+namespace rap {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  util::ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, WaitIsReusable) {
+  util::ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPool, WaitOnIdlePoolReturns) {
+  util::ThreadPool pool(2);
+  pool.wait();  // nothing submitted — must not block
+  SUCCEED();
+}
+
+TEST(ThreadPool, DestructorJoinsCleanly) {
+  std::atomic<int> counter{0};
+  {
+    util::ThreadPool pool(3);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.wait();
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(500);
+  util::parallelFor(hits.size(),
+                    [&hits](std::size_t i) { hits[i].fetch_add(1); }, 8);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroAndSingleElement) {
+  int calls = 0;
+  util::parallelFor(0, [&calls](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  util::parallelFor(1, [&calls](std::size_t) { ++calls; }, 4);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, SingleThreadIsSerial) {
+  std::vector<std::size_t> order;
+  util::parallelFor(10, [&order](std::size_t i) { order.push_back(i); }, 1);
+  std::vector<std::size_t> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ParallelRunner, MatchesSerialResults) {
+  gen::RapmdConfig config;
+  config.num_cases = 8;
+  gen::RapmdGenerator generator(dataset::Schema::cdn(), config, 321);
+  const auto cases = generator.generate();
+  const auto localizer = eval::rapminerLocalizer({});
+
+  const auto serial = eval::runLocalizer(localizer, cases, {.k = 5});
+  const auto parallel =
+      eval::runLocalizerParallel(localizer, cases, {.k = 5}, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].case_id, parallel[i].case_id);
+    ASSERT_EQ(serial[i].predictions.size(), parallel[i].predictions.size());
+    for (std::size_t j = 0; j < serial[i].predictions.size(); ++j) {
+      EXPECT_EQ(serial[i].predictions[j].ac, parallel[i].predictions[j].ac);
+    }
+  }
+  EXPECT_DOUBLE_EQ(eval::aggregateRecallAtK(serial, cases, 3),
+                   eval::aggregateRecallAtK(parallel, cases, 3));
+}
+
+}  // namespace
+}  // namespace rap

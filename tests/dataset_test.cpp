@@ -1,0 +1,401 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "dataset/attribute_combination.h"
+#include "dataset/cuboid.h"
+#include "dataset/index.h"
+#include "dataset/leaf_table.h"
+#include "dataset/schema.h"
+
+namespace rap::dataset {
+namespace {
+
+// ---------------------------------------------------------------- Schema
+
+TEST(Schema, CdnMatchesTableI) {
+  const Schema schema = Schema::cdn();
+  ASSERT_EQ(schema.attributeCount(), 4);
+  EXPECT_EQ(schema.attribute(0).name(), "Location");
+  EXPECT_EQ(schema.cardinality(0), 33);
+  EXPECT_EQ(schema.cardinality(1), 4);
+  EXPECT_EQ(schema.cardinality(2), 4);
+  EXPECT_EQ(schema.cardinality(3), 20);
+  EXPECT_EQ(schema.leafCount(), 10560u);  // paper §II-B worst case
+  EXPECT_EQ(schema.cuboidCount(), 15u);   // paper Fig. 2
+}
+
+TEST(Schema, ElementLookupRoundTrip) {
+  const Schema schema = Schema::cdn();
+  const auto& attr = schema.attribute(3);
+  for (ElemId e = 0; e < attr.cardinality(); ++e) {
+    EXPECT_EQ(attr.elementId(attr.elementName(e)).value(), e);
+  }
+}
+
+TEST(Schema, UnknownNamesAreErrors) {
+  const Schema schema = Schema::tiny();
+  EXPECT_FALSE(schema.attributeId("Nope").isOk());
+  EXPECT_FALSE(schema.attribute(0).elementId("nope").isOk());
+}
+
+TEST(Schema, AttributeIdLookup) {
+  const Schema schema = Schema::cdn();
+  EXPECT_EQ(schema.attributeId("Website").value(), 3);
+  EXPECT_EQ(schema.attributeId("Location").value(), 0);
+}
+
+TEST(Schema, SyntheticCardinalities) {
+  const Schema schema = Schema::synthetic({5, 7});
+  ASSERT_EQ(schema.attributeCount(), 2);
+  EXPECT_EQ(schema.cardinality(0), 5);
+  EXPECT_EQ(schema.cardinality(1), 7);
+  EXPECT_EQ(schema.leafCount(), 35u);
+}
+
+// ---------------------------------------------- AttributeCombination
+
+TEST(AttributeCombination, DefaultAllWildcard) {
+  const AttributeCombination ac(4);
+  EXPECT_EQ(ac.dim(), 0);
+  EXPECT_TRUE(ac.isRoot());
+  EXPECT_FALSE(ac.isLeaf());
+  EXPECT_EQ(ac.cuboidMask(), 0u);
+}
+
+TEST(AttributeCombination, DimAndLayerCountConcreteSlots) {
+  AttributeCombination ac(4);
+  ac.setSlot(0, 1);
+  ac.setSlot(3, 2);
+  EXPECT_EQ(ac.dim(), 2);
+  EXPECT_EQ(ac.layer(), 2);
+  EXPECT_EQ(ac.cuboidMask(), 0b1001u);
+  EXPECT_FALSE(ac.isLeaf());
+}
+
+TEST(AttributeCombination, ParseAgainstSchema) {
+  const Schema schema = Schema::cdn();
+  const auto ac =
+      AttributeCombination::parse(schema, "(L1, *, *, Site1)").value();
+  EXPECT_EQ(ac.dim(), 2);
+  EXPECT_EQ(ac.slot(0), 0);
+  EXPECT_TRUE(ac.isWildcard(1));
+  EXPECT_TRUE(ac.isWildcard(2));
+  EXPECT_EQ(ac.slot(3), 0);
+  EXPECT_EQ(ac.toString(schema), "(L1, *, *, Site1)");
+}
+
+TEST(AttributeCombination, ParseWithoutParens) {
+  const Schema schema = Schema::tiny();
+  const auto ac = AttributeCombination::parse(schema, "a2,*,c1,*").value();
+  EXPECT_EQ(ac.slot(0), 1);
+  EXPECT_EQ(ac.slot(2), 0);
+}
+
+TEST(AttributeCombination, ParseErrors) {
+  const Schema schema = Schema::tiny();
+  EXPECT_FALSE(AttributeCombination::parse(schema, "(a1, *)").isOk());
+  EXPECT_FALSE(AttributeCombination::parse(schema, "(zz, *, *, *)").isOk());
+}
+
+TEST(AttributeCombination, MatchesLeaf) {
+  const Schema schema = Schema::tiny();
+  const auto pattern =
+      AttributeCombination::parse(schema, "(a1, *, *, d1)").value();
+  const auto hit =
+      AttributeCombination::parse(schema, "(a1, b2, c1, d1)").value();
+  const auto miss =
+      AttributeCombination::parse(schema, "(a2, b2, c1, d1)").value();
+  EXPECT_TRUE(pattern.matchesLeaf(hit));
+  EXPECT_FALSE(pattern.matchesLeaf(miss));
+  EXPECT_TRUE(hit.matchesLeaf(hit));  // a leaf matches itself
+}
+
+TEST(AttributeCombination, AncestorAndCovers) {
+  const Schema schema = Schema::tiny();
+  const auto coarse =
+      AttributeCombination::parse(schema, "(a1, *, *, *)").value();
+  const auto mid = AttributeCombination::parse(schema, "(a1, b1, *, *)").value();
+  const auto other =
+      AttributeCombination::parse(schema, "(a2, b1, *, *)").value();
+
+  EXPECT_TRUE(coarse.isAncestorOf(mid));
+  EXPECT_FALSE(mid.isAncestorOf(coarse));
+  EXPECT_FALSE(coarse.isAncestorOf(coarse));  // proper ancestry
+  EXPECT_TRUE(coarse.covers(coarse));
+  EXPECT_TRUE(coarse.covers(mid));
+  EXPECT_FALSE(coarse.covers(other));
+  EXPECT_FALSE(coarse.isAncestorOf(other));
+}
+
+TEST(AttributeCombination, ParentsReplaceOneSlot) {
+  const Schema schema = Schema::tiny();
+  const auto ac = AttributeCombination::parse(schema, "(a1, b1, *, d2)").value();
+  const auto parents = ac.parents();
+  ASSERT_EQ(parents.size(), 3u);  // one per concrete slot
+  for (const auto& parent : parents) {
+    EXPECT_EQ(parent.dim(), 2);
+    EXPECT_TRUE(parent.isAncestorOf(ac));
+  }
+}
+
+TEST(AttributeCombination, RootHasNoParents) {
+  const AttributeCombination root(4);
+  EXPECT_TRUE(root.parents().empty());
+}
+
+TEST(AttributeCombination, ChildrenExpandEveryWildcardElement) {
+  const Schema schema = Schema::tiny();  // A(3) B(2) C(2) D(2)
+  const auto ac = AttributeCombination::parse(schema, "(a1, *, c1, *)").value();
+  const auto children = ac.children(schema);
+  // wildcard slots B (2 elements) and D (2 elements) -> 4 children.
+  ASSERT_EQ(children.size(), 4u);
+  for (const auto& child : children) {
+    EXPECT_EQ(child.dim(), 3);
+    EXPECT_TRUE(ac.isAncestorOf(child));
+  }
+}
+
+TEST(AttributeCombination, HashConsistentWithEquality) {
+  const Schema schema = Schema::tiny();
+  const auto a = AttributeCombination::parse(schema, "(a1, *, c1, *)").value();
+  const auto b = AttributeCombination::parse(schema, "(a1, *, c1, *)").value();
+  const auto c = AttributeCombination::parse(schema, "(a1, *, c2, *)").value();
+  const AcHash hash;
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(hash(a), hash(b));
+  EXPECT_FALSE(a == c);
+
+  std::unordered_set<AttributeCombination, AcHash> set;
+  set.insert(a);
+  set.insert(b);
+  set.insert(c);
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(AttributeCombination, WildcardVsElementZeroDistinct) {
+  // Regression guard: '*' (id -1) must not hash/compare equal to element 0.
+  AttributeCombination wild(2);
+  AttributeCombination zero(2);
+  zero.setSlot(0, 0);
+  EXPECT_FALSE(wild == zero);
+}
+
+// ---------------------------------------------------------------- Cuboid
+
+TEST(Cuboid, LatticeHas2ToNMinus1Cuboids) {
+  const Schema schema = Schema::cdn();
+  const auto all = allCuboidsByLayer(allAttributesMask(schema));
+  EXPECT_EQ(all.size(), 15u);
+  // Layer sizes 4,6,4,1 as in Fig. 2.
+  EXPECT_EQ(cuboidsAtLayer(allAttributesMask(schema), 1).size(), 4u);
+  EXPECT_EQ(cuboidsAtLayer(allAttributesMask(schema), 2).size(), 6u);
+  EXPECT_EQ(cuboidsAtLayer(allAttributesMask(schema), 3).size(), 4u);
+  EXPECT_EQ(cuboidsAtLayer(allAttributesMask(schema), 4).size(), 1u);
+}
+
+TEST(Cuboid, OrderedByLayer) {
+  const auto all = allCuboidsByLayer(0b1111);
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LE(cuboidLayer(all[i - 1]), cuboidLayer(all[i]));
+  }
+}
+
+TEST(Cuboid, RestrictedLattice) {
+  // Only attributes 0 and 2 allowed -> 3 cuboids.
+  const auto all = allCuboidsByLayer(0b0101);
+  EXPECT_EQ(all.size(), 3u);
+  for (const auto mask : all) {
+    EXPECT_EQ(mask & ~0b0101u, 0u);
+  }
+}
+
+TEST(Cuboid, SizeIsCardinalityProduct) {
+  const Schema schema = Schema::cdn();
+  EXPECT_EQ(cuboidSize(schema, 0b0001), 33u);
+  EXPECT_EQ(cuboidSize(schema, 0b1001), 660u);    // Location x Website
+  EXPECT_EQ(cuboidSize(schema, 0b1111), 10560u);  // paper §II-B
+}
+
+TEST(Cuboid, NameListsAttributes) {
+  const Schema schema = Schema::cdn();
+  EXPECT_EQ(cuboidName(schema, 0b1001), "Cub{Location,Website}");
+}
+
+TEST(Cuboid, EnumerateMatchesSizeAndIsUnique) {
+  const Schema schema = Schema::tiny();
+  const auto acs = enumerateCuboid(schema, 0b0011);
+  EXPECT_EQ(acs.size(), cuboidSize(schema, 0b0011));
+  const std::set<AttributeCombination> unique(acs.begin(), acs.end());
+  EXPECT_EQ(unique.size(), acs.size());
+  for (const auto& ac : acs) {
+    EXPECT_EQ(ac.cuboidMask(), 0b0011u);
+  }
+}
+
+TEST(Cuboid, LeafIndexRoundTrip) {
+  const Schema schema = Schema::tiny();
+  for (std::uint64_t i = 0; i < schema.leafCount(); ++i) {
+    const auto leaf = leafFromIndex(schema, i);
+    EXPECT_TRUE(leaf.isLeaf());
+    EXPECT_EQ(leafToIndex(schema, leaf), i);
+  }
+}
+
+TEST(Cuboid, ForEachVisitsAll) {
+  const Schema schema = Schema::tiny();
+  std::size_t count = 0;
+  forEachInCuboid(schema, 0b1111,
+                  [&count](const AttributeCombination&) { ++count; });
+  EXPECT_EQ(count, schema.leafCount());
+}
+
+// ------------------------------------------------------------- LeafTable
+
+LeafTable tinyTable() {
+  const Schema schema = Schema::tiny();
+  LeafTable table(schema);
+  // Mark everything under (a1, *, *, *) anomalous.
+  const auto broken =
+      AttributeCombination::parse(schema, "(a1, *, *, *)").value();
+  for (std::uint64_t i = 0; i < schema.leafCount(); ++i) {
+    const auto leaf = leafFromIndex(schema, i);
+    const bool anomalous = broken.matchesLeaf(leaf);
+    table.addRow(leaf, anomalous ? 10.0 : 100.0, 100.0, anomalous);
+  }
+  return table;
+}
+
+TEST(LeafTable, CountsAndTotals) {
+  const LeafTable table = tinyTable();
+  EXPECT_EQ(table.size(), 24u);
+  EXPECT_EQ(table.anomalousCount(), 8u);  // 1/3 of A's elements
+  EXPECT_DOUBLE_EQ(table.totalF(), 2400.0);
+  EXPECT_DOUBLE_EQ(table.totalV(), 8 * 10.0 + 16 * 100.0);
+}
+
+TEST(LeafTable, GroupByLayer1MatchesAggregateFor) {
+  const LeafTable table = tinyTable();
+  const auto groups = table.groupBy(0b0001);
+  ASSERT_EQ(groups.size(), 3u);
+  for (const auto& g : groups) {
+    const auto direct = table.aggregateFor(g.ac);
+    EXPECT_EQ(g.total, direct.total);
+    EXPECT_EQ(g.anomalous, direct.anomalous);
+    EXPECT_DOUBLE_EQ(g.v_sum, direct.v_sum);
+    EXPECT_DOUBLE_EQ(g.f_sum, direct.f_sum);
+  }
+}
+
+TEST(LeafTable, GroupByTotalsSumToTableSize) {
+  const LeafTable table = tinyTable();
+  for (const auto mask : allCuboidsByLayer(0b1111)) {
+    std::uint64_t total = 0;
+    for (const auto& g : table.groupBy(mask)) total += g.total;
+    EXPECT_EQ(total, table.size()) << "mask=" << mask;
+  }
+}
+
+TEST(LeafTable, ConfidenceIsAnomalousShare) {
+  const LeafTable table = tinyTable();
+  for (const auto& g : table.groupBy(0b0001)) {
+    const Schema& schema = table.schema();
+    if (g.ac.toString(schema) == "(a1, *, *, *)") {
+      EXPECT_DOUBLE_EQ(g.confidence(), 1.0);
+    } else {
+      EXPECT_DOUBLE_EQ(g.confidence(), 0.0);
+    }
+  }
+}
+
+TEST(LeafTable, GroupByWithRowsSubset) {
+  const LeafTable table = tinyTable();
+  const auto anomalous = table.anomalousRows();
+  const auto groups = table.groupByWithRows(0b0001, anomalous);
+  ASSERT_EQ(groups.size(), 1u);  // only a1 has anomalous leaves
+  EXPECT_EQ(groups[0].rows.size(), 8u);
+  EXPECT_EQ(groups[0].agg.total, 8u);
+}
+
+TEST(LeafTable, CoversAllAnomalies) {
+  const LeafTable table = tinyTable();
+  const Schema& schema = table.schema();
+  const auto exact = AttributeCombination::parse(schema, "(a1, *, *, *)").value();
+  const auto partial =
+      AttributeCombination::parse(schema, "(a1, b1, *, *)").value();
+  EXPECT_TRUE(table.coversAllAnomalies({exact}));
+  EXPECT_FALSE(table.coversAllAnomalies({partial}));
+  EXPECT_FALSE(table.coversAllAnomalies({}));
+  const auto other = AttributeCombination::parse(schema, "(a1, b2, *, *)").value();
+  EXPECT_TRUE(table.coversAllAnomalies({partial, other}));
+}
+
+TEST(LeafTable, SparseTableGroupsOnlyPresentLeaves) {
+  const Schema schema = Schema::tiny();
+  LeafTable table(schema);
+  table.addRow(leafFromIndex(schema, 0), 1.0, 1.0, false);
+  table.addRow(leafFromIndex(schema, 5), 2.0, 2.0, true);
+  const auto groups = table.groupBy(0b1111);
+  EXPECT_EQ(groups.size(), 2u);
+}
+
+TEST(LeafTable, DuplicateLeavesAccumulate) {
+  const Schema schema = Schema::tiny();
+  LeafTable table(schema);
+  const auto leaf = leafFromIndex(schema, 3);
+  table.addRow(leaf, 1.0, 2.0, true);
+  table.addRow(leaf, 3.0, 4.0, false);
+  const auto agg = table.aggregateFor(leaf);
+  EXPECT_EQ(agg.total, 2u);
+  EXPECT_EQ(agg.anomalous, 1u);
+  EXPECT_DOUBLE_EQ(agg.v_sum, 4.0);
+  EXPECT_DOUBLE_EQ(agg.f_sum, 6.0);
+}
+
+// --------------------------------------------------------- InvertedIndex
+
+TEST(InvertedIndex, PostingsPartitionRows) {
+  const LeafTable table = tinyTable();
+  const InvertedIndex index(table);
+  for (AttrId a = 0; a < table.schema().attributeCount(); ++a) {
+    std::size_t total = 0;
+    for (ElemId e = 0; e < table.schema().cardinality(a); ++e) {
+      total += index.posting(a, e).size();
+    }
+    EXPECT_EQ(total, table.size());
+  }
+}
+
+TEST(InvertedIndex, RowsMatchingAgreesWithScan) {
+  const LeafTable table = tinyTable();
+  const InvertedIndex index(table);
+  const Schema& schema = table.schema();
+  for (const char* text :
+       {"(a1, *, *, *)", "(a1, b1, *, *)", "(*, b2, c1, d1)", "(*, *, *, *)",
+        "(a3, b2, c2, d2)"}) {
+    const auto ac = AttributeCombination::parse(schema, text).value();
+    std::vector<RowId> scanned;
+    for (RowId id = 0; id < table.size(); ++id) {
+      if (ac.matchesLeaf(table.row(id).ac)) scanned.push_back(id);
+    }
+    EXPECT_EQ(index.rowsMatching(ac), scanned) << text;
+  }
+}
+
+TEST(InvertedIndex, AggregateForMatchesTableScan) {
+  const LeafTable table = tinyTable();
+  const InvertedIndex index(table);
+  const auto ac = AttributeCombination::parse(table.schema(),
+                                              "(a1, *, c1, *)")
+                      .value();
+  const auto from_index = index.aggregateFor(ac);
+  const auto from_scan = table.aggregateFor(ac);
+  EXPECT_EQ(from_index.total, from_scan.total);
+  EXPECT_EQ(from_index.anomalous, from_scan.anomalous);
+  EXPECT_DOUBLE_EQ(from_index.v_sum, from_scan.v_sum);
+}
+
+}  // namespace
+}  // namespace rap::dataset

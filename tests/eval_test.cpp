@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+
+#include "dataset/cuboid.h"
+#include "eval/export.h"
+#include "eval/metrics.h"
+#include "eval/runner.h"
+#include "gen/rapmd.h"
+#include "io/csv.h"
+#include "util/strings.h"
+
+namespace rap::eval {
+namespace {
+
+using dataset::AttributeCombination;
+using dataset::Schema;
+
+AttributeCombination parse(const Schema& schema, const std::string& text) {
+  return AttributeCombination::parse(schema, text).value();
+}
+
+// ----------------------------------------------------------------- match
+
+TEST(MatchPatterns, CountsTpFpFn) {
+  const Schema schema = Schema::tiny();
+  const auto counts = matchPatterns(
+      {parse(schema, "(a1, *, *, *)"), parse(schema, "(a2, *, *, *)")},
+      {parse(schema, "(a1, *, *, *)"), parse(schema, "(*, b1, *, *)")});
+  EXPECT_EQ(counts.tp, 1u);
+  EXPECT_EQ(counts.fp, 1u);
+  EXPECT_EQ(counts.fn, 1u);
+}
+
+TEST(MatchPatterns, ExactMatchOnly) {
+  // An ancestor of the truth is NOT a hit — the paper scores exact RAPs.
+  const Schema schema = Schema::tiny();
+  const auto counts = matchPatterns({parse(schema, "(a1, *, *, *)")},
+                                    {parse(schema, "(a1, b1, *, *)")});
+  EXPECT_EQ(counts.tp, 0u);
+  EXPECT_EQ(counts.fp, 1u);
+  EXPECT_EQ(counts.fn, 1u);
+}
+
+TEST(MatchPatterns, EmptySets) {
+  const auto counts = matchPatterns({}, {});
+  EXPECT_EQ(counts.tp, 0u);
+  EXPECT_EQ(counts.fp, 0u);
+  EXPECT_EQ(counts.fn, 0u);
+}
+
+// -------------------------------------------------------------------- F1
+
+TEST(F1Accumulator, PerfectPrediction) {
+  const Schema schema = Schema::tiny();
+  F1Accumulator acc;
+  acc.add({parse(schema, "(a1, *, *, *)")}, {parse(schema, "(a1, *, *, *)")});
+  EXPECT_DOUBLE_EQ(acc.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.f1(), 1.0);
+}
+
+TEST(F1Accumulator, Equation6) {
+  // tp=2, fp=1, fn=3: P=2/3, R=2/5, F1 = 2PR/(P+R) = 0.5.
+  F1Accumulator acc;
+  acc.add(MatchCounts{2, 1, 3});
+  EXPECT_NEAR(acc.precision(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(acc.recall(), 0.4, 1e-12);
+  EXPECT_NEAR(acc.f1(), 0.5, 1e-12);
+}
+
+TEST(F1Accumulator, AccumulatesAcrossCases) {
+  F1Accumulator acc;
+  acc.add(MatchCounts{1, 0, 0});
+  acc.add(MatchCounts{0, 1, 1});
+  EXPECT_DOUBLE_EQ(acc.precision(), 0.5);
+  EXPECT_DOUBLE_EQ(acc.recall(), 0.5);
+  EXPECT_DOUBLE_EQ(acc.f1(), 0.5);
+}
+
+TEST(F1Accumulator, EmptyIsZeroNotNan) {
+  const F1Accumulator acc;
+  EXPECT_DOUBLE_EQ(acc.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.f1(), 0.0);
+}
+
+// ------------------------------------------------------------------ RC@k
+
+std::vector<core::ScoredPattern> ranked(const Schema& schema,
+                                        const std::vector<std::string>& texts) {
+  std::vector<core::ScoredPattern> out;
+  double score = 1.0;
+  for (const auto& text : texts) {
+    core::ScoredPattern p;
+    p.ac = parse(schema, text);
+    p.score = score;
+    score -= 0.1;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+TEST(RecallAtK, Equation7) {
+  const Schema schema = Schema::tiny();
+  RecallAtKAccumulator acc(3);
+  // Case 1: 2 truths, top-3 hits one of them.
+  acc.add(ranked(schema, {"(a1, *, *, *)", "(a2, *, *, *)", "(a3, *, *, *)"}),
+          {parse(schema, "(a2, *, *, *)"), parse(schema, "(*, b1, *, *)")});
+  // Case 2: 1 truth, hit at rank 1.
+  acc.add(ranked(schema, {"(*, *, c1, *)"}), {parse(schema, "(*, *, c1, *)")});
+  EXPECT_NEAR(acc.value(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(RecallAtK, TruncatesAtK) {
+  const Schema schema = Schema::tiny();
+  RecallAtKAccumulator acc(1);
+  // Truth sits at rank 2 — outside top-1.
+  acc.add(ranked(schema, {"(a1, *, *, *)", "(a2, *, *, *)"}),
+          {parse(schema, "(a2, *, *, *)")});
+  EXPECT_DOUBLE_EQ(acc.value(), 0.0);
+}
+
+TEST(RecallAtK, EmptyTruthIsZeroNotNan) {
+  const RecallAtKAccumulator acc(3);
+  EXPECT_DOUBLE_EQ(acc.value(), 0.0);
+}
+
+TEST(PatternsToAcs, PreservesOrder) {
+  const Schema schema = Schema::tiny();
+  const auto patterns = ranked(schema, {"(a1, *, *, *)", "(a2, *, *, *)"});
+  const auto acs = patternsToAcs(patterns);
+  ASSERT_EQ(acs.size(), 2u);
+  EXPECT_EQ(acs[0], patterns[0].ac);
+  EXPECT_EQ(acs[1], patterns[1].ac);
+}
+
+// ---------------------------------------------------------------- runner
+
+std::vector<gen::Case> twoCases() {
+  gen::RapmdConfig config;
+  config.num_cases = 2;
+  gen::RapmdGenerator generator(Schema::cdn(), config, 77);
+  return generator.generate();
+}
+
+TEST(Runner, RunsEveryCaseWithTiming) {
+  const auto cases = twoCases();
+  const auto localizer = rapminerLocalizer({});
+  const auto runs = runLocalizer(localizer, cases, {.k = 5});
+  ASSERT_EQ(runs.size(), 2u);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[i].case_id, cases[i].id);
+    EXPECT_GE(runs[i].seconds, 0.0);
+    EXPECT_LE(runs[i].predictions.size(), 5u);
+  }
+}
+
+TEST(Runner, KEqualsTruthLimitsPerCase) {
+  const auto cases = twoCases();
+  const auto localizer = rapminerLocalizer({});
+  const auto runs = runLocalizer(localizer, cases, {.k_equals_truth = true});
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    EXPECT_LE(runs[i].predictions.size(), cases[i].truth.size());
+  }
+}
+
+TEST(Runner, StandardLocalizersHaveUniqueNames) {
+  const auto localizers = standardLocalizers({}, /*include_hotspot=*/true);
+  ASSERT_EQ(localizers.size(), 6u);
+  std::set<std::string> names;
+  for (const auto& l : localizers) names.insert(l.name);
+  EXPECT_EQ(names.size(), 6u);
+  EXPECT_TRUE(names.contains("RAPMiner"));
+  EXPECT_TRUE(names.contains("HotSpot"));
+}
+
+TEST(Export, RunsCsvContainsEveryPrediction) {
+  const auto cases = twoCases();
+  const auto localizer = rapminerLocalizer({});
+  const auto runs = runLocalizer(localizer, cases, {.k = 5});
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "rap_eval_runs.csv").string();
+  ASSERT_TRUE(
+      writeRunsCsv(path, cases[0].table.schema(), runs, cases).isOk());
+  const auto rows = io::readCsvFile(path).value();
+  std::size_t predictions = 0;
+  for (const auto& run : runs) predictions += run.predictions.size();
+  EXPECT_EQ(rows.size(), predictions + 1);  // + header
+  EXPECT_EQ(rows[0][0], "case_id");
+  // Every data row has the full column set and a parsable score.
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    ASSERT_EQ(rows[r].size(), 8u);
+    EXPECT_TRUE(util::parseDouble(rows[r][5]).isOk());
+    EXPECT_TRUE(rows[r][7] == "0" || rows[r][7] == "1");
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Export, RunsCsvRejectsMismatchedVectors) {
+  const auto cases = twoCases();
+  EXPECT_FALSE(writeRunsCsv("/tmp/never.csv", cases[0].table.schema(), {},
+                            cases)
+                   .isOk());
+}
+
+TEST(Export, MetricsCsvRoundTrips) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "rap_eval_metrics.csv")
+          .string();
+  ASSERT_TRUE(writeMetricsCsv(path, {{"fig8b", "RAPMiner", "RC@3", 0.815},
+                                     {"fig8b", "Squeeze", "RC@3", 0.301}})
+                  .isOk());
+  const auto rows = io::readCsvFile(path).value();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[1], (io::CsvRow{"fig8b", "RAPMiner", "RC@3", "0.815000"}));
+  std::filesystem::remove(path);
+}
+
+TEST(Runner, AggregatesMatchManualComputation) {
+  const auto cases = twoCases();
+  const auto localizer = rapminerLocalizer({});
+  const auto runs = runLocalizer(localizer, cases, {.k = 5});
+
+  RecallAtKAccumulator rc(3);
+  F1Accumulator f1;
+  util::TimingStats timing;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    rc.add(runs[i].predictions, cases[i].truth);
+    f1.add(patternsToAcs(runs[i].predictions), cases[i].truth);
+    timing.add(runs[i].seconds);
+  }
+  EXPECT_DOUBLE_EQ(aggregateRecallAtK(runs, cases, 3), rc.value());
+  EXPECT_DOUBLE_EQ(aggregateF1(runs, cases), f1.f1());
+  EXPECT_DOUBLE_EQ(aggregateTiming(runs).mean(), timing.mean());
+}
+
+}  // namespace
+}  // namespace rap::eval

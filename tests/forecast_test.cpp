@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "core/rapminer.h"
+#include "dataset/cuboid.h"
+#include "forecast/forecaster.h"
+#include "forecast/pipeline.h"
+#include "gen/background.h"
+#include "util/rng.h"
+
+namespace rap::forecast {
+namespace {
+
+using dataset::AttributeCombination;
+using dataset::Schema;
+
+// --------------------------------------------------------- MovingAverage
+
+TEST(MovingAverage, MeanOfTrailingWindow) {
+  const MovingAverageForecaster forecaster(3);
+  EXPECT_DOUBLE_EQ(forecaster.forecastNext({1, 2, 3, 4, 5}), 4.0);
+  EXPECT_DOUBLE_EQ(forecaster.forecastNext({10.0}), 10.0);  // short history
+  EXPECT_DOUBLE_EQ(forecaster.forecastNext({}), 0.0);
+}
+
+TEST(MovingAverage, WindowOneTracksLastValue) {
+  const MovingAverageForecaster forecaster(1);
+  EXPECT_DOUBLE_EQ(forecaster.forecastNext({7, 8, 42}), 42.0);
+}
+
+TEST(MovingAverage, ConstantSeriesExact) {
+  const MovingAverageForecaster forecaster(5);
+  EXPECT_DOUBLE_EQ(forecaster.forecastNext(std::vector<double>(20, 3.5)), 3.5);
+}
+
+// ------------------------------------------------------------------ EWMA
+
+TEST(Ewma, ConstantSeriesExact) {
+  const EwmaForecaster forecaster(0.3);
+  EXPECT_DOUBLE_EQ(forecaster.forecastNext(std::vector<double>(50, 9.0)), 9.0);
+}
+
+TEST(Ewma, AlphaOneTracksLastValue) {
+  const EwmaForecaster forecaster(1.0);
+  EXPECT_DOUBLE_EQ(forecaster.forecastNext({1, 2, 3, 99}), 99.0);
+}
+
+TEST(Ewma, RecencyWeighting) {
+  // After a level shift the forecast moves toward the new level but
+  // keeps memory of the old one.
+  std::vector<double> series(20, 10.0);
+  series.insert(series.end(), 5, 20.0);
+  const double forecast = EwmaForecaster(0.3).forecastNext(series);
+  EXPECT_GT(forecast, 15.0);
+  EXPECT_LT(forecast, 20.0);
+}
+
+TEST(Ewma, EmptyHistoryZero) {
+  EXPECT_DOUBLE_EQ(EwmaForecaster(0.5).forecastNext({}), 0.0);
+}
+
+// ---------------------------------------------------------- Holt-Winters
+
+std::vector<double> seasonalSeries(std::size_t n, std::size_t period,
+                                   double level, double amplitude,
+                                   double trend = 0.0) {
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    out.push_back(level + trend * static_cast<double>(t) +
+                  amplitude * std::sin(2.0 * std::numbers::pi *
+                                       static_cast<double>(t % period) /
+                                       static_cast<double>(period)));
+  }
+  return out;
+}
+
+TEST(HoltWinters, LearnsSeasonalPattern) {
+  const std::size_t period = 24;
+  const auto series = seasonalSeries(24 * 10, period, 100.0, 30.0);
+  const HoltWintersForecaster forecaster(static_cast<std::int32_t>(period));
+  const double forecast = forecaster.forecastNext(series);
+  // Next point continues the sinusoid at phase t = 240 -> 240 % 24 = 0.
+  const double expected = 100.0 + 30.0 * std::sin(0.0);
+  EXPECT_NEAR(forecast, expected, 5.0);
+}
+
+TEST(HoltWinters, SeasonalBeatsEwmaOnSeasonalData) {
+  const std::size_t period = 24;
+  const auto series = seasonalSeries(24 * 8, period, 50.0, 25.0);
+  const double truth =
+      50.0 + 25.0 * std::sin(2.0 * std::numbers::pi *
+                             static_cast<double>(series.size() % period) /
+                             static_cast<double>(period));
+  const double hw =
+      HoltWintersForecaster(static_cast<std::int32_t>(period))
+          .forecastNext(series);
+  const double ewma = EwmaForecaster(0.3).forecastNext(series);
+  EXPECT_LT(std::fabs(hw - truth), std::fabs(ewma - truth));
+}
+
+TEST(HoltWinters, TracksTrend) {
+  const auto series = seasonalSeries(24 * 8, 24, 100.0, 0.0, /*trend=*/0.5);
+  const double forecast = HoltWintersForecaster(24).forecastNext(series);
+  const double expected = 100.0 + 0.5 * static_cast<double>(series.size());
+  EXPECT_NEAR(forecast, expected, 3.0);
+}
+
+TEST(HoltWinters, ShortHistoryFallsBackGracefully) {
+  const HoltWintersForecaster forecaster(24);
+  const std::vector<double> short_series(10, 42.0);
+  EXPECT_DOUBLE_EQ(forecaster.forecastNext(short_series), 42.0);
+  EXPECT_DOUBLE_EQ(forecaster.forecastNext({}), 0.0);
+}
+
+TEST(HoltWinters, ConstantSeriesStaysConstant) {
+  const auto series = std::vector<double>(24 * 4, 77.0);
+  EXPECT_NEAR(HoltWintersForecaster(24).forecastNext(series), 77.0, 1e-6);
+}
+
+// --------------------------------------------------------------- pipeline
+
+TEST(Pipeline, DetectsDropAgainstForecast) {
+  const Schema schema = Schema::tiny();
+  std::vector<LeafSeries> series;
+  const auto broken =
+      AttributeCombination::parse(schema, "(a1, *, *, *)").value();
+  for (std::uint64_t i = 0; i < schema.leafCount(); ++i) {
+    LeafSeries s;
+    s.leaf = dataset::leafFromIndex(schema, i);
+    s.history.assign(48, 100.0);
+    s.current = broken.matchesLeaf(s.leaf) ? 30.0 : 100.0;
+    series.push_back(std::move(s));
+  }
+  const auto table = buildDetectedTable(schema, series,
+                                        MovingAverageForecaster(12), {});
+  EXPECT_EQ(table.anomalousCount(), 8u);
+
+  // Localization closes the loop.
+  const auto result = core::RapMiner().localize(table, 3);
+  ASSERT_FALSE(result.patterns.empty());
+  EXPECT_EQ(result.patterns[0].ac, broken);
+}
+
+TEST(Pipeline, SkipsDeadLeaves) {
+  const Schema schema = Schema::tiny();
+  std::vector<LeafSeries> series;
+  LeafSeries dead;
+  dead.leaf = dataset::leafFromIndex(schema, 0);
+  dead.history.assign(10, 0.0);
+  dead.current = 0.0;
+  series.push_back(dead);
+  LeafSeries alive;
+  alive.leaf = dataset::leafFromIndex(schema, 1);
+  alive.history.assign(10, 50.0);
+  alive.current = 50.0;
+  series.push_back(alive);
+  const auto table =
+      buildDetectedTable(schema, series, MovingAverageForecaster(5), {});
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(Pipeline, EndToEndOnBackgroundModel) {
+  // Leaf series come from the diurnal background model; Holt-Winters with
+  // the daily season recovers the pattern well enough that an injected
+  // 60% drop on one location is detected and localized.
+  const Schema schema = Schema::synthetic({4, 3, 3});
+  gen::BackgroundConfig bg_config;
+  bg_config.sparsity = 0.0;
+  bg_config.minutes_per_day = 96;  // compressed day for test speed
+  const gen::CdnBackgroundModel model(schema, bg_config, 5);
+  util::Rng rng(6);
+
+  AttributeCombination broken(schema.attributeCount());
+  broken.setSlot(0, 2);
+
+  std::vector<LeafSeries> series;
+  const std::int64_t now = 96 * 4;  // four days of history
+  for (std::uint64_t leaf = 0; leaf < schema.leafCount(); ++leaf) {
+    LeafSeries s;
+    s.leaf = dataset::leafFromIndex(schema, leaf);
+    for (std::int64_t t = 0; t < now; ++t) {
+      s.history.push_back(model.sampleVolume(leaf, t, rng));
+    }
+    s.current = model.sampleVolume(leaf, now, rng);
+    if (broken.matchesLeaf(s.leaf)) s.current *= 0.4;
+    series.push_back(std::move(s));
+  }
+
+  PipelineConfig config;
+  config.detect_threshold = 0.3;
+  const auto table = buildDetectedTable(
+      schema, series, HoltWintersForecaster(96), config);
+  const auto result = core::RapMiner().localize(table, 3);
+  ASSERT_FALSE(result.patterns.empty());
+  EXPECT_EQ(result.patterns[0].ac, broken);
+}
+
+}  // namespace
+}  // namespace rap::forecast

@@ -1,0 +1,318 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "detect/detector.h"
+#include "gen/background.h"
+#include "gen/rapmd.h"
+#include "gen/squeeze_gen.h"
+
+namespace rap::gen {
+namespace {
+
+using dataset::AttributeCombination;
+using dataset::Schema;
+
+// ------------------------------------------------------------ Background
+
+TEST(Background, DeterministicForSeed) {
+  const Schema schema = Schema::tiny();
+  const CdnBackgroundModel a(schema, {}, 42);
+  const CdnBackgroundModel b(schema, {}, 42);
+  for (std::uint64_t leaf = 0; leaf < schema.leafCount(); ++leaf) {
+    EXPECT_DOUBLE_EQ(a.expectedVolume(leaf, 100), b.expectedVolume(leaf, 100));
+  }
+}
+
+TEST(Background, SparsityFractionRoughlyHonored) {
+  const Schema schema = Schema::cdn();
+  BackgroundConfig config;
+  config.sparsity = 0.3;
+  const CdnBackgroundModel model(schema, config, 7);
+  std::uint64_t inactive = 0;
+  for (std::uint64_t leaf = 0; leaf < model.leafCount(); ++leaf) {
+    inactive += model.isActive(leaf) ? 0 : 1;
+  }
+  const double fraction =
+      static_cast<double>(inactive) / static_cast<double>(model.leafCount());
+  EXPECT_NEAR(fraction, 0.3, 0.03);
+}
+
+TEST(Background, InactiveLeavesHaveZeroVolume) {
+  const Schema schema = Schema::cdn();
+  BackgroundConfig config;
+  config.sparsity = 0.5;
+  const CdnBackgroundModel model(schema, config, 3);
+  for (std::uint64_t leaf = 0; leaf < model.leafCount(); ++leaf) {
+    if (!model.isActive(leaf)) {
+      EXPECT_DOUBLE_EQ(model.expectedVolume(leaf, 0), 0.0);
+    } else {
+      EXPECT_GT(model.expectedVolume(leaf, 0), 0.0);
+    }
+  }
+}
+
+TEST(Background, DiurnalModulationVariesOverTheDay) {
+  const Schema schema = Schema::tiny();
+  const CdnBackgroundModel model(schema, {}, 11);
+  std::uint64_t leaf = 0;
+  while (!model.isActive(leaf)) ++leaf;
+  double lo = 1e300;
+  double hi = 0.0;
+  for (std::int64_t minute = 0; minute < 1440; minute += 60) {
+    const double volume = model.expectedVolume(leaf, minute);
+    lo = std::min(lo, volume);
+    hi = std::max(hi, volume);
+  }
+  EXPECT_GT(hi / lo, 1.5);  // depth 0.45 -> ~2.6x swing
+}
+
+TEST(Background, WeekendDip) {
+  const Schema schema = Schema::tiny();
+  const CdnBackgroundModel model(schema, {}, 13);
+  std::uint64_t leaf = 0;
+  while (!model.isActive(leaf)) ++leaf;
+  const double weekday = model.expectedVolume(leaf, 0);           // day 0
+  const double weekend = model.expectedVolume(leaf, 5 * 1440);    // day 5
+  EXPECT_LT(weekend, weekday);
+}
+
+TEST(Background, SampleJitterStaysNearExpectation) {
+  const Schema schema = Schema::tiny();
+  const CdnBackgroundModel model(schema, {}, 17);
+  std::uint64_t leaf = 0;
+  while (!model.isActive(leaf)) ++leaf;
+  util::Rng rng(1);
+  const double expected = model.expectedVolume(leaf, 500);
+  double sum = 0.0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) sum += model.sampleVolume(leaf, 500, rng);
+  EXPECT_NEAR(sum / n / expected, 1.0, 0.01);
+}
+
+// ----------------------------------------------------------------- RAPMD
+
+RapmdConfig testConfig() {
+  RapmdConfig config;
+  config.num_cases = 6;
+  return config;
+}
+
+TEST(Rapmd, GeneratesRequestedCases) {
+  RapmdGenerator generator(Schema::cdn(), testConfig(), 1);
+  const auto cases = generator.generate();
+  ASSERT_EQ(cases.size(), 6u);
+  for (const auto& c : cases) {
+    EXPECT_FALSE(c.table.empty());
+    EXPECT_GE(c.truth.size(), 1u);
+    EXPECT_LE(c.truth.size(), 3u);
+  }
+}
+
+TEST(Rapmd, GenerateCaseMatchesGenerate) {
+  RapmdGenerator a(Schema::cdn(), testConfig(), 99);
+  RapmdGenerator b(Schema::cdn(), testConfig(), 99);
+  const auto all = a.generate();
+  for (std::int32_t i = 0; i < 6; ++i) {
+    const auto single = b.generateCase(i);
+    EXPECT_EQ(single.truth, all[static_cast<std::size_t>(i)].truth);
+    EXPECT_EQ(single.table.size(), all[static_cast<std::size_t>(i)].table.size());
+  }
+}
+
+TEST(Rapmd, TruthRapsAreNotRelated) {
+  RapmdGenerator generator(Schema::cdn(), testConfig(), 5);
+  for (const auto& c : generator.generate()) {
+    for (std::size_t i = 0; i < c.truth.size(); ++i) {
+      for (std::size_t j = 0; j < c.truth.size(); ++j) {
+        if (i == j) continue;
+        EXPECT_FALSE(c.truth[i].covers(c.truth[j]))
+            << c.truth[i].toString(c.table.schema()) << " covers "
+            << c.truth[j].toString(c.table.schema());
+      }
+    }
+  }
+}
+
+TEST(Rapmd, TruthDimensionsWithinConfiguredRange) {
+  auto config = testConfig();
+  config.min_rap_dim = 2;
+  config.max_rap_dim = 3;
+  RapmdGenerator generator(Schema::cdn(), config, 21);
+  for (const auto& c : generator.generate()) {
+    for (const auto& rap : c.truth) {
+      EXPECT_GE(rap.dim(), 2);
+      EXPECT_LE(rap.dim(), 3);
+    }
+  }
+}
+
+TEST(Rapmd, DeviationsFollowInjectionRecipe) {
+  RapmdGenerator generator(Schema::cdn(), testConfig(), 31);
+  const auto c = generator.generateCase(0);
+  for (const auto& row : c.table.rows()) {
+    const bool injected =
+        std::any_of(c.truth.begin(), c.truth.end(),
+                    [&row](const AttributeCombination& rap) {
+                      return rap.matchesLeaf(row.ac);
+                    });
+    // Recover Dev from Eq. 4 and check the Randomness-2 ranges.
+    const double dev = (row.f - row.v) / (row.f + 1e-6);
+    if (injected) {
+      EXPECT_GE(dev, 0.1 - 1e-6);
+      EXPECT_LE(dev, 0.9 + 1e-6);
+      EXPECT_TRUE(row.anomalous);
+    } else {
+      EXPECT_GE(dev, -0.02 - 1e-6);
+      EXPECT_LE(dev, 0.09 + 1e-6);
+      EXPECT_FALSE(row.anomalous);
+    }
+  }
+}
+
+TEST(Rapmd, VerdictRangesAreSeparableByDetector) {
+  // The injection recipe guarantees a clean threshold at 0.095.
+  RapmdGenerator generator(Schema::cdn(), testConfig(), 41);
+  auto c = generator.generateCase(2);
+  std::uint32_t injected_count = c.table.anomalousCount();
+  const detect::RelativeDeviationDetector detector(0.095);
+  EXPECT_EQ(detector.run(c.table), injected_count);
+}
+
+TEST(Rapmd, LabelNoiseFlipsRoughlyRequestedFraction) {
+  auto config = testConfig();
+  config.label_noise = 0.1;
+  RapmdGenerator noisy(Schema::cdn(), config, 77);
+  config.label_noise = 0.0;
+  RapmdGenerator clean(Schema::cdn(), config, 77);
+  const auto noisy_case = noisy.generateCase(0);
+  const auto clean_case = clean.generateCase(0);
+  ASSERT_EQ(noisy_case.table.size(), clean_case.table.size());
+  std::uint32_t flips = 0;
+  for (dataset::RowId id = 0; id < noisy_case.table.size(); ++id) {
+    flips += noisy_case.table.row(id).anomalous !=
+                     clean_case.table.row(id).anomalous
+                 ? 1
+                 : 0;
+  }
+  const double fraction =
+      static_cast<double>(flips) / static_cast<double>(noisy_case.table.size());
+  EXPECT_NEAR(fraction, 0.1, 0.03);
+}
+
+TEST(Rapmd, EachTruthRapHasSupport) {
+  RapmdGenerator generator(Schema::cdn(), testConfig(), 51);
+  for (const auto& c : generator.generate()) {
+    for (const auto& rap : c.truth) {
+      EXPECT_GE(c.table.aggregateFor(rap).total, 3u)
+          << rap.toString(c.table.schema());
+    }
+  }
+}
+
+// --------------------------------------------------------------- Squeeze
+
+TEST(SqueezeGen, GroupShapes) {
+  SqueezeGenConfig config;
+  config.cases_per_group = 4;
+  SqueezeGenerator generator(config, 3);
+  const auto group = generator.generateGroup(2, 3);
+  EXPECT_EQ(group.n_dims, 2);
+  EXPECT_EQ(group.n_raps, 3);
+  ASSERT_EQ(group.cases.size(), 4u);
+  for (const auto& c : group.cases) {
+    ASSERT_EQ(c.truth.size(), 3u);
+    for (const auto& rap : c.truth) EXPECT_EQ(rap.dim(), 2);
+  }
+}
+
+TEST(SqueezeGen, AllRapsShareOneCuboid) {
+  SqueezeGenConfig config;
+  config.cases_per_group = 5;
+  SqueezeGenerator generator(config, 9);
+  for (const auto& c : generator.generateGroup(2, 2).cases) {
+    ASSERT_EQ(c.truth.size(), 2u);
+    EXPECT_EQ(c.truth[0].cuboidMask(), c.truth[1].cuboidMask());
+    EXPECT_FALSE(c.truth[0] == c.truth[1]);
+  }
+}
+
+TEST(SqueezeGen, VerticalAssumptionHolds) {
+  // Every descendant leaf of one RAP carries the same relative deviation
+  // (up to the configured noise; default noise_sigma is 0).
+  SqueezeGenConfig config;
+  config.cases_per_group = 2;
+  SqueezeGenerator generator(config, 15);
+  for (const auto& c : generator.generateGroup(1, 2).cases) {
+    for (const auto& rap : c.truth) {
+      double first_dev = -1.0;
+      for (const auto& row : c.table.rows()) {
+        if (!rap.matchesLeaf(row.ac)) continue;
+        const double dev = (row.f - row.v) / row.f;
+        if (first_dev < 0.0) {
+          first_dev = dev;
+        } else {
+          EXPECT_NEAR(dev, first_dev, 1e-9);
+        }
+      }
+      EXPECT_GT(first_dev, 0.0);
+    }
+  }
+}
+
+TEST(SqueezeGen, HorizontalAssumptionSeparatesRapDeviations) {
+  SqueezeGenConfig config;
+  config.cases_per_group = 2;
+  SqueezeGenerator generator(config, 19);
+  for (const auto& c : generator.generateGroup(1, 3).cases) {
+    std::vector<double> devs;
+    for (const auto& rap : c.truth) {
+      for (const auto& row : c.table.rows()) {
+        if (rap.matchesLeaf(row.ac)) {
+          devs.push_back((row.f - row.v) / row.f);
+          break;
+        }
+      }
+    }
+    ASSERT_EQ(devs.size(), 3u);
+    for (std::size_t i = 0; i < devs.size(); ++i) {
+      for (std::size_t j = i + 1; j < devs.size(); ++j) {
+        EXPECT_GE(std::fabs(devs[i] - devs[j]), 0.08 - 1e-9);
+      }
+    }
+  }
+}
+
+TEST(SqueezeGen, NoiseLevelsIncrease) {
+  for (std::int32_t level = 1; level <= 4; ++level) {
+    EXPECT_GT(squeezeNoiseSigma(level), squeezeNoiseSigma(level - 1));
+  }
+}
+
+TEST(SqueezeGen, AllGroupsCoverTheNineCells) {
+  SqueezeGenConfig config;
+  config.cases_per_group = 1;
+  SqueezeGenerator generator(config, 23);
+  const auto groups = generator.generateAllGroups();
+  ASSERT_EQ(groups.size(), 9u);
+  std::set<std::pair<int, int>> cells;
+  for (const auto& g : groups) cells.emplace(g.n_dims, g.n_raps);
+  EXPECT_EQ(cells.size(), 9u);
+}
+
+TEST(SqueezeGen, DeterministicForSeed) {
+  SqueezeGenConfig config;
+  config.cases_per_group = 2;
+  SqueezeGenerator a(config, 31);
+  SqueezeGenerator b(config, 31);
+  const auto ga = a.generateGroup(2, 1);
+  const auto gb = b.generateGroup(2, 1);
+  for (std::size_t i = 0; i < ga.cases.size(); ++i) {
+    EXPECT_EQ(ga.cases[i].truth, gb.cases[i].truth);
+    EXPECT_EQ(ga.cases[i].table.size(), gb.cases[i].table.size());
+  }
+}
+
+}  // namespace
+}  // namespace rap::gen

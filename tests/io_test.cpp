@@ -1,0 +1,308 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include <cmath>
+
+#include "core/types.h"
+#include "dataset/cuboid.h"
+#include "io/csv.h"
+#include "io/dataset_io.h"
+#include "io/json.h"
+
+namespace rap::io {
+namespace {
+
+using dataset::AttributeCombination;
+using dataset::LeafTable;
+using dataset::Schema;
+
+class TempDir : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("rap_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+ private:
+  std::filesystem::path dir_;
+};
+
+// ------------------------------------------------------------------- CSV
+
+TEST(Csv, ParsesPlainRows) {
+  const auto rows = parseCsv("a,b,c\n1,2,3\n").value();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (CsvRow{"a", "b", "c"}));
+  EXPECT_EQ(rows[1], (CsvRow{"1", "2", "3"}));
+}
+
+TEST(Csv, HandlesQuotedFields) {
+  const auto rows =
+      parseCsv("\"a,b\",\"say \"\"hi\"\"\",\"line\nbreak\"\n").value();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "a,b");
+  EXPECT_EQ(rows[0][1], "say \"hi\"");
+  EXPECT_EQ(rows[0][2], "line\nbreak");
+}
+
+TEST(Csv, HandlesCrLfAndMissingTrailingNewline) {
+  const auto rows = parseCsv("a,b\r\nc,d").value();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (CsvRow{"c", "d"}));
+}
+
+TEST(Csv, EmptyFieldsPreserved) {
+  const auto rows = parseCsv("a,,c\n,,\n").value();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (CsvRow{"a", "", "c"}));
+  EXPECT_EQ(rows[1], (CsvRow{"", "", ""}));
+}
+
+TEST(Csv, EmptyDocument) {
+  EXPECT_TRUE(parseCsv("").value().empty());
+  EXPECT_TRUE(parseCsv("\n\n").value().empty());
+}
+
+TEST(Csv, RejectsMalformedQuoting) {
+  EXPECT_FALSE(parseCsv("ab\"c,d\n").isOk());
+  EXPECT_FALSE(parseCsv("\"unterminated\n").isOk());
+}
+
+TEST(Csv, WriteQuotesOnlyWhenNeeded) {
+  const std::string out =
+      writeCsv({{"plain", "with,comma", "with\"quote", "with\nnewline"}});
+  EXPECT_EQ(out,
+            "plain,\"with,comma\",\"with\"\"quote\",\"with\nnewline\"\n");
+}
+
+TEST(Csv, RoundTripArbitraryContent) {
+  const std::vector<CsvRow> rows{{"a", "b,c", "d\"e"}, {"", "x\ny", "z"}};
+  const auto parsed = parseCsv(writeCsv(rows)).value();
+  EXPECT_EQ(parsed, rows);
+}
+
+TEST_F(TempDir, CsvFileRoundTrip) {
+  const std::vector<CsvRow> rows{{"h1", "h2"}, {"1", "2"}};
+  ASSERT_TRUE(writeCsvFile(path("t.csv"), rows).isOk());
+  EXPECT_EQ(readCsvFile(path("t.csv")).value(), rows);
+}
+
+TEST(CsvFile, MissingFileIsNotFound) {
+  const auto result = readCsvFile("/nonexistent/path/file.csv");
+  ASSERT_FALSE(result.isOk());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kNotFound);
+}
+
+// -------------------------------------------------------------- LeafTable
+
+LeafTable sampleTable() {
+  const Schema schema = Schema::tiny();
+  LeafTable table(schema);
+  for (std::uint64_t i = 0; i < schema.leafCount(); ++i) {
+    table.addRow(dataset::leafFromIndex(schema, i),
+                 static_cast<double>(i) + 0.5, static_cast<double>(i) * 2.0,
+                 i % 3 == 0);
+  }
+  return table;
+}
+
+TEST_F(TempDir, LeafTableRoundTrip) {
+  const LeafTable original = sampleTable();
+  ASSERT_TRUE(saveLeafTable(original, path("table.csv")).isOk());
+
+  const auto loaded =
+      loadLeafTable(original.schema(), path("table.csv")).value();
+  ASSERT_EQ(loaded.size(), original.size());
+  for (dataset::RowId id = 0; id < original.size(); ++id) {
+    EXPECT_EQ(loaded.row(id).ac, original.row(id).ac);
+    EXPECT_DOUBLE_EQ(loaded.row(id).v, original.row(id).v);
+    EXPECT_DOUBLE_EQ(loaded.row(id).f, original.row(id).f);
+    EXPECT_EQ(loaded.row(id).anomalous, original.row(id).anomalous);
+  }
+}
+
+TEST_F(TempDir, LeafTableWithoutLabelColumnLoadsAsNormal) {
+  // Squeeze-repo layout: attr...,real,predict only.
+  const std::vector<CsvRow> rows{{"A", "B", "C", "D", "real", "predict"},
+                                 {"a1", "b1", "c1", "d1", "10", "12"}};
+  ASSERT_TRUE(writeCsvFile(path("nolabel.csv"), rows).isOk());
+  const auto loaded = loadLeafTable(Schema::tiny(), path("nolabel.csv")).value();
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_FALSE(loaded.row(0).anomalous);
+  EXPECT_DOUBLE_EQ(loaded.row(0).v, 10.0);
+}
+
+TEST_F(TempDir, LeafTableRejectsUnknownElement) {
+  const std::vector<CsvRow> rows{{"A", "B", "C", "D", "real", "predict"},
+                                 {"zz", "b1", "c1", "d1", "1", "2"}};
+  ASSERT_TRUE(writeCsvFile(path("bad.csv"), rows).isOk());
+  EXPECT_FALSE(loadLeafTable(Schema::tiny(), path("bad.csv")).isOk());
+}
+
+TEST_F(TempDir, LeafTableRejectsShortRows) {
+  const std::vector<CsvRow> rows{{"A", "B", "C", "D", "real", "predict"},
+                                 {"a1", "b1", "c1", "d1", "1"}};
+  ASSERT_TRUE(writeCsvFile(path("short.csv"), rows).isOk());
+  EXPECT_FALSE(loadLeafTable(Schema::tiny(), path("short.csv")).isOk());
+}
+
+TEST_F(TempDir, LeafTableRejectsNonNumericKpi) {
+  const std::vector<CsvRow> rows{{"A", "B", "C", "D", "real", "predict"},
+                                 {"a1", "b1", "c1", "d1", "x", "2"}};
+  ASSERT_TRUE(writeCsvFile(path("nan.csv"), rows).isOk());
+  EXPECT_FALSE(loadLeafTable(Schema::tiny(), path("nan.csv")).isOk());
+}
+
+// ----------------------------------------------------------------- Schema
+
+TEST_F(TempDir, SchemaRoundTrip) {
+  const Schema original = Schema::cdn();
+  ASSERT_TRUE(saveSchema(original, path("schema.csv")).isOk());
+  const auto loaded = loadSchema(path("schema.csv")).value();
+  ASSERT_EQ(loaded.attributeCount(), original.attributeCount());
+  for (dataset::AttrId a = 0; a < original.attributeCount(); ++a) {
+    EXPECT_EQ(loaded.attribute(a).name(), original.attribute(a).name());
+    EXPECT_EQ(loaded.cardinality(a), original.cardinality(a));
+  }
+}
+
+TEST_F(TempDir, SchemaRejectsRowsWithoutElements) {
+  ASSERT_TRUE(writeCsvFile(path("s.csv"), {{"OnlyName"}}).isOk());
+  EXPECT_FALSE(loadSchema(path("s.csv")).isOk());
+}
+
+// ----------------------------------------------------------- GroundTruth
+
+TEST_F(TempDir, GroundTruthRoundTrip) {
+  const Schema schema = Schema::tiny();
+  std::vector<GroundTruthEntry> entries;
+  entries.push_back(
+      {"case-1",
+       {AttributeCombination::parse(schema, "(a1, *, *, *)").value(),
+        AttributeCombination::parse(schema, "(*, b2, c1, *)").value()}});
+  entries.push_back({"case-2", {}});
+
+  ASSERT_TRUE(saveGroundTruth(schema, entries, path("gt.csv")).isOk());
+  const auto loaded = loadGroundTruth(schema, path("gt.csv")).value();
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].case_id, "case-1");
+  EXPECT_EQ(loaded[0].raps, entries[0].raps);
+  EXPECT_TRUE(loaded[1].raps.empty());
+}
+
+TEST_F(TempDir, DatasetDirectoryRoundTrip) {
+  const Schema schema = Schema::tiny();
+  // Two cases with distinct tables and truths.
+  std::vector<GroundTruthEntry> truth;
+  for (int i = 0; i < 2; ++i) {
+    LeafTable table(schema);
+    for (std::uint64_t leaf = 0; leaf < schema.leafCount(); ++leaf) {
+      table.addRow(dataset::leafFromIndex(schema, leaf),
+                   static_cast<double>(leaf + i), 100.0, leaf % (2 + i) == 0);
+    }
+    const std::string id = "case" + std::to_string(i);
+    ASSERT_TRUE(saveLeafTable(table, path(id + ".csv")).isOk());
+    truth.push_back(
+        {id, {AttributeCombination::parse(schema, "(a1, *, *, *)").value()}});
+  }
+  ASSERT_TRUE(saveSchema(schema, path("schema.csv")).isOk());
+  ASSERT_TRUE(
+      saveGroundTruth(schema, truth, path("injection_info.csv")).isOk());
+
+  const auto loaded = loadDatasetDirectory(path(""));
+  ASSERT_TRUE(loaded.isOk()) << loaded.status().toString();
+  ASSERT_EQ(loaded->cases.size(), 2u);
+  EXPECT_EQ(loaded->cases[0].id, "case0");
+  EXPECT_EQ(loaded->cases[0].table.size(), schema.leafCount());
+  EXPECT_EQ(loaded->cases[1].truth, truth[1].raps);
+  EXPECT_EQ(loaded->schema.attributeCount(), schema.attributeCount());
+}
+
+TEST(DatasetDirectory, MissingDirectoryIsError) {
+  EXPECT_FALSE(loadDatasetDirectory("/nonexistent/rap_ds").isOk());
+}
+
+// ------------------------------------------------------------------ JSON
+
+TEST(Json, EscapesSpecialCharacters) {
+  EXPECT_EQ(escapeJson("plain"), "plain");
+  EXPECT_EQ(escapeJson("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(escapeJson("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(escapeJson("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(escapeJson(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, WriterBuildsNestedDocument) {
+  JsonWriter w;
+  w.beginObject();
+  w.key("n");
+  w.value(std::int64_t{3});
+  w.key("ok");
+  w.value(true);
+  w.key("ratio");
+  w.value(0.5);
+  w.key("items");
+  w.beginArray();
+  w.value("a");
+  w.value("b");
+  w.beginObject();
+  w.key("nested");
+  w.nullValue();
+  w.endObject();
+  w.endArray();
+  w.endObject();
+  EXPECT_EQ(std::move(w).str(),
+            "{\"n\":3,\"ok\":true,\"ratio\":0.5,"
+            "\"items\":[\"a\",\"b\",{\"nested\":null}]}");
+}
+
+TEST(Json, NonFiniteNumbersBecomeNull) {
+  JsonWriter w;
+  w.beginArray();
+  w.value(std::nan(""));
+  w.value(1.0 / 0.0);
+  w.endArray();
+  EXPECT_EQ(std::move(w).str(), "[null,null]");
+}
+
+TEST(Json, ResultSerialization) {
+  const dataset::Schema schema = dataset::Schema::tiny();
+  core::LocalizationResult result;
+  core::ScoredPattern p;
+  p.ac = AttributeCombination::parse(schema, "(a1, *, *, d1)").value();
+  p.confidence = 0.95;
+  p.layer = 2;
+  p.score = 0.6717;
+  result.patterns.push_back(p);
+  result.stats.classification_power = {0.9, 0.0, 0.0, 0.4};
+  result.stats.kept_attributes = {0, 3};
+  result.stats.attributes_deleted = 2;
+  result.stats.cuboids_visited = 3;
+  result.stats.combinations_evaluated = 41;
+  result.stats.early_stopped = true;
+
+  const std::string json = resultToJson(schema, result);
+  EXPECT_NE(json.find("\"pattern\":\"(a1, *, *, d1)\""), std::string::npos);
+  EXPECT_NE(json.find("\"confidence\":0.95"), std::string::npos);
+  EXPECT_NE(json.find("\"kept_attributes\":[\"A\",\"D\"]"), std::string::npos);
+  EXPECT_NE(json.find("\"early_stopped\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"attributes_deleted\":2"), std::string::npos);
+}
+
+TEST_F(TempDir, GroundTruthRejectsBadPattern) {
+  ASSERT_TRUE(
+      writeCsvFile(path("gt.csv"), {{"case_id", "raps"}, {"c", "(bogus,*,*,*)"}})
+          .isOk());
+  EXPECT_FALSE(loadGroundTruth(Schema::tiny(), path("gt.csv")).isOk());
+}
+
+}  // namespace
+}  // namespace rap::io

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "core/rapminer.h"
+#include "dataset/cuboid.h"
+#include "dataset/kpi.h"
+#include "detect/detector.h"
+#include "gen/rapmd.h"
+
+namespace rap::dataset {
+namespace {
+
+/// Requests/successes table over Schema::tiny(): every leaf serves 100
+/// requests with 98 successes, except leaves under `broken`, which keep
+/// their traffic but succeed only `success_rate` of the time.  Forecast
+/// columns carry the healthy values.
+MultiKpiTable makeTable(const std::string& broken_text, double success_rate) {
+  const Schema schema = Schema::tiny();
+  const auto broken = AttributeCombination::parse(schema, broken_text).value();
+  MultiKpiTable table(schema, {"requests", "successes"});
+  for (std::uint64_t i = 0; i < schema.leafCount(); ++i) {
+    const auto leaf = leafFromIndex(schema, i);
+    MultiKpiRow row;
+    row.ac = leaf;
+    const double requests = 100.0;
+    const double healthy_successes = 98.0;
+    const double successes = broken.matchesLeaf(leaf)
+                                 ? requests * success_rate
+                                 : healthy_successes;
+    row.v = {requests, successes};
+    row.f = {requests, healthy_successes};
+    table.addRow(std::move(row));
+  }
+  return table;
+}
+
+TEST(MultiKpiTable, KpiNameLookup) {
+  const auto table = makeTable("(a1, *, *, *)", 0.5);
+  EXPECT_EQ(table.kpiCount(), 2);
+  EXPECT_EQ(table.kpiId("successes").value(), 1);
+  EXPECT_EQ(table.kpiName(0), "requests");
+  EXPECT_FALSE(table.kpiId("nope").isOk());
+}
+
+TEST(MultiKpiTable, FundamentalAggregationIsAdditive) {
+  // Fig. 4: the coarse combination's fundamental KPI equals the sum of
+  // its leaves'.
+  const auto table = makeTable("(a1, *, *, *)", 0.5);
+  const Schema& schema = table.schema();
+  const auto coarse = AttributeCombination::parse(schema, "(a1, *, *, *)").value();
+  const auto [v, f] = table.aggregateFundamental(coarse, 0);
+  // a1 has 8 descendant leaves of 100 requests each.
+  EXPECT_DOUBLE_EQ(v, 800.0);
+  EXPECT_DOUBLE_EQ(f, 800.0);
+
+  // Root aggregates everything.
+  const AttributeCombination root(schema.attributeCount());
+  EXPECT_DOUBLE_EQ(table.aggregateFundamental(root, 0).first, 2400.0);
+}
+
+TEST(MultiKpiTable, DerivedAppliedAfterAggregation) {
+  // The derived value at a coarse combination is g(sum) — NOT the mean
+  // of the leaves' ratios.  With uniform leaves both coincide; make one
+  // leaf dominate to tell them apart.
+  const Schema schema = Schema::tiny();
+  MultiKpiTable table(schema, {"requests", "successes"});
+  MultiKpiRow big;
+  big.ac = leafFromIndex(schema, 0);
+  big.v = {900.0, 450.0};  // ratio 0.5, dominant volume
+  big.f = big.v;
+  table.addRow(big);
+  MultiKpiRow small;
+  small.ac = leafFromIndex(schema, 1);
+  small.v = {100.0, 100.0};  // ratio 1.0
+  small.f = small.v;
+  table.addRow(small);
+
+  const auto ratio = ratioKpi("success_ratio", 1, 0);
+  const AttributeCombination root(schema.attributeCount());
+  const auto [v, f] = table.deriveAt(root, ratio);
+  EXPECT_NEAR(v, 550.0 / 1000.0, 1e-12);  // volume-weighted, not 0.75
+  EXPECT_NEAR(f, 0.55, 1e-12);
+}
+
+TEST(RatioKpi, GuardsZeroDenominator) {
+  const auto ratio = ratioKpi("r", 1, 0);
+  EXPECT_DOUBLE_EQ(ratio.fn({0.0, 5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(ratio.fn({10.0, 5.0}), 0.5);
+}
+
+TEST(MultiKpiTable, FundamentalLeafTableProjection) {
+  const auto table = makeTable("(a1, *, *, *)", 0.5);
+  const auto leaf_table = table.fundamentalLeafTable(1);
+  EXPECT_EQ(leaf_table.size(), table.size());
+  // Verdicts unset by projection.
+  EXPECT_EQ(leaf_table.anomalousCount(), 0u);
+}
+
+TEST(MultiKpiTable, DerivedLocalizationFindsRatioDrop) {
+  // The paper's §IV-B claim: RAPMiner needs only leaf verdicts, so a
+  // derived KPI localizes exactly like a fundamental one.  Traffic is
+  // unchanged everywhere (a fundamental-KPI view sees nothing); only
+  // the success ratio drops under the broken pattern.
+  const auto table = makeTable("(*, b2, *, d1)", 0.4);
+  const Schema& schema = table.schema();
+
+  // Fundamental view: no deviation at all.
+  auto requests_table = table.fundamentalLeafTable(0);
+  const detect::RelativeDeviationDetector detector(0.1);
+  EXPECT_EQ(detector.run(requests_table), 0u);
+
+  // Derived view: the ratio drop is visible and localizable.
+  auto ratio_table =
+      table.derivedLeafTable(ratioKpi("success_ratio", 1, 0));
+  EXPECT_GT(detector.run(ratio_table), 0u);
+  const auto result = core::RapMiner().localize(ratio_table, 3);
+  ASSERT_FALSE(result.patterns.empty());
+  EXPECT_EQ(result.patterns[0].ac.toString(schema), "(*, b2, *, d1)");
+}
+
+TEST(MultiKpiRapmd, DerivedViewLocalizesGeneratedFailures) {
+  // The generator's multi-KPI mode: traffic normal, success ratio
+  // broken; the derived pipeline must recover the same injected RAPs
+  // the scalar RAPMD carries.
+  gen::RapmdConfig config;
+  config.num_cases = 4;
+  gen::RapmdGenerator generator(Schema::cdn(), config, 2024);
+  int hits = 0;
+  int total = 0;
+  for (std::int32_t i = 0; i < 4; ++i) {
+    auto c = generator.generateMultiKpiCase(i);
+    // Fundamental view is silent.
+    auto requests_view = c.table.fundamentalLeafTable(0);
+    const detect::RelativeDeviationDetector detector(0.095);
+    EXPECT_EQ(detector.run(requests_view), 0u);
+    // Derived view exposes the failure.
+    auto ratio_view =
+        c.table.derivedLeafTable(ratioKpi("success_ratio", 1, 0));
+    EXPECT_GT(detector.run(ratio_view), 0u);
+    const auto result = core::RapMiner().localize(ratio_view, 5);
+    for (const auto& t : c.truth) {
+      ++total;
+      for (const auto& p : result.patterns) {
+        if (p.ac == t) {
+          ++hits;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_GT(hits * 2, total) << "derived-KPI pipeline lost most RAPs";
+}
+
+TEST(MultiKpiTable, RowValidation) {
+  const Schema schema = Schema::tiny();
+  MultiKpiTable table(schema, {"a", "b"});
+  MultiKpiRow bad;
+  bad.ac = leafFromIndex(schema, 0);
+  bad.v = {1.0};  // wrong arity
+  bad.f = {1.0, 2.0};
+  EXPECT_DEATH(table.addRow(bad), "entries");
+}
+
+}  // namespace
+}  // namespace rap::dataset

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "mining/fpgrowth.h"
+#include "util/rng.h"
+
+namespace rap::mining {
+namespace {
+
+std::uint64_t supportByScan(const std::vector<Transaction>& txns,
+                            std::vector<Item> itemset) {
+  std::sort(itemset.begin(), itemset.end());
+  std::uint64_t support = 0;
+  for (const auto& raw : txns) {
+    Transaction txn = raw;
+    std::sort(txn.begin(), txn.end());
+    txn.erase(std::unique(txn.begin(), txn.end()), txn.end());
+    if (std::includes(txn.begin(), txn.end(), itemset.begin(), itemset.end())) {
+      ++support;
+    }
+  }
+  return support;
+}
+
+TEST(FpGrowth, TextbookExample) {
+  // Classic example: {1,2,5},{2,4},{2,3},{1,2,4},{1,3},{2,3},{1,3},
+  // {1,2,3,5},{1,2,3}; min_support 2.
+  const std::vector<Transaction> txns{{1, 2, 5}, {2, 4},    {2, 3},
+                                      {1, 2, 4}, {1, 3},    {2, 3},
+                                      {1, 3},    {1, 2, 3, 5}, {1, 2, 3}};
+  FpGrowthOptions options;
+  options.min_support = 2;
+  const auto itemsets = mineFrequentItemsets(txns, options);
+
+  auto find = [&itemsets](std::vector<Item> items) -> std::uint64_t {
+    std::sort(items.begin(), items.end());
+    for (const auto& fi : itemsets) {
+      if (fi.items == items) return fi.support;
+    }
+    return 0;
+  };
+  EXPECT_EQ(find({2}), 7u);
+  EXPECT_EQ(find({1}), 6u);
+  EXPECT_EQ(find({3}), 6u);
+  EXPECT_EQ(find({1, 2}), 4u);
+  EXPECT_EQ(find({1, 3}), 4u);
+  EXPECT_EQ(find({2, 5}), 2u);
+  EXPECT_EQ(find({1, 2, 5}), 2u);
+  EXPECT_EQ(find({4}), 2u);
+  EXPECT_EQ(find({5, 4}), 0u);  // infrequent pair absent
+}
+
+TEST(FpGrowth, SupportsMatchScan) {
+  const std::vector<Transaction> txns{
+      {1, 2, 3}, {1, 2}, {2, 3}, {1, 3}, {1, 2, 3}, {3}};
+  FpGrowthOptions options;
+  options.min_support = 2;
+  for (const auto& fi : mineFrequentItemsets(txns, options)) {
+    EXPECT_EQ(fi.support, supportByScan(txns, fi.items))
+        << "itemset size " << fi.items.size();
+  }
+}
+
+TEST(FpGrowth, MinSupportFilters) {
+  const std::vector<Transaction> txns{{1}, {1}, {2}};
+  FpGrowthOptions options;
+  options.min_support = 2;
+  const auto itemsets = mineFrequentItemsets(txns, options);
+  ASSERT_EQ(itemsets.size(), 1u);
+  EXPECT_EQ(itemsets[0].items, (std::vector<Item>{1}));
+}
+
+TEST(FpGrowth, MaxItemsetSizeBounds) {
+  const std::vector<Transaction> txns{{1, 2, 3}, {1, 2, 3}, {1, 2, 3}};
+  FpGrowthOptions options;
+  options.min_support = 2;
+  options.max_itemset_size = 2;
+  for (const auto& fi : mineFrequentItemsets(txns, options)) {
+    EXPECT_LE(fi.items.size(), 2u);
+  }
+}
+
+TEST(FpGrowth, DuplicateItemsInTransactionCollapse) {
+  const std::vector<Transaction> txns{{1, 1, 1}, {1}};
+  FpGrowthOptions options;
+  options.min_support = 1;
+  const auto itemsets = mineFrequentItemsets(txns, options);
+  ASSERT_EQ(itemsets.size(), 1u);
+  EXPECT_EQ(itemsets[0].support, 2u);
+}
+
+TEST(FpGrowth, EmptyInputs) {
+  FpGrowthOptions options;
+  options.min_support = 1;
+  EXPECT_TRUE(mineFrequentItemsets({}, options).empty());
+  EXPECT_TRUE(mineFrequentItemsets({{}, {}}, options).empty());
+}
+
+TEST(FpGrowth, DeterministicSortedOutput) {
+  const std::vector<Transaction> txns{{3, 1}, {1, 2}, {2, 3}, {1, 2, 3}};
+  FpGrowthOptions options;
+  options.min_support = 2;
+  const auto a = mineFrequentItemsets(txns, options);
+  const auto b = mineFrequentItemsets(txns, options);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].items, b[i].items);
+    EXPECT_EQ(a[i].support, b[i].support);
+    if (i > 0) {
+      EXPECT_LT(a[i - 1].items, a[i].items);
+    }
+  }
+}
+
+TEST(FpGrowth, MaxItemsetsCapsOutput) {
+  const std::vector<Transaction> txns{{1, 2, 3, 4}, {1, 2, 3, 4},
+                                      {1, 2, 3, 4}};
+  FpGrowthOptions options;
+  options.min_support = 2;
+  options.max_itemsets = 5;
+  EXPECT_LE(mineFrequentItemsets(txns, options).size(), 5u);
+}
+
+TEST(AprioriReference, MatchesFpGrowthOnTextbook) {
+  const std::vector<Transaction> txns{{1, 2, 5}, {2, 4},    {2, 3},
+                                      {1, 2, 4}, {1, 3},    {2, 3},
+                                      {1, 3},    {1, 2, 3, 5}, {1, 2, 3}};
+  FpGrowthOptions options;
+  options.min_support = 2;
+  const auto fp = mineFrequentItemsets(txns, options);
+  const auto ap = mineFrequentItemsetsApriori(txns, options);
+  ASSERT_EQ(fp.size(), ap.size());
+  for (std::size_t i = 0; i < fp.size(); ++i) {
+    EXPECT_EQ(fp[i].items, ap[i].items);
+    EXPECT_EQ(fp[i].support, ap[i].support);
+  }
+}
+
+// Property sweep: FP-growth must agree with the Apriori reference on
+// random transaction databases.
+class FpGrowthEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FpGrowthEquivalence, AgreesWithApriori) {
+  util::Rng rng(GetParam());
+  const int n_txns = static_cast<int>(rng.uniformInt(5, 40));
+  const int n_items = static_cast<int>(rng.uniformInt(3, 10));
+  std::vector<Transaction> txns;
+  for (int t = 0; t < n_txns; ++t) {
+    Transaction txn;
+    for (Item item = 0; item < n_items; ++item) {
+      if (rng.bernoulli(0.35)) txn.push_back(item);
+    }
+    txns.push_back(std::move(txn));
+  }
+  FpGrowthOptions options;
+  options.min_support = static_cast<std::uint64_t>(rng.uniformInt(1, 5));
+
+  const auto fp = mineFrequentItemsets(txns, options);
+  const auto ap = mineFrequentItemsetsApriori(txns, options);
+  ASSERT_EQ(fp.size(), ap.size()) << "seed=" << GetParam();
+  for (std::size_t i = 0; i < fp.size(); ++i) {
+    EXPECT_EQ(fp[i].items, ap[i].items) << "seed=" << GetParam();
+    EXPECT_EQ(fp[i].support, ap[i].support) << "seed=" << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDatabases, FpGrowthEquivalence,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+}  // namespace
+}  // namespace rap::mining

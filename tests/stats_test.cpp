@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "stats/divergence.h"
+#include "stats/entropy.h"
+#include "stats/histogram.h"
+#include "stats/hypothesis.h"
+
+namespace rap::stats {
+namespace {
+
+// --------------------------------------------------------------- entropy
+
+TEST(Entropy, BinaryEntropyEndpointsAndPeak) {
+  EXPECT_DOUBLE_EQ(binaryEntropy(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binaryEntropy(1.0), 0.0);
+  EXPECT_NEAR(binaryEntropy(0.5), std::log(2.0), 1e-12);
+  // Symmetric.
+  EXPECT_NEAR(binaryEntropy(0.2), binaryEntropy(0.8), 1e-12);
+}
+
+TEST(Entropy, FromCounts) {
+  EXPECT_DOUBLE_EQ(entropyFromCounts({}), 0.0);
+  EXPECT_DOUBLE_EQ(entropyFromCounts({5}), 0.0);
+  EXPECT_NEAR(entropyFromCounts({3, 3}), std::log(2.0), 1e-12);
+  EXPECT_NEAR(entropyFromCounts({1, 1, 1, 1}), std::log(4.0), 1e-12);
+}
+
+TEST(Entropy, DatasetInfoMatchesBinaryEntropy) {
+  EXPECT_NEAR(datasetInfo(5, 10), binaryEntropy(0.5), 1e-12);
+  EXPECT_DOUBLE_EQ(datasetInfo(0, 10), 0.0);
+  EXPECT_DOUBLE_EQ(datasetInfo(10, 10), 0.0);
+  EXPECT_DOUBLE_EQ(datasetInfo(0, 0), 0.0);
+}
+
+TEST(Entropy, PerfectSplitRemovesAllEntropy) {
+  // The paper's Fig. 6 left: splitting by the RAP attribute puts every
+  // anomalous leaf in one pure branch.
+  const std::vector<BranchCounts> branches{{8, 8}, {0, 8}, {0, 8}};
+  EXPECT_DOUBLE_EQ(splitInfo(branches), 0.0);
+  EXPECT_DOUBLE_EQ(classificationPower(8, 24, branches), 1.0);
+}
+
+TEST(Entropy, UselessSplitKeepsEntropy) {
+  // Fig. 6 middle: anomalies spread evenly over the branches.
+  const std::vector<BranchCounts> branches{{4, 12}, {4, 12}};
+  EXPECT_NEAR(splitInfo(branches), datasetInfo(8, 24), 1e-12);
+  EXPECT_NEAR(classificationPower(8, 24, branches), 0.0, 1e-12);
+}
+
+TEST(Entropy, CpMonotoneInSplitPurity) {
+  // Purer splits must have larger CP.
+  const std::vector<BranchCounts> pure{{8, 10}, {0, 14}};
+  const std::vector<BranchCounts> mixed{{6, 12}, {2, 12}};
+  EXPECT_GT(classificationPower(8, 24, pure),
+            classificationPower(8, 24, mixed));
+}
+
+TEST(Entropy, CpZeroWhenNoLabelUncertainty) {
+  const std::vector<BranchCounts> branches{{5, 5}, {5, 5}};
+  EXPECT_DOUBLE_EQ(classificationPower(10, 10, branches), 0.0);
+  EXPECT_DOUBLE_EQ(classificationPower(0, 10, {{0, 5}, {0, 5}}), 0.0);
+}
+
+TEST(Entropy, CpNeverNegative) {
+  // Any split's weighted entropy <= dataset entropy (concavity), so CP is
+  // clamped at 0 even under floating-point cancellation.
+  const std::vector<BranchCounts> branches{{3, 9}, {3, 9}, {2, 6}};
+  EXPECT_GE(classificationPower(8, 24, branches), 0.0);
+}
+
+// ------------------------------------------------------------- histogram
+
+TEST(Histogram, BinOfClampsOutOfRange) {
+  const Histogram hist(0.0, 10.0, 10);
+  EXPECT_EQ(hist.binOf(-5.0), 0);
+  EXPECT_EQ(hist.binOf(0.0), 0);
+  EXPECT_EQ(hist.binOf(9.99), 9);
+  EXPECT_EQ(hist.binOf(100.0), 9);
+}
+
+TEST(Histogram, CountsAccumulate) {
+  Histogram hist(0.0, 4.0, 4);
+  hist.addAll({0.5, 1.5, 1.6, 3.9});
+  EXPECT_EQ(hist.totalCount(), 4u);
+  EXPECT_EQ(hist.count(0), 1u);
+  EXPECT_EQ(hist.count(1), 2u);
+  EXPECT_EQ(hist.count(2), 0u);
+  EXPECT_EQ(hist.count(3), 1u);
+}
+
+TEST(Histogram, BinCenters) {
+  const Histogram hist(0.0, 4.0, 4);
+  EXPECT_DOUBLE_EQ(hist.binCenter(0), 0.5);
+  EXPECT_DOUBLE_EQ(hist.binCenter(3), 3.5);
+  EXPECT_DOUBLE_EQ(hist.binWidth(), 1.0);
+}
+
+TEST(Histogram, SmoothingPreservesMass) {
+  Histogram hist(0.0, 10.0, 10);
+  for (int i = 0; i < 50; ++i) hist.add(5.0);
+  const auto smoothed = hist.smoothedCounts(0);  // radius 0 == identity
+  double total = 0.0;
+  for (const double c : smoothed) total += c;
+  EXPECT_DOUBLE_EQ(total, 50.0);
+}
+
+TEST(DensityClusters, TwoSeparatedModes) {
+  Histogram hist(0.0, 2.0, 40);
+  for (int i = 0; i < 200; ++i) hist.add(0.4 + 0.001 * (i % 10));
+  for (int i = 0; i < 150; ++i) hist.add(1.5 + 0.001 * (i % 10));
+  const auto clusters = densityClusters(hist, 1, 0.5);
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_LT(clusters[0].hi, clusters[1].lo);
+  EXPECT_EQ(clusters[0].weight + clusters[1].weight, 350u);
+}
+
+TEST(DensityClusters, SingleModeStaysWhole) {
+  Histogram hist(0.0, 2.0, 40);
+  for (int i = 0; i < 500; ++i) {
+    hist.add(1.0 + 0.2 * std::sin(static_cast<double>(i)));
+  }
+  const auto clusters = densityClusters(hist, 2, 0.3);
+  EXPECT_EQ(clusters.size(), 1u);
+}
+
+TEST(DensityClusters, EmptyHistogramNoClusters) {
+  const Histogram hist(0.0, 1.0, 10);
+  EXPECT_TRUE(densityClusters(hist, 1, 0.5).empty());
+}
+
+TEST(DensityClusters, AssignCoversEverySample) {
+  Histogram hist(-1.0, 1.0, 20);
+  const std::vector<double> values{-0.8, -0.75, 0.6, 0.65, 0.7};
+  hist.addAll(values);
+  const auto clusters = densityClusters(hist, 1, 0.5);
+  const auto assignment = assignToClusters(values, clusters);
+  for (const auto cluster_id : assignment) EXPECT_GE(cluster_id, 0);
+}
+
+// ------------------------------------------------------------ divergence
+
+TEST(Divergence, JsSymmetricAndBounded) {
+  const std::vector<double> p{0.9, 0.1};
+  const std::vector<double> q{0.1, 0.9};
+  EXPECT_NEAR(jsDivergence(p, q), jsDivergence(q, p), 1e-12);
+  EXPECT_GE(jsDivergence(p, q), 0.0);
+  EXPECT_LE(jsDivergence(p, q), std::log(2.0) + 1e-12);
+  EXPECT_NEAR(jsDivergence(p, p), 0.0, 1e-12);
+}
+
+TEST(Divergence, JsDisjointSupportIsLn2) {
+  EXPECT_NEAR(jsDivergence({1.0, 0.0}, {0.0, 1.0}), std::log(2.0), 1e-9);
+}
+
+TEST(Divergence, SurpriseZeroWhenSharesEqual) {
+  EXPECT_NEAR(surprise(0.3, 0.3), 0.0, 1e-12);
+  EXPECT_NEAR(surprise(0.0, 0.0), 0.0, 1e-12);
+}
+
+TEST(Divergence, SurpriseGrowsWithShareShift) {
+  EXPECT_GT(surprise(0.5, 0.1), surprise(0.5, 0.4));
+  EXPECT_GT(surprise(0.5, 0.1), 0.0);
+}
+
+TEST(Divergence, KlTermEdgeCases) {
+  EXPECT_DOUBLE_EQ(klTerm(0.0, 0.5), 0.0);
+  EXPECT_GT(klTerm(0.5, 1e-320), 0.0);  // q ~ 0 -> large positive
+  EXPECT_NEAR(klTerm(0.5, 0.5), 0.0, 1e-12);
+}
+
+// ------------------------------------------------------------ hypothesis
+
+TEST(Hypothesis, NormalCdf) {
+  EXPECT_NEAR(normalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normalCdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(normalCdf(-1.96), 0.025, 1e-3);
+}
+
+TEST(Hypothesis, TwoProportionDetectsLargeDifference) {
+  // 90/100 vs 10/100 is overwhelming evidence.
+  EXPECT_LT(twoProportionPValue(90, 100, 10, 100), 1e-6);
+}
+
+TEST(Hypothesis, TwoProportionAcceptsEqualRates) {
+  EXPECT_GT(twoProportionPValue(50, 100, 52, 100), 0.5);
+  EXPECT_DOUBLE_EQ(twoProportionPValue(0, 0, 5, 10), 1.0);
+}
+
+TEST(Hypothesis, ChiSquareMonotoneInAssociation) {
+  const double strong = chiSquare2x2(90, 10, 10, 90);
+  const double weak = chiSquare2x2(55, 45, 45, 55);
+  EXPECT_GT(strong, weak);
+  EXPECT_GT(strong, 0.0);
+}
+
+TEST(Hypothesis, ChiSquareDegenerateMarginsAreZero) {
+  EXPECT_DOUBLE_EQ(chiSquare2x2(0, 0, 10, 20), 0.0);
+  EXPECT_DOUBLE_EQ(chiSquare2x2(5, 0, 5, 0), 0.0);
+}
+
+TEST(Hypothesis, ChiSquarePValue) {
+  EXPECT_NEAR(chiSquarePValue1Df(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(chiSquarePValue1Df(3.841), 0.05, 2e-3);  // classic 5% point
+  EXPECT_LT(chiSquarePValue1Df(20.0), 1e-4);
+}
+
+// ----------------------------------------------------------- descriptive
+
+TEST(Descriptive, MeanVarianceStddev) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Descriptive, EmptyAndSingleton) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(variance({3.0}), 0.0);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+  EXPECT_DOUBLE_EQ(median({3.0}), 3.0);
+}
+
+TEST(Descriptive, QuantileInterpolates) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+}
+
+TEST(Descriptive, RunningStatsMatchesBatch) {
+  const std::vector<double> xs{1.5, -2.0, 3.25, 0.0, 7.5};
+  RunningStats rs;
+  for (const double x : xs) rs.add(x);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-12);
+  EXPECT_NEAR(rs.variance(), variance(xs), 1e-12);
+  EXPECT_NEAR(rs.stddev(), stddev(xs), 1e-12);
+}
+
+TEST(Descriptive, RunningStatsEmpty) {
+  const RunningStats rs;
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace rap::stats

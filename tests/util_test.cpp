@@ -1,0 +1,383 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace rap::util {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(Status, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.isOk());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.toString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  const Status s = Status::invalidArgument("bad flag");
+  EXPECT_FALSE(s.isOk());
+  EXPECT_FALSE(static_cast<bool>(s));
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad flag");
+  EXPECT_EQ(s.toString(), "INVALID_ARGUMENT: bad flag");
+}
+
+TEST(Status, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::notFound("x"), Status::notFound("x"));
+  EXPECT_FALSE(Status::notFound("x") == Status::notFound("y"));
+  EXPECT_FALSE(Status::notFound("x") == Status::internal("x"));
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (const auto code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kOutOfRange, StatusCode::kFailedPrecondition,
+        StatusCode::kInternal, StatusCode::kUnimplemented}) {
+    EXPECT_STRNE(statusCodeName(code), "UNKNOWN");
+  }
+}
+
+// ---------------------------------------------------------------- Result
+
+TEST(Result, HoldsValue) {
+  const Result<int> r = 42;
+  ASSERT_TRUE(r.isOk());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.valueOr(-1), 42);
+  EXPECT_TRUE(r.status().isOk());
+}
+
+TEST(Result, HoldsError) {
+  const Result<int> r = Status::notFound("missing");
+  ASSERT_FALSE(r.isOk());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.valueOr(-1), -1);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  const std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(Result, ArrowOperator) {
+  const Result<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+}
+
+// --------------------------------------------------------------- strings
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(Strings, JoinInverseOfSplit) {
+  const std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(split(join(parts, ","), ','), parts);
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+TEST(Strings, TrimRemovesOuterWhitespaceOnly) {
+  EXPECT_EQ(trim("  a b  "), "a b");
+  EXPECT_EQ(trim("\t\n x \r"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("none"), "none");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(startsWith("foobar", "foo"));
+  EXPECT_FALSE(startsWith("foobar", "bar"));
+  EXPECT_TRUE(endsWith("foobar", "bar"));
+  EXPECT_FALSE(endsWith("foobar", "foo"));
+  EXPECT_TRUE(startsWith("x", ""));
+  EXPECT_FALSE(startsWith("", "x"));
+}
+
+TEST(Strings, ParseDoubleStrict) {
+  EXPECT_DOUBLE_EQ(parseDouble("3.5").value(), 3.5);
+  EXPECT_DOUBLE_EQ(parseDouble(" -2e3 ").value(), -2000.0);
+  EXPECT_FALSE(parseDouble("abc").isOk());
+  EXPECT_FALSE(parseDouble("1.5x").isOk());
+  EXPECT_FALSE(parseDouble("").isOk());
+}
+
+TEST(Strings, ParseIntStrict) {
+  EXPECT_EQ(parseInt("42").value(), 42);
+  EXPECT_EQ(parseInt(" -7 ").value(), -7);
+  EXPECT_FALSE(parseInt("4.2").isOk());
+  EXPECT_FALSE(parseInt("x").isOk());
+  EXPECT_FALSE(parseInt("").isOk());
+  EXPECT_FALSE(parseInt("99999999999999999999999").isOk());
+}
+
+TEST(Strings, StrFormat) {
+  EXPECT_EQ(strFormat("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(strFormat("%.2f", 1.5), "1.50");
+}
+
+TEST(Strings, ToLower) {
+  EXPECT_EQ(toLower("MiXeD"), "mixed");
+  EXPECT_EQ(toLower(""), "");
+}
+
+// ------------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next()) ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniformInt(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, UniformIntCoversAllValues) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniformInt(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, GaussianMomentsRoughlyStandard) {
+  Rng rng(13);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, SampleIndicesDistinctAndInRange) {
+  Rng rng(19);
+  const auto sample = rng.sampleIndices(100, 20);
+  ASSERT_EQ(sample.size(), 20u);
+  const std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (const auto idx : sample) EXPECT_LT(idx, 100u);
+}
+
+TEST(Rng, SampleAllIsPermutation) {
+  Rng rng(23);
+  auto sample = rng.sampleIndices(10, 10);
+  std::sort(sample.begin(), sample.end());
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(29);
+  const std::vector<int> v{1, 2, 3, 4, 5, 6};
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, ForkIsIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.fork();
+  EXPECT_NE(parent.next(), child.next());
+}
+
+TEST(Rng, LogNormalPositive) {
+  Rng rng(37);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.logNormal(1.0, 0.8), 0.0);
+}
+
+// ----------------------------------------------------------------- timer
+
+TEST(TimingStats, EmptyIsZero) {
+  const TimingStats stats;
+  EXPECT_TRUE(stats.empty());
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.total(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.percentile(0.5), 0.0);
+}
+
+TEST(TimingStats, Aggregates) {
+  TimingStats stats;
+  for (const double s : {0.1, 0.2, 0.3, 0.4}) stats.add(s);
+  EXPECT_EQ(stats.count(), 4u);
+  EXPECT_NEAR(stats.total(), 1.0, 1e-12);
+  EXPECT_NEAR(stats.mean(), 0.25, 1e-12);
+  EXPECT_NEAR(stats.min(), 0.1, 1e-12);
+  EXPECT_NEAR(stats.max(), 0.4, 1e-12);
+  EXPECT_NEAR(stats.percentile(0.5), 0.2, 1e-12);
+  EXPECT_NEAR(stats.percentile(1.0), 0.4, 1e-12);
+}
+
+TEST(WallTimer, MeasuresNonNegativeMonotonic) {
+  const WallTimer timer;
+  const double t1 = timer.elapsedSeconds();
+  const double t2 = timer.elapsedSeconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+}
+
+// ----------------------------------------------------------------- flags
+
+TEST(Flags, ParsesAllForms) {
+  FlagParser flags;
+  flags.addString("name", "default", "a string");
+  flags.addInt("count", 1, "an int");
+  flags.addDouble("ratio", 0.5, "a double");
+  flags.addBool("verbose", false, "a switch");
+
+  const char* argv[] = {"prog",    "--name=value", "--count", "7",
+                        "--ratio", "0.25",         "--verbose"};
+  ASSERT_TRUE(flags.parse(7, argv).isOk());
+  EXPECT_EQ(flags.getString("name"), "value");
+  EXPECT_EQ(flags.getInt("count"), 7);
+  EXPECT_DOUBLE_EQ(flags.getDouble("ratio"), 0.25);
+  EXPECT_TRUE(flags.getBool("verbose"));
+}
+
+TEST(Flags, DefaultsApplyWithoutArgs) {
+  FlagParser flags;
+  flags.addInt("k", 5, "top k");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(flags.parse(1, argv).isOk());
+  EXPECT_EQ(flags.getInt("k"), 5);
+}
+
+TEST(Flags, UnknownFlagRejected) {
+  FlagParser flags;
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_FALSE(flags.parse(2, argv).isOk());
+}
+
+TEST(Flags, TypeErrorsRejected) {
+  FlagParser flags;
+  flags.addInt("n", 0, "");
+  const char* argv[] = {"prog", "--n=abc"};
+  EXPECT_FALSE(flags.parse(2, argv).isOk());
+}
+
+TEST(Flags, MissingValueRejected) {
+  FlagParser flags;
+  flags.addInt("n", 0, "");
+  const char* argv[] = {"prog", "--n"};
+  EXPECT_FALSE(flags.parse(2, argv).isOk());
+}
+
+TEST(Flags, PositionalCollected) {
+  FlagParser flags;
+  flags.addBool("v", false, "");
+  const char* argv[] = {"prog", "input.csv", "--v", "out.csv"};
+  ASSERT_TRUE(flags.parse(4, argv).isOk());
+  EXPECT_EQ(flags.positional(),
+            (std::vector<std::string>{"input.csv", "out.csv"}));
+}
+
+TEST(Flags, BoolAcceptsExplicitValues) {
+  FlagParser flags;
+  flags.addBool("x", true, "");
+  const char* argv[] = {"prog", "--x=false"};
+  ASSERT_TRUE(flags.parse(2, argv).isOk());
+  EXPECT_FALSE(flags.getBool("x"));
+}
+
+TEST(Flags, HelpTextListsFlags) {
+  FlagParser flags;
+  flags.addInt("alpha", 3, "the alpha knob");
+  const std::string help = flags.helpText("demo");
+  EXPECT_NE(help.find("--alpha"), std::string::npos);
+  EXPECT_NE(help.find("the alpha knob"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- table
+
+TEST(TextTable, RendersAlignedCells) {
+  TextTable table;
+  table.setHeader({"a", "bee"});
+  table.addRow({"1", "2"});
+  table.addRow({"333", "4"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("| a   | bee |"), std::string::npos);
+  EXPECT_NE(out.find("| 333 | 4   |"), std::string::npos);
+}
+
+TEST(TextTable, EmptyRendersEmpty) {
+  const TextTable table;
+  EXPECT_EQ(table.render(), "");
+}
+
+TEST(TextTable, RaggedRowsPadded) {
+  TextTable table;
+  table.setHeader({"a", "b", "c"});
+  table.addRow({"1"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("| 1 |   |   |"), std::string::npos);
+}
+
+TEST(TextTable, Formatters) {
+  EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::pct(0.831, 1), "83.1%");
+  EXPECT_EQ(TextTable::duration(0.5), "500.00ms");
+  EXPECT_EQ(TextTable::duration(2.0), "2.000s");
+  EXPECT_EQ(TextTable::duration(12e-6), "12.0us");
+}
+
+TEST(Logging, LevelRoundTrip) {
+  const LogLevel before = logLevel();
+  setLogLevel(LogLevel::kError);
+  EXPECT_EQ(logLevel(), LogLevel::kError);
+  setLogLevel(before);
+}
+
+}  // namespace
+}  // namespace rap::util
