@@ -83,7 +83,8 @@ void runSection(const char* label, const std::vector<gen::Case>& cases) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ObsSession obs_session(argc, argv);
   util::setLogLevel(util::LogLevel::kWarn);
   bench::printHeader("Ablation", "Algorithm 2 design choices on RAPMD",
                      bench::kDefaultSeed);

@@ -4,18 +4,50 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "eval/runner.h"
 #include "gen/rapmd.h"
 #include "gen/squeeze_gen.h"
+#include "obs/export.h"
+#include "util/flags.h"
 #include "util/logging.h"
 #include "util/table.h"
 
 namespace rap::bench {
 
 inline constexpr std::uint64_t kDefaultSeed = 20220627;  // DSN'22 week
+
+/// Opt-in telemetry for the bench harnesses: parses --metrics-out /
+/// --trace-out / --log-json, enables the requested sinks for the run,
+/// and dumps the snapshots when the harness exits.  With no flags the
+/// pipeline instrumentation stays disabled (its near-zero default), so
+/// timing harnesses measure the same code path as before.
+class ObsSession {
+ public:
+  ObsSession(int argc, char** argv) {
+    obs::addObsFlags(flags_);
+    if (auto status = flags_.parse(argc, argv); !status.isOk()) {
+      std::fprintf(stderr, "%s\n%s", status.toString().c_str(),
+                   flags_.helpText(argv[0]).c_str());
+      std::exit(2);
+    }
+    obs::enableFromFlags(flags_);
+  }
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+  ~ObsSession() { (void)obs::dumpFromFlags(flags_); }
+
+  /// Non-flag arguments (some harnesses take a dataset directory).
+  const std::vector<std::string>& positional() const noexcept {
+    return flags_.positional();
+  }
+
+ private:
+  util::FlagParser flags_;
+};
 
 /// The paper's RAPMD workload: 105 failure timepoints on the Table I CDN
 /// schema.  A 2% leaf-verdict flip rate emulates the detection errors a

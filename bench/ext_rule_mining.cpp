@@ -10,7 +10,8 @@
 
 using namespace rap;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ObsSession obs_session(argc, argv);
   util::setLogLevel(util::LogLevel::kWarn);
   bench::printHeader("Extension", "rule mining engines: FP-growth vs Apriori",
                      bench::kDefaultSeed);

@@ -12,7 +12,8 @@
 
 using namespace rap;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ObsSession obs_session(argc, argv);
   util::setLogLevel(util::LogLevel::kWarn);
   bench::printHeader("Extension",
                      "scalability in attribute count (fixed RAP dimension)",

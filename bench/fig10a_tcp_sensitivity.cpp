@@ -6,7 +6,8 @@
 
 using namespace rap;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ObsSession obs_session(argc, argv);
   util::setLogLevel(util::LogLevel::kWarn);
   bench::printHeader("Fig. 10(a)", "RC@3 vs t_CP on RAPMD",
                      bench::kDefaultSeed);

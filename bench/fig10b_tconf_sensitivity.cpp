@@ -5,7 +5,8 @@
 
 using namespace rap;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ObsSession obs_session(argc, argv);
   util::setLogLevel(util::LogLevel::kWarn);
   bench::printHeader("Fig. 10(b)", "RC@3 vs t_conf on RAPMD",
                      bench::kDefaultSeed);

@@ -6,7 +6,8 @@
 
 using namespace rap;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ObsSession obs_session(argc, argv);
   util::setLogLevel(util::LogLevel::kWarn);
   bench::printHeader("Fig. 8(a)", "F1-score on Squeeze-B0 per (n_dims, n_raps)",
                      bench::kDefaultSeed);

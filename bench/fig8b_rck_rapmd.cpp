@@ -10,18 +10,20 @@
 using namespace rap;
 
 int main(int argc, char** argv) {
+  const bench::ObsSession obs_session(argc, argv);
   util::setLogLevel(util::LogLevel::kWarn);
   bench::printHeader("Fig. 8(b)", "RC@k on RAPMD", bench::kDefaultSeed);
 
   std::vector<gen::Case> cases;
-  if (argc > 1) {
-    auto loaded = io::loadDatasetDirectory(argv[1]);
+  if (!obs_session.positional().empty()) {
+    const std::string& dir = obs_session.positional().front();
+    auto loaded = io::loadDatasetDirectory(dir);
     if (!loaded) {
       std::fprintf(stderr, "%s\n", loaded.status().toString().c_str());
       return 1;
     }
-    std::printf("evaluating materialized dataset %s (%zu cases)\n\n", argv[1],
-                loaded->cases.size());
+    std::printf("evaluating materialized dataset %s (%zu cases)\n\n",
+                dir.c_str(), loaded->cases.size());
     cases = std::move(loaded->cases);
   } else {
     cases = bench::makeRapmdCases(bench::kDefaultSeed);

@@ -4,7 +4,8 @@
 
 using namespace rap;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ObsSession obs_session(argc, argv);
   util::setLogLevel(util::LogLevel::kWarn);
   bench::printHeader("Fig. 9(a)", "mean running time on Squeeze-B0",
                      bench::kDefaultSeed);

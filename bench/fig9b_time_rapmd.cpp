@@ -3,7 +3,8 @@
 
 using namespace rap;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ObsSession obs_session(argc, argv);
   util::setLogLevel(util::LogLevel::kWarn);
   bench::printHeader("Fig. 9(b)", "mean running time on RAPMD",
                      bench::kDefaultSeed);

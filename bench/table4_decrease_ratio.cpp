@@ -9,7 +9,8 @@
 
 using namespace rap;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ObsSession obs_session(argc, argv);
   util::setLogLevel(util::LogLevel::kWarn);
   bench::printHeader("Table IV", "DecreaseRatio@k after deleting k attributes",
                      bench::kDefaultSeed);

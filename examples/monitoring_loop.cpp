@@ -7,7 +7,8 @@
 //        v
 //   per-leaf snapshot --> Holt-Winters forecast --> detect --> RAPMiner
 //
-//   $ ./monitoring_loop [--seed N]
+//   $ ./monitoring_loop [--seed N] [--metrics-out metrics.txt]
+//                       [--trace-out trace.json] [--log-json]
 #include <cstdio>
 #include <numeric>
 
@@ -16,6 +17,7 @@
 #include "core/report.h"
 #include "forecast/pipeline.h"
 #include "gen/timeseries.h"
+#include "obs/obs.h"
 #include "util/flags.h"
 
 using namespace rap;
@@ -23,11 +25,17 @@ using namespace rap;
 int main(int argc, char** argv) {
   util::FlagParser flags;
   flags.addInt("seed", 31, "simulation seed");
+  obs::addObsFlags(flags);
   if (auto status = flags.parse(argc, argv); !status.isOk()) {
     std::fprintf(stderr, "%s\n%s", status.toString().c_str(),
                  flags.helpText(argv[0]).c_str());
     return 2;
   }
+  // Turn on whatever telemetry the flags asked for before the pipeline
+  // runs; the snapshots are written on every exit path below.
+  obs::enableFromFlags(flags);
+  obs::ScopedDump obs_dump(flags);
+  RAP_TRACE_SPAN("monitoring_loop");
 
   // Simulated CDN with a failure at a random minute.
   gen::TimeSeriesConfig config;

@@ -3,10 +3,23 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "stats/descriptive.h"
+#include "util/logging.h"
 #include "util/status.h"
 
 namespace rap::alarm {
+
+namespace {
+
+/// Alarm-path counters live behind the obs gate like everything else;
+/// the registry lookup per observation is fine at monitoring cadence
+/// (one aggregate KPI sample at a time, not a search inner loop).
+obs::Counter& alarmCounter(const char* name) {
+  return obs::defaultRegistry().counter(name);
+}
+
+}  // namespace
 
 KpiMonitor::KpiMonitor(MonitorConfig config) : config_(config) {
   RAP_CHECK(config_.season_length >= 1);
@@ -79,17 +92,26 @@ AlarmManager::AlarmManager(MonitorConfig monitor_config, Config config)
 std::optional<AlarmEvent> AlarmManager::observe(double value) {
   const auto index = monitor_.samplesSeen();
   const Verdict verdict = monitor_.observe(value);
+  const bool metrics = obs::metricsEnabled();
+  if (metrics) alarmCounter("rap_alarm_observations_total").increment();
 
   if (!verdict.anomalous) {
     abnormal_streak_ = 0;
     state_ = AlarmState::kQuiet;
+    if (metrics) obs::defaultRegistry().gauge("rap_alarm_state").set(0.0);
     return std::nullopt;
   }
 
+  if (metrics) alarmCounter("rap_alarm_abnormal_points_total").increment();
   abnormal_streak_ += 1;
-  if (abnormal_streak_ < config_.consecutive) return std::nullopt;
+  if (abnormal_streak_ < config_.consecutive) {
+    // Debounce: abnormal, but the streak is still short of `consecutive`.
+    if (metrics) alarmCounter("rap_alarm_debounce_suppressed_total").increment();
+    return std::nullopt;
+  }
   if (state_ == AlarmState::kRaised) return std::nullopt;
   if (last_raise_ >= 0 && index - last_raise_ < config_.cooldown) {
+    if (metrics) alarmCounter("rap_alarm_cooldown_skipped_total").increment();
     return std::nullopt;
   }
 
@@ -100,6 +122,13 @@ std::optional<AlarmEvent> AlarmManager::observe(double value) {
   event.value = value;
   event.baseline = verdict.baseline;
   events_.push_back(event);
+  if (metrics) {
+    alarmCounter("rap_alarm_raised_total").increment();
+    obs::defaultRegistry().gauge("rap_alarm_state").set(1.0);
+  }
+  RAP_LOG_KV(Info, {"sample", event.sample_index}, {"value", event.value},
+             {"baseline", event.baseline})
+      << "alarm raised";
   return event;
 }
 

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/timer.h"
+
 namespace rap::core {
 
 double rapScore(double confidence, std::int32_t layer) noexcept {
@@ -17,43 +21,107 @@ RapMiner::RapMiner(RapMinerConfig config) : config_(config) {
                 "t_cp must be in [0,1), got " << config_.t_cp);
 }
 
+namespace {
+
+/// One registry write per localize() call, fed from the SearchStats the
+/// hot loops already maintain — the search itself never touches an
+/// atomic, so the disabled-metrics cost stays at one branch here.
+void publishLocalizeMetrics(const SearchStats& stats, double total_seconds) {
+  obs::MetricsRegistry& registry = obs::defaultRegistry();
+  registry.counter("rap_localize_total").increment();
+  registry.counter("rap_localize_attributes_deleted_total")
+      .increment(static_cast<std::uint64_t>(
+          std::max<std::int32_t>(stats.attributes_deleted, 0)));
+  registry.counter("rap_search_cuboids_visited_total")
+      .increment(stats.cuboids_visited);
+  registry.counter("rap_search_combinations_evaluated_total")
+      .increment(stats.combinations_evaluated);
+  registry.counter("rap_search_combinations_pruned_total")
+      .increment(stats.combinations_pruned);
+  registry.counter("rap_search_candidates_total")
+      .increment(stats.candidates_found);
+  if (stats.early_stopped) {
+    registry.counter("rap_search_early_stop_total").increment();
+  }
+  for (const auto& layer : stats.layers) {
+    const obs::Labels labels{{"layer", std::to_string(layer.layer)}};
+    registry.counter("rap_search_layer_cuboids_visited_total", labels)
+        .increment(layer.cuboids_visited);
+    registry.counter("rap_search_layer_combinations_evaluated_total", labels)
+        .increment(layer.combinations_evaluated);
+    registry.counter("rap_search_layer_combinations_pruned_total", labels)
+        .increment(layer.combinations_pruned);
+  }
+  registry
+      .histogram("rap_localize_seconds",
+                 obs::exponentialBuckets(1e-4, 4.0, 10))
+      .observe(total_seconds);
+}
+
+}  // namespace
+
 LocalizationResult RapMiner::localize(const dataset::LeafTable& table,
                                       std::int32_t k) const {
+  RAP_TRACE_SPAN("localize",
+                 {{"rows", static_cast<std::int64_t>(table.size())},
+                  {"k", k}});
+  const util::WallTimer total_timer;
   LocalizationResult result;
 
   // Stage 1 — Algorithm 1.  With deletion disabled (Table VI ablation)
   // every attribute survives, still ordered by CP so the cuboid visit
   // order stays comparable.
+  util::WallTimer stage_timer;
   std::vector<dataset::AttrId> kept;
-  if (config_.enable_attribute_deletion) {
-    kept = deleteRedundantAttributes(table, config_.t_cp,
-                                     &result.stats.classification_power);
-  } else {
-    kept = deleteRedundantAttributes(table, -1.0,
-                                     &result.stats.classification_power);
+  {
+    RAP_TRACE_SPAN("localize/cp_deletion");
+    if (config_.enable_attribute_deletion) {
+      kept = deleteRedundantAttributes(table, config_.t_cp,
+                                       &result.stats.classification_power);
+    } else {
+      kept = deleteRedundantAttributes(table, -1.0,
+                                       &result.stats.classification_power);
+    }
   }
   result.stats.kept_attributes = kept;
   result.stats.attributes_deleted =
       table.schema().attributeCount() - static_cast<std::int32_t>(kept.size());
+  result.stats.seconds_attribute_deletion = stage_timer.elapsedSeconds();
 
   // Stage 2 — Algorithm 2.
-  SearchConfig search_config;
-  search_config.t_conf = config_.t_conf;
-  search_config.early_stop = config_.early_stop;
-  search_config.order = config_.cuboid_order;
-  result.patterns =
-      acGuidedSearch(table, kept, search_config, result.stats);
+  stage_timer.reset();
+  {
+    RAP_TRACE_SPAN("localize/search",
+                   {{"kept_attributes",
+                     static_cast<std::int64_t>(kept.size())}});
+    SearchConfig search_config;
+    search_config.t_conf = config_.t_conf;
+    search_config.early_stop = config_.early_stop;
+    search_config.order = config_.cuboid_order;
+    result.patterns =
+        acGuidedSearch(table, kept, search_config, result.stats);
+  }
+  result.stats.seconds_search = stage_timer.elapsedSeconds();
 
   // Stage 3 — RAPScore ranking (Eq. 3) and truncation to top-k.
-  for (auto& pattern : result.patterns) {
-    pattern.score = rapScore(pattern.confidence, pattern.layer);
+  stage_timer.reset();
+  {
+    RAP_TRACE_SPAN("localize/rank");
+    for (auto& pattern : result.patterns) {
+      pattern.score = rapScore(pattern.confidence, pattern.layer);
+    }
+    std::stable_sort(result.patterns.begin(), result.patterns.end(),
+                     [](const ScoredPattern& a, const ScoredPattern& b) {
+                       return a.score > b.score;
+                     });
+    if (k > 0 && static_cast<std::int32_t>(result.patterns.size()) > k) {
+      result.patterns.resize(static_cast<std::size_t>(k));
+    }
   }
-  std::stable_sort(result.patterns.begin(), result.patterns.end(),
-                   [](const ScoredPattern& a, const ScoredPattern& b) {
-                     return a.score > b.score;
-                   });
-  if (k > 0 && static_cast<std::int32_t>(result.patterns.size()) > k) {
-    result.patterns.resize(static_cast<std::size_t>(k));
+  result.stats.seconds_ranking = stage_timer.elapsedSeconds();
+
+  if (obs::metricsEnabled()) {
+    publishLocalizeMetrics(result.stats, total_timer.elapsedSeconds());
   }
   return result;
 }

@@ -44,11 +44,37 @@ std::string renderReport(const dataset::Schema& schema,
     out += "Search effort:\n";
     out += util::strFormat(
         "  %llu cuboid(s) visited, %llu combination(s) evaluated, "
-        "%llu candidate(s)%s\n",
+        "%llu pruned, %llu candidate(s)%s\n",
         static_cast<unsigned long long>(result.stats.cuboids_visited),
         static_cast<unsigned long long>(result.stats.combinations_evaluated),
+        static_cast<unsigned long long>(result.stats.combinations_pruned),
         static_cast<unsigned long long>(result.stats.candidates_found),
         result.stats.early_stopped ? ", early-stopped" : "");
+    if (!result.stats.layers.empty()) {
+      util::TextTable layers;
+      layers.setHeader(
+          {"layer", "cuboids", "evaluated", "pruned", "candidates", "time"});
+      for (const auto& layer : result.stats.layers) {
+        layers.addRow({std::to_string(layer.layer),
+                       std::to_string(layer.cuboids_visited),
+                       std::to_string(layer.combinations_evaluated),
+                       std::to_string(layer.combinations_pruned),
+                       std::to_string(layer.candidates_found),
+                       util::TextTable::duration(layer.seconds)});
+      }
+      out += layers.render();
+    }
+    const double stage_total = result.stats.seconds_attribute_deletion +
+                               result.stats.seconds_search +
+                               result.stats.seconds_ranking;
+    if (stage_total > 0.0) {
+      out += util::strFormat(
+          "  stage time: CP deletion %s, search %s, ranking %s\n",
+          util::TextTable::duration(result.stats.seconds_attribute_deletion)
+              .c_str(),
+          util::TextTable::duration(result.stats.seconds_search).c_str(),
+          util::TextTable::duration(result.stats.seconds_ranking).c_str());
+    }
   }
   return out;
 }

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "dataset/cuboid.h"
+#include "obs/trace.h"
+#include "util/timer.h"
 
 namespace rap::core {
 
@@ -62,11 +64,26 @@ std::vector<ScoredPattern> acGuidedSearch(
       config.early_stop ? table.anomalousRows()
                         : std::vector<dataset::RowId>{};
 
+  // Accumulates the current layer's effort; flushed into stats.layers
+  // when the layer finishes (or the early stop fires inside it).
+  LayerSearchStats layer_stats;
+  const auto flushLayer = [&stats, &layer_stats]() {
+    stats.cuboids_visited += layer_stats.cuboids_visited;
+    stats.combinations_evaluated += layer_stats.combinations_evaluated;
+    stats.combinations_pruned += layer_stats.combinations_pruned;
+    stats.candidates_found += layer_stats.candidates_found;
+    stats.layers.push_back(layer_stats);
+  };
+
   const auto max_layer = static_cast<std::int32_t>(kept_attributes.size());
   for (std::int32_t layer = 1; layer <= max_layer; ++layer) {
+    RAP_TRACE_SPAN("search/layer", {{"layer", layer}});
+    const util::WallTimer layer_timer;
+    layer_stats = LayerSearchStats{};
+    layer_stats.layer = layer;
     for (const CuboidMask mask :
          orderedCuboids(kept_attributes, layer, config.order)) {
-      stats.cuboids_visited += 1;
+      layer_stats.cuboids_visited += 1;
       for (const auto& group : table.groupBy(mask)) {
         // Criteria 3: skip the descendants of accepted candidates.  An
         // accepted candidate always sits at a strictly lower layer, so
@@ -76,9 +93,12 @@ std::vector<ScoredPattern> acGuidedSearch(
             [&group](const AttributeCombination& ac) {
               return ac.isAncestorOf(group.ac);
             });
-        if (pruned) continue;
+        if (pruned) {
+          layer_stats.combinations_pruned += 1;
+          continue;
+        }
 
-        stats.combinations_evaluated += 1;
+        layer_stats.combinations_evaluated += 1;
         const double confidence = group.confidence();
         if (confidence > config.t_conf) {  // Criteria 2
           ScoredPattern pattern;
@@ -87,7 +107,7 @@ std::vector<ScoredPattern> acGuidedSearch(
           pattern.layer = layer;
           candidates.push_back(pattern);
           candidate_acs.push_back(group.ac);
-          stats.candidates_found += 1;
+          layer_stats.candidates_found += 1;
 
           // Early stop (Algorithm 2 lines 9-11): the candidate set
           // already explains every anomalous leaf.
@@ -97,12 +117,16 @@ std::vector<ScoredPattern> acGuidedSearch(
             });
             if (uncovered.empty()) {
               stats.early_stopped = true;
+              layer_stats.seconds = layer_timer.elapsedSeconds();
+              flushLayer();
               return candidates;
             }
           }
         }
       }
     }
+    layer_stats.seconds = layer_timer.elapsedSeconds();
+    flushLayer();
   }
   return candidates;
 }

@@ -17,6 +17,17 @@ struct ScoredPattern {
   double score = 0.0;       ///< RAPScore = confidence / sqrt(layer), Eq. 3
 };
 
+/// Search effort spent inside one cuboid layer of Algorithm 2.
+struct LayerSearchStats {
+  std::int32_t layer = 0;  ///< cuboid layer (1 = single attributes)
+  std::uint64_t cuboids_visited = 0;
+  std::uint64_t combinations_evaluated = 0;
+  /// Combinations skipped by Criteria 3 (descendant of an accepted RAP).
+  std::uint64_t combinations_pruned = 0;
+  std::uint64_t candidates_found = 0;
+  double seconds = 0.0;  ///< wall time spent in this layer
+};
+
 /// Search-effort counters — the quantities behind the paper's efficiency
 /// claims (Fig. 9, Table IV, Table VI).
 struct SearchStats {
@@ -25,8 +36,17 @@ struct SearchStats {
   std::int32_t attributes_deleted = 0;
   std::uint64_t cuboids_visited = 0;
   std::uint64_t combinations_evaluated = 0;
+  std::uint64_t combinations_pruned = 0;
   std::uint64_t candidates_found = 0;
   bool early_stopped = false;
+  /// Per-layer breakdown of the totals above, in visit order; the last
+  /// entry is partial when the search early-stopped inside it.
+  std::vector<LayerSearchStats> layers;
+  /// Wall time per localization stage (always measured; the cost is one
+  /// steady_clock read per stage).
+  double seconds_attribute_deletion = 0.0;  ///< Algorithm 1
+  double seconds_search = 0.0;              ///< Algorithm 2
+  double seconds_ranking = 0.0;             ///< Eq. 3 sort + truncate
 };
 
 struct LocalizationResult {

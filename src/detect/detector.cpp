@@ -2,9 +2,24 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/descriptive.h"
 
 namespace rap::detect {
+
+namespace {
+
+void publishDetectMetrics(const std::string& detector, std::uint64_t rows,
+                          std::uint64_t flagged) {
+  obs::MetricsRegistry& registry = obs::defaultRegistry();
+  const obs::Labels labels{{"detector", detector}};
+  registry.counter("rap_detect_runs_total", labels).increment();
+  registry.counter("rap_detect_rows_total", labels).increment(rows);
+  registry.counter("rap_detect_rows_flagged_total", labels).increment(flagged);
+}
+
+}  // namespace
 
 double relativeDeviation(const dataset::LeafRow& row, double eps) noexcept {
   const double denom = std::max(std::fabs(row.f), eps);
@@ -12,6 +27,7 @@ double relativeDeviation(const dataset::LeafRow& row, double eps) noexcept {
 }
 
 std::uint32_t RelativeDeviationDetector::run(dataset::LeafTable& table) const {
+  RAP_TRACE_SPAN("detect/relative_deviation");
   std::uint32_t flagged = 0;
   for (dataset::RowId id = 0; id < table.size(); ++id) {
     const double dev = relativeDeviation(table.row(id), eps_);
@@ -20,10 +36,12 @@ std::uint32_t RelativeDeviationDetector::run(dataset::LeafTable& table) const {
     table.setAnomalous(id, anomalous);
     flagged += anomalous ? 1 : 0;
   }
+  if (obs::metricsEnabled()) publishDetectMetrics(name(), table.size(), flagged);
   return flagged;
 }
 
 std::uint32_t NSigmaDetector::run(dataset::LeafTable& table) const {
+  RAP_TRACE_SPAN("detect/n_sigma");
   std::vector<double> residuals;
   residuals.reserve(table.size());
   for (const auto& row : table.rows()) residuals.push_back(row.v - row.f);
@@ -36,6 +54,7 @@ std::uint32_t NSigmaDetector::run(dataset::LeafTable& table) const {
     table.setAnomalous(id, anomalous);
     flagged += anomalous ? 1 : 0;
   }
+  if (obs::metricsEnabled()) publishDetectMetrics(name(), table.size(), flagged);
   return flagged;
 }
 

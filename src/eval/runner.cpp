@@ -5,10 +5,44 @@
 #include "baselines/hotspot.h"
 #include "baselines/idice.h"
 #include "baselines/squeeze.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace rap::eval {
+
+namespace {
+
+/// Per-case timing series, labeled by localizer so Fig. 9-style latency
+/// distributions can be scraped straight from the registry.
+void publishCaseMetrics(const std::string& localizer, double seconds) {
+  obs::MetricsRegistry& registry = obs::defaultRegistry();
+  const obs::Labels labels{{"localizer", localizer}};
+  registry.counter("rap_eval_cases_total", labels).increment();
+  registry
+      .histogram("rap_eval_case_seconds",
+                 obs::exponentialBuckets(1e-4, 4.0, 10), labels)
+      .observe(seconds);
+}
+
+CaseRun runOneCase(const NamedLocalizer& localizer, const gen::Case& c,
+                   const RunOptions& options) {
+  const std::int32_t k =
+      options.k_equals_truth ? static_cast<std::int32_t>(c.truth.size())
+                             : options.k;
+  CaseRun run;
+  run.case_id = c.id;
+  RAP_TRACE_SPAN("eval/case", {{"case", c.id.c_str()},
+                               {"localizer", localizer.name.c_str()}});
+  const util::WallTimer timer;
+  run.predictions = localizer.fn(c.table, k);
+  run.seconds = timer.elapsedSeconds();
+  if (obs::metricsEnabled()) publishCaseMetrics(localizer.name, run.seconds);
+  return run;
+}
+
+}  // namespace
 
 std::vector<NamedLocalizer> standardLocalizers(
     const core::RapMinerConfig& rapminer_config, bool include_hotspot) {
@@ -56,15 +90,7 @@ std::vector<CaseRun> runLocalizer(const NamedLocalizer& localizer,
   std::vector<CaseRun> runs;
   runs.reserve(cases.size());
   for (const auto& c : cases) {
-    const std::int32_t k =
-        options.k_equals_truth ? static_cast<std::int32_t>(c.truth.size())
-                               : options.k;
-    CaseRun run;
-    run.case_id = c.id;
-    const util::WallTimer timer;
-    run.predictions = localizer.fn(c.table, k);
-    run.seconds = timer.elapsedSeconds();
-    runs.push_back(std::move(run));
+    runs.push_back(runOneCase(localizer, c, options));
   }
   return runs;
 }
@@ -76,18 +102,7 @@ std::vector<CaseRun> runLocalizerParallel(const NamedLocalizer& localizer,
   std::vector<CaseRun> runs(cases.size());
   util::parallelFor(
       cases.size(),
-      [&](std::size_t i) {
-        const auto& c = cases[i];
-        const std::int32_t k =
-            options.k_equals_truth ? static_cast<std::int32_t>(c.truth.size())
-                                   : options.k;
-        CaseRun run;
-        run.case_id = c.id;
-        const util::WallTimer timer;
-        run.predictions = localizer.fn(c.table, k);
-        run.seconds = timer.elapsedSeconds();
-        runs[i] = std::move(run);
-      },
+      [&](std::size_t i) { runs[i] = runOneCase(localizer, cases[i], options); },
       threads);
   return runs;
 }

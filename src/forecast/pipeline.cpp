@@ -3,18 +3,28 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace rap::forecast {
 
 dataset::LeafTable buildDetectedTable(const dataset::Schema& schema,
                                       const std::vector<LeafSeries>& series,
                                       const Forecaster& forecaster,
                                       const PipelineConfig& config) {
+  RAP_TRACE_SPAN("forecast/build_table",
+                 {{"leaves", static_cast<std::int64_t>(series.size())}});
   dataset::LeafTable table(schema);
+  std::uint64_t skipped = 0;
+  std::uint64_t anomalous_leaves = 0;
   for (const auto& s : series) {
     const bool dead_history =
         std::all_of(s.history.begin(), s.history.end(),
                     [](double x) { return x == 0.0; });
-    if (dead_history && s.current == 0.0) continue;  // no traffic at all
+    if (dead_history && s.current == 0.0) {  // no traffic at all
+      skipped += 1;
+      continue;
+    }
 
     const double f = forecaster.forecastNext(s.history);
     const double v = s.current;
@@ -22,7 +32,18 @@ dataset::LeafTable buildDetectedTable(const dataset::Schema& schema,
     const bool anomalous = config.two_sided
                                ? std::fabs(dev) > config.detect_threshold
                                : dev > config.detect_threshold;
+    anomalous_leaves += anomalous ? 1 : 0;
     table.addRow(s.leaf, v, f, anomalous);
+  }
+  if (obs::metricsEnabled()) {
+    obs::MetricsRegistry& registry = obs::defaultRegistry();
+    const obs::Labels labels{{"forecaster", forecaster.name()}};
+    registry.counter("rap_forecast_leaves_total", labels)
+        .increment(table.size());
+    registry.counter("rap_forecast_leaves_skipped_total", labels)
+        .increment(skipped);
+    registry.counter("rap_forecast_anomalous_leaves_total", labels)
+        .increment(anomalous_leaves);
   }
   return table;
 }

@@ -156,8 +156,38 @@ std::string resultToJson(const dataset::Schema& schema,
   w.value(static_cast<std::int64_t>(result.stats.cuboids_visited));
   w.key("combinations_evaluated");
   w.value(static_cast<std::int64_t>(result.stats.combinations_evaluated));
+  w.key("combinations_pruned");
+  w.value(static_cast<std::int64_t>(result.stats.combinations_pruned));
   w.key("early_stopped");
   w.value(result.stats.early_stopped);
+  w.key("layers");
+  w.beginArray();
+  for (const auto& layer : result.stats.layers) {
+    w.beginObject();
+    w.key("layer");
+    w.value(static_cast<std::int64_t>(layer.layer));
+    w.key("cuboids_visited");
+    w.value(static_cast<std::int64_t>(layer.cuboids_visited));
+    w.key("combinations_evaluated");
+    w.value(static_cast<std::int64_t>(layer.combinations_evaluated));
+    w.key("combinations_pruned");
+    w.value(static_cast<std::int64_t>(layer.combinations_pruned));
+    w.key("candidates_found");
+    w.value(static_cast<std::int64_t>(layer.candidates_found));
+    w.key("seconds");
+    w.value(layer.seconds);
+    w.endObject();
+  }
+  w.endArray();
+  w.key("stage_seconds");
+  w.beginObject();
+  w.key("attribute_deletion");
+  w.value(result.stats.seconds_attribute_deletion);
+  w.key("search");
+  w.value(result.stats.seconds_search);
+  w.key("ranking");
+  w.value(result.stats.seconds_ranking);
+  w.endObject();
   w.endObject();
 
   w.endObject();

@@ -1,0 +1,81 @@
+#include "obs/export.h"
+
+#include <cstdio>
+
+#include "obs/structured_log.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace rap::obs {
+
+util::Status writeTextFile(const std::string& path,
+                           const std::string& content) {
+  if (path == "-") {
+    std::fwrite(content.data(), 1, content.size(), stdout);
+    return util::Status::ok();
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return util::Status::notFound("cannot open '" + path + "' for writing");
+  }
+  const std::size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != content.size() || !close_ok) {
+    return util::Status::internal("short write to '" + path + "'");
+  }
+  return util::Status::ok();
+}
+
+util::Status writeMetricsSnapshot(const MetricsRegistry& registry,
+                                  const std::string& path) {
+  const bool json = util::endsWith(path, ".json");
+  return writeTextFile(path,
+                       json ? registry.renderJson()
+                            : registry.renderPrometheus());
+}
+
+util::Status writeTraceFile(const TraceRecorder& recorder,
+                            const std::string& path) {
+  return writeTextFile(path, recorder.renderChromeTrace());
+}
+
+void addObsFlags(util::FlagParser& flags) {
+  flags.addString("metrics-out", "",
+                  "write a metrics snapshot on exit (Prometheus text; "
+                  "*.json for JSON; '-' for stdout)");
+  flags.addString("trace-out", "",
+                  "write a Chrome trace-event JSON file on exit");
+  flags.addBool("log-json", false,
+                "emit log statements as JSON lines instead of text");
+}
+
+void enableFromFlags(const util::FlagParser& flags) {
+  if (!flags.getString("metrics-out").empty()) setMetricsEnabled(true);
+  if (!flags.getString("trace-out").empty()) setTracingEnabled(true);
+  if (flags.getBool("log-json")) enableJsonLogging(stderr);
+}
+
+util::Status dumpFromFlags(const util::FlagParser& flags) {
+  util::Status status = util::Status::ok();
+  if (const std::string path = flags.getString("metrics-out"); !path.empty()) {
+    if (auto s = writeMetricsSnapshot(defaultRegistry(), path); !s.isOk()) {
+      RAP_LOG(Error) << "metrics snapshot failed: " << s.toString();
+      if (status.isOk()) status = s;
+    } else {
+      RAP_LOG(Info) << "metrics snapshot written to " << path;
+    }
+  }
+  if (const std::string path = flags.getString("trace-out"); !path.empty()) {
+    if (auto s = writeTraceFile(defaultTraceRecorder(), path); !s.isOk()) {
+      RAP_LOG(Error) << "trace export failed: " << s.toString();
+      if (status.isOk()) status = s;
+    } else {
+      RAP_LOG(Info) << "trace written to " << path;
+    }
+  }
+  return status;
+}
+
+ScopedDump::~ScopedDump() { (void)dumpFromFlags(flags_); }
+
+}  // namespace rap::obs

@@ -1,0 +1,59 @@
+// Snapshot export + command-line wiring for the obs subsystem.
+//
+// Examples and bench harnesses call three functions:
+//
+//   obs::addObsFlags(flags);          // registers --metrics-out etc.
+//   obs::enableFromFlags(flags);      // after parse: turn on what's asked
+//   ...run the workload...
+//   obs::dumpFromFlags(flags);        // write the requested snapshots
+//
+// or hold an obs::ScopedDump so the dump happens on every exit path.
+// A binary that passes no obs flags enables nothing, and the pipeline
+// instrumentation stays at its disabled (near-zero) cost.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/flags.h"
+#include "util/status.h"
+
+namespace rap::obs {
+
+/// Writes `content` to `path` ("-" means stdout).
+util::Status writeTextFile(const std::string& path, const std::string& content);
+
+/// Metrics snapshot: Prometheus text format, or the JSON document when
+/// `path` ends in ".json".
+util::Status writeMetricsSnapshot(const MetricsRegistry& registry,
+                                  const std::string& path);
+
+/// Chrome trace-event JSON (load in chrome://tracing or Perfetto).
+util::Status writeTraceFile(const TraceRecorder& recorder,
+                            const std::string& path);
+
+/// Registers --metrics-out, --trace-out, and --log-json.
+void addObsFlags(util::FlagParser& flags);
+
+/// Enables metrics / tracing / JSON logging according to parsed flags.
+/// Call before the instrumented workload runs.
+void enableFromFlags(const util::FlagParser& flags);
+
+/// Writes whichever outputs the flags requested (no-op otherwise);
+/// logs each written path.  Returns the first error encountered.
+util::Status dumpFromFlags(const util::FlagParser& flags);
+
+/// RAII variant of dumpFromFlags for binaries with several exit paths.
+class ScopedDump {
+ public:
+  explicit ScopedDump(const util::FlagParser& flags) : flags_(flags) {}
+  ScopedDump(const ScopedDump&) = delete;
+  ScopedDump& operator=(const ScopedDump&) = delete;
+  ~ScopedDump();
+
+ private:
+  const util::FlagParser& flags_;
+};
+
+}  // namespace rap::obs

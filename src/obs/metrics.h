@@ -1,0 +1,166 @@
+// Metrics layer of rap::obs — counters, gauges, and fixed-bucket
+// histograms behind a thread-safe registry with Prometheus-style text
+// and JSON exposition.
+//
+// Design:
+//   * Metric objects are created once (mutex-protected registry lookup)
+//     and updated lock-free afterwards: counters and histogram buckets
+//     are relaxed atomics, so concurrent increments from the search /
+//     eval worker threads never serialize on a lock.
+//   * A process-wide default registry backs the pipeline
+//     instrumentation.  It is gated by setMetricsEnabled(): when the
+//     gate is off (the default) every instrumentation site reduces to
+//     one relaxed atomic load and a branch, so binaries that never pass
+//     --metrics-out pay effectively nothing.
+//   * Library users who want isolated scraping (tests, embedding
+//     services) construct their own MetricsRegistry and talk to it
+//     directly; nothing in the class is global.
+//
+// Naming convention (docs/observability.md): `rap_<module>_<what>`,
+// with `_total` for counters and `_seconds` for histograms of
+// durations.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rap::obs {
+
+/// Label set attached to one metric series, e.g. {{"layer","2"}}.
+/// Order matters for identity; instrumentation sites pass a consistent
+/// order so the registry's linear series lookup stays exact.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void increment(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Point-in-time value that can move both ways (e.g. alarm state).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) noexcept;
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket upper bounds are chosen at creation
+/// and never change, so observe() is a branchless-ish scan plus one
+/// relaxed fetch_add.  Exposition follows Prometheus semantics
+/// (cumulative `le` buckets plus `_sum` / `_count`).
+class Histogram {
+ public:
+  /// `bounds` are inclusive upper bounds, strictly increasing; an
+  /// implicit +Inf bucket is appended.
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v) noexcept;
+
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  /// Per-bucket (non-cumulative) counts, one per bound plus the +Inf
+  /// bucket at the back.
+  std::vector<std::uint64_t> bucketCounts() const;
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds+1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// `count` buckets growing geometrically from `start` by `factor`
+/// (Prometheus ExponentialBuckets) — the default shape for durations.
+std::vector<double> exponentialBuckets(double start, double factor,
+                                       std::int32_t count);
+/// `count` buckets of equal `width` starting at `start`.
+std::vector<double> linearBuckets(double start, double width,
+                                  std::int32_t count);
+
+/// Thread-safe collection of metric families.  Lookup takes a mutex;
+/// the returned references stay valid for the registry's lifetime, so
+/// hot paths resolve once and update lock-free.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create.  A name must keep one kind for the registry's
+  /// lifetime (requesting an existing counter as a gauge is a caller
+  /// bug and RAP_CHECKs).
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  /// `bounds` applies when the series is first created; later callers
+  /// get the existing histogram regardless of their bounds argument.
+  Histogram& histogram(const std::string& name, std::vector<double> bounds,
+                       const Labels& labels = {});
+
+  /// Prometheus text exposition format, families sorted by name.
+  std::string renderPrometheus() const;
+  /// The same snapshot as a JSON document:
+  /// {"metrics":[{"name":..,"type":..,"series":[{"labels":{..},..}]}]}
+  std::string renderJson() const;
+
+  /// Number of registered series across all families (for tests).
+  std::size_t seriesCount() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Series {
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    Kind kind{};
+    std::vector<std::unique_ptr<Series>> series;
+  };
+
+  Series& findOrCreate(const std::string& name, Kind kind,
+                       const Labels& labels);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Family> families_;
+};
+
+/// The process-wide registry the pipeline instrumentation publishes to.
+MetricsRegistry& defaultRegistry();
+
+namespace internal {
+extern std::atomic<bool> g_metrics_enabled;
+}  // namespace internal
+
+/// Gate for the built-in pipeline instrumentation.  Off by default:
+/// every instrumentation site checks this first, so a binary that never
+/// enables metrics pays one relaxed load + branch per site.
+inline bool metricsEnabled() noexcept {
+  return internal::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+void setMetricsEnabled(bool enabled) noexcept;
+
+}  // namespace rap::obs

@@ -1,0 +1,15 @@
+// Umbrella header for the rap::obs observability subsystem:
+//
+//   * metrics.h        — counters / gauges / histograms + registry,
+//                        Prometheus and JSON exposition
+//   * trace.h          — RAP_TRACE_SPAN scoped spans, Chrome trace export
+//   * structured_log.h — JSON-lines sink for RAP_LOG / RAP_LOG_KV
+//   * export.h         — snapshot files + --metrics-out/--trace-out wiring
+//
+// See docs/observability.md for naming conventions and usage.
+#pragma once
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/structured_log.h"
+#include "obs/trace.h"

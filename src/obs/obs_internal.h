@@ -1,0 +1,17 @@
+// Shared formatting helpers for the obs exporters.  Internal to
+// src/obs — kept out of io/json.h so the obs layer depends on util
+// only (io sits above core, which itself links obs).
+#pragma once
+
+#include <string>
+
+namespace rap::obs::internal {
+
+/// Minimal RFC 8259 string escaping (quotes, backslash, control chars).
+std::string jsonEscape(const std::string& text);
+
+/// Shortest-ish decimal rendering for exposition output: integers print
+/// without a fractional part, everything else with %.9g.
+std::string formatDouble(double v);
+
+}  // namespace rap::obs::internal

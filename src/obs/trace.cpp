@@ -1,0 +1,161 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+#include "obs/obs_internal.h"
+
+namespace rap::obs {
+
+namespace internal {
+std::atomic<bool> g_tracing_enabled{false};
+}  // namespace internal
+
+void setTracingEnabled(bool enabled) noexcept {
+  internal::g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+TraceArg::TraceArg(std::string k, double v)
+    : key(std::move(k)), value(internal::formatDouble(v)), quoted(false) {}
+
+struct TraceRecorder::ThreadBuffer {
+  std::uint32_t tid = 0;
+  std::mutex mutex;  // writer vs. snapshot; uncontended on the hot path
+  std::vector<TraceEvent> events;
+};
+
+TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+TraceRecorder::~TraceRecorder() = default;
+
+std::uint64_t TraceRecorder::nowMicros() const noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+TraceRecorder::ThreadBuffer& TraceRecorder::localBuffer() {
+  // Keyed on the recorder so tests with their own recorders do not mix
+  // events into the default one.
+  thread_local TraceRecorder* cached_owner = nullptr;
+  thread_local ThreadBuffer* cached_buffer = nullptr;
+  if (cached_owner == this && cached_buffer != nullptr) return *cached_buffer;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  buffers_.push_back(std::make_unique<ThreadBuffer>());
+  buffers_.back()->tid = static_cast<std::uint32_t>(buffers_.size());
+  cached_owner = this;
+  cached_buffer = buffers_.back().get();
+  return *cached_buffer;
+}
+
+void TraceRecorder::record(TraceEvent event) {
+  ThreadBuffer& buffer = localBuffer();
+  event.tid = buffer.tid;
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.events.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshotEvents() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> out;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    out.insert(out.end(), buffer->events.begin(), buffer->events.end());
+  }
+  return out;
+}
+
+std::string TraceRecorder::renderChromeTrace() const {
+  const auto events = snapshotEvents();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& event : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + internal::jsonEscape(event.name) +
+           "\",\"cat\":\"rap\",\"ph\":\"X\",\"ts\":" +
+           std::to_string(event.ts_us) +
+           ",\"dur\":" + std::to_string(event.dur_us) +
+           ",\"pid\":1,\"tid\":" + std::to_string(event.tid);
+    if (!event.args_json.empty()) {
+      out += ",\"args\":" + event.args_json;
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    buffer->events.clear();
+  }
+}
+
+std::size_t TraceRecorder::eventCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    n += buffer->events.size();
+  }
+  return n;
+}
+
+TraceRecorder& defaultTraceRecorder() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+namespace {
+
+std::string renderArgs(std::initializer_list<TraceArg> args) {
+  if (args.size() == 0) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& arg : args) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + internal::jsonEscape(arg.key) + "\":";
+    if (arg.quoted) {
+      out += "\"" + internal::jsonEscape(arg.value) + "\"";
+    } else {
+      out += arg.value;
+    }
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+TraceSpan::TraceSpan(const char* name, std::initializer_list<TraceArg> args)
+    : name_(name), active_(tracingEnabled()) {
+  if (!active_) return;
+  args_json_ = renderArgs(args);
+  start_us_ = defaultTraceRecorder().nowMicros();
+}
+
+TraceSpan::TraceSpan(TraceSpan&& other) noexcept
+    : name_(other.name_),
+      active_(other.active_),
+      start_us_(other.start_us_),
+      args_json_(std::move(other.args_json_)) {
+  other.active_ = false;
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  TraceRecorder& recorder = defaultTraceRecorder();
+  TraceEvent event;
+  event.name = name_;
+  event.ts_us = start_us_;
+  const std::uint64_t end = recorder.nowMicros();
+  event.dur_us = end > start_us_ ? end - start_us_ : 0;
+  event.args_json = std::move(args_json_);
+  recorder.record(std::move(event));
+}
+
+}  // namespace rap::obs

@@ -1,0 +1,143 @@
+// Scoped trace spans for the localization pipeline.
+//
+//   RAP_TRACE_SPAN("localize");
+//   RAP_TRACE_SPAN("search/layer", {{"layer", l}});
+//
+// Each span records one Chrome trace-event "complete" event (ph:"X")
+// with the wall-clock interval of its enclosing scope; nesting falls
+// out of interval containment per thread, so chrome://tracing (or
+// Perfetto) renders the usual flame graph.  Events land in per-thread
+// buffers of the process-wide TraceRecorder — one uncontended mutex
+// push per span close, no cross-thread contention on the hot path.
+//
+// Tracing is off by default.  The RAP_TRACE_SPAN macro evaluates its
+// argument expressions ONLY when tracing is enabled (the ternary in the
+// macro), so a disabled span costs one relaxed atomic load, a branch,
+// and an inert stack object.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace rap::obs {
+
+/// One key/value annotation on a span, rendered into the Chrome trace
+/// "args" object.  Numeric values stay unquoted in the JSON.
+struct TraceArg {
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  TraceArg(std::string k, T v)
+      : key(std::move(k)), value(std::to_string(v)), quoted(false) {}
+  TraceArg(std::string k, bool v)
+      : key(std::move(k)), value(v ? "true" : "false"), quoted(false) {}
+  TraceArg(std::string k, double v);
+  TraceArg(std::string k, const char* v)
+      : key(std::move(k)), value(v), quoted(true) {}
+  TraceArg(std::string k, std::string v)
+      : key(std::move(k)), value(std::move(v)), quoted(true) {}
+
+  std::string key;
+  std::string value;
+  bool quoted = true;
+};
+
+/// One finished span.  `name` points at a string literal (the macro
+/// only ever passes literals), timestamps are microseconds since the
+/// recorder's construction.
+struct TraceEvent {
+  const char* name = "";
+  std::uint64_t ts_us = 0;
+  std::uint64_t dur_us = 0;
+  std::uint32_t tid = 0;
+  std::string args_json;  ///< pre-rendered "{...}" or empty
+};
+
+/// Collects spans from every thread; exports Chrome trace-event JSON.
+/// Per-thread buffers outlive their threads, so events survive worker
+/// pool teardown until export.
+class TraceRecorder {
+ public:
+  TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+  ~TraceRecorder();
+
+  /// Microseconds since this recorder was constructed.
+  std::uint64_t nowMicros() const noexcept;
+
+  /// Appends one finished span to the calling thread's buffer.
+  void record(TraceEvent event);
+
+  /// Copy of every recorded event (unordered across threads).
+  std::vector<TraceEvent> snapshotEvents() const;
+
+  /// {"traceEvents":[...]} — loadable in chrome://tracing / Perfetto.
+  std::string renderChromeTrace() const;
+
+  /// Drops all recorded events (buffers stay registered).
+  void clear();
+
+  std::size_t eventCount() const;
+
+ private:
+  struct ThreadBuffer;
+  ThreadBuffer& localBuffer();
+
+  mutable std::mutex mutex_;  // guards buffers_ (the list, not entries)
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// The recorder RAP_TRACE_SPAN publishes to.
+TraceRecorder& defaultTraceRecorder();
+
+namespace internal {
+extern std::atomic<bool> g_tracing_enabled;
+}  // namespace internal
+
+inline bool tracingEnabled() noexcept {
+  return internal::g_tracing_enabled.load(std::memory_order_relaxed);
+}
+void setTracingEnabled(bool enabled) noexcept;
+
+/// RAII span; use via RAP_TRACE_SPAN.  A default-constructed span is
+/// inert (that is the disabled-tracing arm of the macro).
+class TraceSpan {
+ public:
+  TraceSpan() noexcept = default;
+  explicit TraceSpan(const char* name)
+      : TraceSpan(name, std::initializer_list<TraceArg>{}) {}
+  TraceSpan(const char* name, std::initializer_list<TraceArg> args);
+  TraceSpan(TraceSpan&& other) noexcept;
+  TraceSpan& operator=(TraceSpan&&) = delete;
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan();
+
+ private:
+  const char* name_ = nullptr;
+  bool active_ = false;
+  std::uint64_t start_us_ = 0;
+  std::string args_json_;
+};
+
+}  // namespace rap::obs
+
+#define RAP_OBS_CONCAT_INNER(a, b) a##b
+#define RAP_OBS_CONCAT(a, b) RAP_OBS_CONCAT_INNER(a, b)
+
+/// Opens a span covering the rest of the enclosing scope.  Arguments
+/// after the name are TraceArg initializers: {{"layer", l}}.  Argument
+/// expressions are not evaluated when tracing is disabled.
+#define RAP_TRACE_SPAN(...)                                          \
+  ::rap::obs::TraceSpan RAP_OBS_CONCAT(rap_trace_span_, __LINE__) =  \
+      ::rap::obs::tracingEnabled() ? ::rap::obs::TraceSpan(__VA_ARGS__) \
+                                   : ::rap::obs::TraceSpan()

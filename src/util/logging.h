@@ -1,14 +1,24 @@
-// Minimal leveled logging to stderr.
+// Minimal leveled logging to stderr, with a pluggable sink.
 //
 // Usage:
-//   RAP_LOG(INFO) << "localized " << n << " patterns";
+//   RAP_LOG(Info) << "localized " << n << " patterns";
+//   RAP_LOG_KV(Warn, {"alarms", n}, {"state", "raised"}) << "page sent";
 //
-// The global level defaults to kInfo and can be raised/lowered with
-// setLogLevel (benchmarks raise it to kWarn to keep output tables clean).
+// The global level defaults to kInfo, is stored in an std::atomic (safe
+// to flip from any thread; benchmarks raise it to kWarn to keep output
+// tables clean), and each statement is flushed as ONE complete line with
+// a single fwrite so concurrent threads never interleave partial lines.
+//
+// By default records render as text to stderr.  setLogSink() redirects
+// every record to a LogSink instead — rap::obs::JsonLineLogSink turns
+// the stream into structured JSON lines; tests install capture sinks.
 #pragma once
 
+#include <cstdio>
 #include <sstream>
 #include <string>
+#include <type_traits>
+#include <vector>
 
 namespace rap::util {
 
@@ -17,15 +27,70 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void setLogLevel(LogLevel level) noexcept;
 LogLevel logLevel() noexcept;
 
+/// One-letter tag ("D", "I", "W", "E") for the text format.
 const char* logLevelName(LogLevel level) noexcept;
+/// Full lowercase name ("debug", "info", ...) for structured sinks.
+const char* logLevelFullName(LogLevel level) noexcept;
+
+/// One key/value annotation on a log statement.  Numeric values keep a
+/// numeric rendering so structured sinks can emit them unquoted.
+struct LogField {
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  LogField(std::string k, T v)
+      : key(std::move(k)), value(std::to_string(v)), quoted(false) {}
+  LogField(std::string k, bool v)
+      : key(std::move(k)), value(v ? "true" : "false"), quoted(false) {}
+  LogField(std::string k, double v);
+  LogField(std::string k, const char* v)
+      : key(std::move(k)), value(v), quoted(true) {}
+  LogField(std::string k, std::string v)
+      : key(std::move(k)), value(std::move(v)), quoted(true) {}
+
+  std::string key;
+  std::string value;
+  bool quoted = true;
+};
+
+/// Everything one log statement carries, handed to the active sink.
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  const char* file = "";  ///< basename of the source file
+  int line = 0;
+  std::string message;
+  std::vector<LogField> fields;
+};
+
+/// Destination for log records.  Implementations must be thread-safe —
+/// records arrive concurrently from any thread.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void write(const LogRecord& record) = 0;
+};
+
+/// Installs `sink` as the destination for all subsequent records
+/// (nullptr restores the default text-to-stream formatter).  The sink
+/// is borrowed, not owned; keep it alive while installed.
+void setLogSink(LogSink* sink) noexcept;
+LogSink* logSink() noexcept;
+
+/// Stream the default text formatter writes to (stderr unless
+/// overridden; tests point this at a temp file to inspect output).
+void setLogStream(std::FILE* stream) noexcept;
+std::FILE* logStream() noexcept;
 
 namespace internal {
 
-/// Collects one log statement and flushes it (with timestamp + level tag)
-/// on destruction.  Not for use outside the RAP_LOG macro.
+/// Collects one log statement and flushes it (to the sink, or as one
+/// timestamped text line) on destruction.  Not for use outside the
+/// RAP_LOG / RAP_LOG_KV macros.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);
+  LogMessage(LogLevel level, const char* file, int line,
+             std::vector<LogField> fields);
   ~LogMessage();
 
   LogMessage(const LogMessage&) = delete;
@@ -35,6 +100,9 @@ class LogMessage {
 
  private:
   LogLevel level_;
+  const char* file_;
+  int line_;
+  std::vector<LogField> fields_;
   std::ostringstream stream_;
 };
 
@@ -54,4 +122,13 @@ struct NullLogStream {
   } else                                                                     \
     ::rap::util::internal::LogMessage(::rap::util::LogLevel::k##severity,   \
                                       __FILE__, __LINE__)                    \
+        .stream()
+
+/// RAP_LOG with structured fields:
+///   RAP_LOG_KV(Info, {"layer", l}, {"cuboids", n}) << "layer done";
+#define RAP_LOG_KV(severity, ...)                                            \
+  if (::rap::util::LogLevel::k##severity < ::rap::util::logLevel()) {       \
+  } else                                                                     \
+    ::rap::util::internal::LogMessage(::rap::util::LogLevel::k##severity,   \
+                                      __FILE__, __LINE__, {__VA_ARGS__})     \
         .stream()

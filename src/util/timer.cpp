@@ -4,8 +4,6 @@
 #include <cmath>
 #include <numeric>
 
-#include "util/status.h"
-
 namespace rap::util {
 
 double TimingStats::total() const noexcept {
@@ -26,9 +24,13 @@ double TimingStats::max() const noexcept {
                           : *std::max_element(samples_.begin(), samples_.end());
 }
 
-double TimingStats::percentile(double q) const {
-  RAP_CHECK(q >= 0.0 && q <= 1.0);
+double TimingStats::percentile(double q) const noexcept {
+  // Defined for every input: an empty sample set reports 0, a q outside
+  // [0,1] (including NaN) clamps to the nearest quantile, and a single
+  // sample is every quantile of itself.
   if (samples_.empty()) return 0.0;
+  if (!(q > 0.0)) return min();   // q <= 0 or NaN
+  if (q >= 1.0) return max();
   std::vector<double> sorted = samples_;
   std::sort(sorted.begin(), sorted.end());
   const auto rank = static_cast<std::size_t>(

@@ -37,8 +37,10 @@ class TimingStats {
   double mean() const noexcept;
   double min() const noexcept;
   double max() const noexcept;
-  /// q in [0,1]; nearest-rank on a sorted copy.
-  double percentile(double q) const;
+  /// Nearest-rank quantile on a sorted copy.  Total: q is clamped to
+  /// [0,1] (NaN behaves like 0), the empty set reports 0, and a single
+  /// sample is returned for every q.
+  double percentile(double q) const noexcept;
 
   const std::vector<double>& samples() const noexcept { return samples_; }
 

@@ -1,0 +1,349 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.h"
+#include "util/logging.h"
+
+namespace rap::obs {
+namespace {
+
+// ---------------------------------------------------------------- Counter
+
+TEST(Counter, StartsAtZeroAndIncrements) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.increment();
+  c.increment(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Counter, ConcurrentIncrementsAreLossless) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+// ------------------------------------------------------------------ Gauge
+
+TEST(Gauge, SetAndAdd) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+}
+
+TEST(Gauge, ConcurrentAddsAreLossless) {
+  Gauge g;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g] {
+      for (int i = 0; i < kPerThread; ++i) g.add(1.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(g.value(), static_cast<double>(kThreads * kPerThread));
+}
+
+// -------------------------------------------------------------- Histogram
+
+TEST(Histogram, BucketsByUpperBoundInclusive) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.observe(0.5);    // <= 1
+  h.observe(1.0);    // <= 1 (inclusive)
+  h.observe(5.0);    // <= 10
+  h.observe(100.5);  // +Inf
+  const auto counts = h.bucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 0u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 5.0 + 100.5);
+}
+
+TEST(Histogram, ConcurrentObservesPreserveCount) {
+  Histogram h(exponentialBuckets(1e-3, 10.0, 4));
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.observe(static_cast<double>(t) * 0.01);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  std::uint64_t bucket_total = 0;
+  for (const auto c : h.bucketCounts()) bucket_total += c;
+  EXPECT_EQ(bucket_total, h.count());
+}
+
+TEST(Histogram, BucketHelpers) {
+  EXPECT_EQ(exponentialBuckets(1.0, 2.0, 4),
+            (std::vector<double>{1.0, 2.0, 4.0, 8.0}));
+  EXPECT_EQ(linearBuckets(0.0, 0.5, 3), (std::vector<double>{0.0, 0.5, 1.0}));
+}
+
+// --------------------------------------------------------------- Registry
+
+TEST(MetricsRegistry, SameNameAndLabelsSameInstance) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("x_total");
+  Counter& b = registry.counter("x_total");
+  EXPECT_EQ(&a, &b);
+  a.increment();
+  EXPECT_EQ(b.value(), 1u);
+}
+
+TEST(MetricsRegistry, DistinctLabelsDistinctSeries) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("x_total", {{"layer", "1"}});
+  Counter& b = registry.counter("x_total", {{"layer", "2"}});
+  EXPECT_NE(&a, &b);
+  EXPECT_EQ(registry.seriesCount(), 2u);
+}
+
+TEST(MetricsRegistry, ConcurrentLookupsAndIncrements) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < kPerThread; ++i) {
+        registry.counter("hot_total").increment();
+        registry.counter("labeled_total", {{"shard", std::to_string(i % 3)}})
+            .increment();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(registry.counter("hot_total").value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  std::uint64_t labeled = 0;
+  for (int shard = 0; shard < 3; ++shard) {
+    labeled += registry.counter("labeled_total",
+                                {{"shard", std::to_string(shard)}})
+                   .value();
+  }
+  EXPECT_EQ(labeled, static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsRegistry, PrometheusExposition) {
+  MetricsRegistry registry;
+  registry.counter("rap_test_events_total", {{"kind", "a"}}).increment(3);
+  registry.gauge("rap_test_state").set(1.0);
+  Histogram& h = registry.histogram("rap_test_seconds", {0.1, 1.0});
+  h.observe(0.05);
+  h.observe(0.5);
+  h.observe(5.0);
+
+  const std::string text = registry.renderPrometheus();
+  EXPECT_NE(text.find("# TYPE rap_test_events_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("rap_test_events_total{kind=\"a\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE rap_test_state gauge"), std::string::npos);
+  EXPECT_NE(text.find("rap_test_state 1"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE rap_test_seconds histogram"), std::string::npos);
+  // Cumulative buckets: 1 at le=0.1, 2 at le=1, 3 at +Inf.
+  EXPECT_NE(text.find("rap_test_seconds_bucket{le=\"0.1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("rap_test_seconds_bucket{le=\"1\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("rap_test_seconds_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("rap_test_seconds_count 3"), std::string::npos);
+  EXPECT_NE(text.find("rap_test_seconds_sum"), std::string::npos);
+}
+
+TEST(MetricsRegistry, JsonExposition) {
+  MetricsRegistry registry;
+  registry.counter("events_total", {{"kind", "x"}}).increment(7);
+  registry.histogram("lat_seconds", {0.5}).observe(0.25);
+
+  const std::string json = registry.renderJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"name\":\"events_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"labels\":{\"kind\":\"x\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"value\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"histogram\""), std::string::npos);
+  EXPECT_NE(json.find("\"le\":\"+Inf\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+}
+
+TEST(MetricsRegistry, GlobalGateDefaultsOff) {
+  // The process-wide gate must start disabled so uninstrumented binaries
+  // pay nothing; tests that enable it restore the default.
+  EXPECT_FALSE(metricsEnabled());
+}
+
+// ------------------------------------------------------------------ Trace
+
+TEST(Trace, DisabledSpansRecordNothing) {
+  TraceRecorder& recorder = defaultTraceRecorder();
+  recorder.clear();
+  ASSERT_FALSE(tracingEnabled());
+  {
+    RAP_TRACE_SPAN("should_not_appear", {{"x", 1}});
+  }
+  EXPECT_EQ(recorder.eventCount(), 0u);
+}
+
+TEST(Trace, NestedSpansAreContainedIntervals) {
+  TraceRecorder& recorder = defaultTraceRecorder();
+  recorder.clear();
+  setTracingEnabled(true);
+  {
+    RAP_TRACE_SPAN("outer", {{"layer", 1}});
+    {
+      RAP_TRACE_SPAN("inner", {{"layer", 2}, {"note", "deep"}});
+    }
+  }
+  setTracingEnabled(false);
+
+  const auto events = recorder.snapshotEvents();
+  ASSERT_EQ(events.size(), 2u);
+  const TraceEvent* outer = nullptr;
+  const TraceEvent* inner = nullptr;
+  for (const auto& event : events) {
+    if (std::string(event.name) == "outer") outer = &event;
+    if (std::string(event.name) == "inner") inner = &event;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  // Same thread, and the inner interval nests inside the outer one.
+  EXPECT_EQ(outer->tid, inner->tid);
+  EXPECT_LE(outer->ts_us, inner->ts_us);
+  EXPECT_GE(outer->ts_us + outer->dur_us, inner->ts_us + inner->dur_us);
+  EXPECT_EQ(inner->args_json, "{\"layer\":2,\"note\":\"deep\"}");
+  recorder.clear();
+}
+
+TEST(Trace, ChromeTraceJsonShape) {
+  TraceRecorder& recorder = defaultTraceRecorder();
+  recorder.clear();
+  setTracingEnabled(true);
+  {
+    RAP_TRACE_SPAN("export_me", {{"k", 3.5}});
+  }
+  setTracingEnabled(false);
+
+  const std::string json = recorder.renderChromeTrace();
+  EXPECT_NE(json.find("{\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"export_me\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"k\":3.5}"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  recorder.clear();
+}
+
+TEST(Trace, SpansFromManyThreadsAllRecorded) {
+  TraceRecorder& recorder = defaultTraceRecorder();
+  recorder.clear();
+  setTracingEnabled(true);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i) {
+        RAP_TRACE_SPAN("worker_span", {{"i", i}});
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  setTracingEnabled(false);
+  EXPECT_EQ(recorder.eventCount(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+  recorder.clear();
+}
+
+// --------------------------------------------------------- structured log
+
+class CaptureSink final : public util::LogSink {
+ public:
+  void write(const util::LogRecord& record) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    records.push_back(record);
+  }
+  std::mutex mutex_;
+  std::vector<util::LogRecord> records;
+};
+
+TEST(StructuredLog, SinkReceivesMessageAndFields) {
+  CaptureSink sink;
+  util::setLogSink(&sink);
+  RAP_LOG_KV(Info, {"layer", 3}, {"method", "rapminer"}) << "layer done";
+  util::setLogSink(nullptr);
+
+  ASSERT_EQ(sink.records.size(), 1u);
+  const util::LogRecord& record = sink.records[0];
+  EXPECT_EQ(record.level, util::LogLevel::kInfo);
+  EXPECT_EQ(record.message, "layer done");
+  ASSERT_EQ(record.fields.size(), 2u);
+  EXPECT_EQ(record.fields[0].key, "layer");
+  EXPECT_EQ(record.fields[0].value, "3");
+  EXPECT_FALSE(record.fields[0].quoted);
+  EXPECT_EQ(record.fields[1].key, "method");
+  EXPECT_EQ(record.fields[1].value, "rapminer");
+  EXPECT_TRUE(record.fields[1].quoted);
+  EXPECT_STREQ(record.file, "obs_test.cpp");
+}
+
+TEST(StructuredLog, JsonLineFormat) {
+  util::LogRecord record;
+  record.level = util::LogLevel::kWarn;
+  record.file = "monitor.cpp";
+  record.line = 98;
+  record.message = "alarm \"raised\"";
+  record.fields.emplace_back("alarms", 3);
+  record.fields.emplace_back("state", "raised");
+  record.fields.emplace_back("drop", 0.25);
+
+  const std::string line = JsonLineLogSink::formatRecord(record);
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+  EXPECT_NE(line.find("\"level\":\"warn\""), std::string::npos);
+  EXPECT_NE(line.find("\"src\":\"monitor.cpp:98\""), std::string::npos);
+  EXPECT_NE(line.find("\"msg\":\"alarm \\\"raised\\\"\""), std::string::npos);
+  EXPECT_NE(line.find("\"alarms\":3"), std::string::npos);
+  EXPECT_NE(line.find("\"state\":\"raised\""), std::string::npos);
+  EXPECT_NE(line.find("\"drop\":0.25"), std::string::npos);
+}
+
+TEST(StructuredLog, BelowLevelStatementsNeverReachSink) {
+  CaptureSink sink;
+  util::setLogSink(&sink);
+  const util::LogLevel before = util::logLevel();
+  util::setLogLevel(util::LogLevel::kWarn);
+  RAP_LOG(Info) << "filtered out";
+  RAP_LOG_KV(Debug, {"x", 1}) << "also filtered";
+  util::setLogLevel(before);
+  util::setLogSink(nullptr);
+  EXPECT_TRUE(sink.records.empty());
+}
+
+}  // namespace
+}  // namespace rap::obs

@@ -260,6 +260,34 @@ TEST(TimingStats, Aggregates) {
   EXPECT_NEAR(stats.percentile(1.0), 0.4, 1e-12);
 }
 
+TEST(TimingStats, PercentileEdgeCases) {
+  // Empty distribution: every quantile is defined as 0.
+  const TimingStats empty;
+  EXPECT_DOUBLE_EQ(empty.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.percentile(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.percentile(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.percentile(2.0), 0.0);
+
+  // Single sample: every quantile is that sample.
+  TimingStats one;
+  one.add(0.7);
+  EXPECT_DOUBLE_EQ(one.percentile(0.0), 0.7);
+  EXPECT_DOUBLE_EQ(one.percentile(0.5), 0.7);
+  EXPECT_DOUBLE_EQ(one.percentile(1.0), 0.7);
+
+  // q outside [0, 1] clamps to min/max instead of indexing out of range.
+  TimingStats many;
+  for (const double s : {0.1, 0.2, 0.3}) many.add(s);
+  EXPECT_DOUBLE_EQ(many.percentile(-0.5), 0.1);
+  EXPECT_DOUBLE_EQ(many.percentile(0.0), 0.1);
+  EXPECT_DOUBLE_EQ(many.percentile(1.0), 0.3);
+  EXPECT_DOUBLE_EQ(many.percentile(1.5), 0.3);
+
+  // NaN is treated like an out-of-range low quantile, not UB.
+  EXPECT_DOUBLE_EQ(many.percentile(std::nan("")), 0.1);
+}
+
 TEST(WallTimer, MeasuresNonNegativeMonotonic) {
   const WallTimer timer;
   const double t1 = timer.elapsedSeconds();
