@@ -21,39 +21,76 @@ obs::Counter& alarmCounter(const char* name) {
 
 }  // namespace
 
+void KpiMonitor::RunningMedian::insert(double x) {
+  if (low_.empty() || x <= *low_.rbegin()) {
+    low_.insert(x);
+  } else {
+    high_.insert(x);
+  }
+  rebalance();
+}
+
+void KpiMonitor::RunningMedian::erase(double x) {
+  // Every element of low_ is <= every element of high_, so x <= max(low_)
+  // guarantees an instance of x lives in low_ (duplicates at the boundary
+  // are interchangeable).
+  if (!low_.empty() && x <= *low_.rbegin()) {
+    const auto it = low_.find(x);
+    RAP_CHECK_MSG(it != low_.end(), "erasing a value never inserted");
+    low_.erase(it);
+  } else {
+    const auto it = high_.find(x);
+    RAP_CHECK_MSG(it != high_.end(), "erasing a value never inserted");
+    high_.erase(it);
+  }
+  rebalance();
+}
+
+void KpiMonitor::RunningMedian::rebalance() {
+  if (low_.size() > high_.size() + 1) {
+    const auto it = std::prev(low_.end());
+    high_.insert(*it);
+    low_.erase(it);
+  } else if (high_.size() > low_.size()) {
+    const auto it = high_.begin();
+    low_.insert(*it);
+    high_.erase(it);
+  }
+}
+
+double KpiMonitor::RunningMedian::median() const noexcept {
+  if (low_.empty()) return 0.0;
+  // Replicates stats::median exactly: odd n returns the middle element
+  // (interpolation degenerates to x*1.0 + x*0.0 == x), even n returns
+  // lo*0.5 + hi*0.5 in that exact expression order.
+  if (low_.size() > high_.size()) return *low_.rbegin();
+  return *low_.rbegin() * (1.0 - 0.5) + *high_.begin() * 0.5;
+}
+
 KpiMonitor::KpiMonitor(MonitorConfig config) : config_(config) {
   RAP_CHECK(config_.season_length >= 1);
   RAP_CHECK(config_.seasons_kept >= 1);
   RAP_CHECK(config_.k_mad > 0.0);
+  phases_.resize(static_cast<std::size_t>(config_.season_length));
 }
 
 double KpiMonitor::seasonalBaseline() const {
-  // Median of the observations at the same seasonal phase; when fewer
-  // than two phase-aligned samples exist, fall back to the median of
-  // the recent window.
-  const auto m = static_cast<std::size_t>(config_.season_length);
-  std::vector<double> phase_samples;
-  // history_ holds the most recent samples; the *next* observation's
-  // phase sits season_length behind the end, 2*season_length, ...
-  for (std::size_t back = m; back <= history_.size(); back += m) {
-    phase_samples.push_back(history_[history_.size() - back]);
+  // Median of the observations at the next observation's seasonal phase;
+  // when fewer than two phase-aligned samples exist, fall back to the
+  // median of the recent window.
+  const auto& phase =
+      phases_[static_cast<std::size_t>(samples_seen_ % config_.season_length)];
+  if (phase.size() >= 2) {
+    return stats::median({phase.begin(), phase.end()});
   }
-  if (phase_samples.size() >= 2) return stats::median(phase_samples);
-
-  const std::size_t window = std::min<std::size_t>(history_.size(), 64);
-  if (window == 0) return 0.0;
-  std::vector<double> recent(history_.end() - static_cast<std::ptrdiff_t>(window),
-                             history_.end());
-  return stats::median(recent);
+  if (recent_.empty()) return 0.0;
+  return stats::median({recent_.begin(), recent_.end()});
 }
 
 double KpiMonitor::robustScale() const {
-  if (residuals_.size() < 8) return 0.0;
-  std::vector<double> abs_residuals;
-  abs_residuals.reserve(residuals_.size());
-  for (const double r : residuals_) abs_residuals.push_back(std::fabs(r));
+  if (abs_residuals_.size() < 8) return 0.0;
   // MAD scaled to sigma-equivalent under normality.
-  return 1.4826 * stats::median(abs_residuals);
+  return 1.4826 * abs_residuals_.median();
 }
 
 Verdict KpiMonitor::observe(double value) {
@@ -69,16 +106,31 @@ Verdict KpiMonitor::observe(double value) {
     verdict.anomalous = deviation > config_.k_mad * verdict.scale;
   }
 
+  const auto horizon = static_cast<std::size_t>(config_.season_length) *
+                       static_cast<std::size_t>(config_.seasons_kept);
   // Only normal-looking residuals feed the scale estimate, so a long
   // outage does not inflate it and mask itself.
   if (!verdict.anomalous) {
     residuals_.push_back(verdict.residual);
+    abs_residuals_.insert(std::fabs(verdict.residual));
+    while (residuals_.size() > horizon) {
+      abs_residuals_.erase(std::fabs(residuals_.front()));
+      residuals_.pop_front();
+    }
   }
-  history_.push_back(value);
-  const auto horizon = static_cast<std::size_t>(config_.season_length) *
-                       static_cast<std::size_t>(config_.seasons_kept);
-  while (history_.size() > horizon) history_.pop_front();
-  while (residuals_.size() > horizon) residuals_.pop_front();
+
+  auto& phase =
+      phases_[static_cast<std::size_t>(samples_seen_ % config_.season_length)];
+  phase.push_back(value);
+  while (phase.size() > static_cast<std::size_t>(config_.seasons_kept)) {
+    phase.pop_front();
+  }
+  // The fallback window is the tail of the old full-history FIFO, so it
+  // is bounded by the horizon as well as by its own width.
+  recent_.push_back(value);
+  while (recent_.size() > std::min<std::size_t>(64, horizon)) {
+    recent_.pop_front();
+  }
   samples_seen_ += 1;
   return verdict;
 }

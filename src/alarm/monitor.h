@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -39,23 +40,52 @@ struct Verdict {
 };
 
 /// Streaming seasonal-baseline detector over one aggregate KPI.
+///
+/// observe() is amortized O(log horizon): the seasonal baseline reads
+/// one per-phase buffer (at most seasons_kept samples) and the MAD scale
+/// comes from a running median over the |residual| population instead of
+/// a fresh O(history log history) sort per call.  Verdicts are
+/// bit-identical to the naive full-scan formulation (tests assert this
+/// against a brute-force reference).
 class KpiMonitor {
  public:
   explicit KpiMonitor(MonitorConfig config);
 
-  /// Feeds one observation; returns its verdict.  O(history) per call
-  /// due to the median — fine for one aggregate stream.
+  /// Feeds one observation; returns its verdict.
   Verdict observe(double value);
 
   std::int64_t samplesSeen() const noexcept { return samples_seen_; }
 
  private:
+  /// Exact running median: the population is split into a max-side and a
+  /// min-side multiset around the median.  median() reproduces
+  /// stats::median's interpolation expression bit for bit.
+  class RunningMedian {
+   public:
+    void insert(double x);
+    void erase(double x);
+    std::size_t size() const noexcept { return low_.size() + high_.size(); }
+    double median() const noexcept;
+
+   private:
+    void rebalance();
+
+    std::multiset<double> low_;   ///< <= median, max at rbegin()
+    std::multiset<double> high_;  ///< >= median, min at begin()
+  };
+
   double seasonalBaseline() const;
   double robustScale() const;
 
   MonitorConfig config_;
-  std::deque<double> history_;    ///< last seasons_kept * season_length
-  std::deque<double> residuals_;  ///< residuals of the same horizon
+  /// Per seasonal phase: the last seasons_kept observations of that
+  /// phase (equivalent to scanning a season_length*seasons_kept FIFO at
+  /// stride season_length — the horizon is an exact multiple of the
+  /// season, so the evictions line up).
+  std::vector<std::deque<double>> phases_;
+  std::deque<double> recent_;     ///< cold-start fallback window
+  std::deque<double> residuals_;  ///< FIFO of the horizon's residuals
+  RunningMedian abs_residuals_;   ///< running |residual| population
   std::int64_t samples_seen_ = 0;
 };
 

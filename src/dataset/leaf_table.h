@@ -66,6 +66,8 @@ class LeafTable {
   /// Convenience used heavily by tests and generators.
   void addRow(AttributeCombination ac, double v, double f, bool anomalous);
 
+  void reserve(std::size_t n) { rows_.reserve(n); }
+
   std::size_t size() const noexcept { return rows_.size(); }
   bool empty() const noexcept { return rows_.empty(); }
   const LeafRow& row(RowId id) const {

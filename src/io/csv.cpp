@@ -5,82 +5,123 @@
 
 namespace rap::io {
 
-util::Result<std::vector<CsvRow>> parseCsv(const std::string& text) {
-  std::vector<CsvRow> rows;
-  CsvRow current;
-  std::string field;
-  bool in_quotes = false;
-  bool row_has_content = false;
-
-  auto endField = [&] {
-    current.push_back(std::move(field));
-    field.clear();
+util::Status CsvStreamParser::feed(std::string_view chunk,
+                                   const CsvRowCallback& callback) {
+  auto endField = [this] {
+    current_.push_back(std::move(field_));
+    field_.clear();
   };
-  auto endRow = [&] {
+  auto endRow = [this, &endField, &callback] {
     endField();
-    rows.push_back(std::move(current));
-    current.clear();
-    row_has_content = false;
+    callback(std::move(current_));
+    current_.clear();
+    row_has_content_ = false;
   };
 
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    const char c = text[i];
-    if (in_quotes) {
+  for (std::size_t i = 0; i < chunk.size(); ++i, ++offset_) {
+    const char c = chunk[i];
+    if (pending_quote_) {
+      pending_quote_ = false;
       if (c == '"') {
-        if (i + 1 < text.size() && text[i + 1] == '"') {
-          field += '"';
-          ++i;  // escaped quote
-        } else {
-          in_quotes = false;
-        }
+        field_ += '"';  // escaped quote, possibly split across chunks
+        continue;
+      }
+      in_quotes_ = false;  // the pending quote closed the field
+      // c falls through to ordinary processing below.
+    }
+    if (in_quotes_) {
+      if (c == '"') {
+        pending_quote_ = true;
       } else {
-        field += c;
+        field_ += c;
       }
       continue;
     }
     switch (c) {
       case '"':
-        if (!field.empty()) {
+        if (!field_.empty()) {
           return util::Status::invalidArgument(
-              "quote inside unquoted field near offset " + std::to_string(i));
+              "quote inside unquoted field near offset " +
+              std::to_string(offset_));
         }
-        in_quotes = true;
-        row_has_content = true;
+        in_quotes_ = true;
+        row_has_content_ = true;
         break;
       case ',':
         endField();
-        row_has_content = true;
+        row_has_content_ = true;
         break;
       case '\r':
         break;  // swallow; LF handles the row break
       case '\n':
-        if (row_has_content || !field.empty() || !current.empty()) {
+        if (row_has_content_ || !field_.empty() || !current_.empty()) {
           endRow();
         }
         break;
       default:
-        field += c;
-        row_has_content = true;
+        field_ += c;
+        row_has_content_ = true;
         break;
     }
   }
-  if (in_quotes) {
+  return util::Status::ok();
+}
+
+util::Status CsvStreamParser::finish(const CsvRowCallback& callback) {
+  if (pending_quote_) {
+    // A quote at end of input closes its field.
+    pending_quote_ = false;
+    in_quotes_ = false;
+  }
+  if (in_quotes_) {
     return util::Status::invalidArgument("unterminated quoted field");
   }
-  if (row_has_content || !field.empty() || !current.empty()) {
-    endRow();
+  if (row_has_content_ || !field_.empty() || !current_.empty()) {
+    current_.push_back(std::move(field_));
+    callback(std::move(current_));
   }
+  *this = CsvStreamParser();
+  return util::Status::ok();
+}
+
+util::Result<std::vector<CsvRow>> parseCsv(const std::string& text) {
+  std::vector<CsvRow> rows;
+  const CsvRowCallback collect = [&rows](CsvRow&& row) {
+    rows.push_back(std::move(row));
+  };
+  CsvStreamParser parser;
+  util::Status status = parser.feed(text, collect);
+  if (!status.isOk()) return status;
+  status = parser.finish(collect);
+  if (!status.isOk()) return status;
   return rows;
 }
 
 util::Result<std::vector<CsvRow>> readCsvFile(const std::string& path) {
+  std::vector<CsvRow> rows;
+  const util::Status status = streamCsvFile(
+      path, [&rows](CsvRow&& row) { rows.push_back(std::move(row)); });
+  if (!status.isOk()) return status;
+  return rows;
+}
+
+util::Status streamCsvFile(const std::string& path,
+                           const CsvRowCallback& callback) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return util::Status::notFound("cannot open '" + path + "'");
   }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return parseCsv(buffer.str());
+  CsvStreamParser parser;
+  std::vector<char> buffer(1 << 16);
+  while (in) {
+    in.read(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+    const std::streamsize n = in.gcount();
+    if (n <= 0) break;
+    const util::Status status =
+        parser.feed({buffer.data(), static_cast<std::size_t>(n)}, callback);
+    if (!status.isOk()) return status;
+  }
+  return parser.finish(callback);
 }
 
 namespace {

@@ -2,9 +2,18 @@
 // and quotes, both LF and CRLF line endings.  No external dependencies —
 // the paper's datasets ship as plain CSV (one file per timestamp with
 // columns  attr1,...,attrN,real,predict).
+//
+// Two read paths share one state machine:
+//   * streaming — CsvStreamParser::feed() arbitrary chunks (rows are
+//     delivered through a callback as they complete, O(row) memory), or
+//     streamCsvFile() which feeds a file chunk by chunk;
+//   * batch — parseCsv()/readCsvFile(), thin wrappers that collect the
+//     streamed rows into a vector.
 #pragma once
 
+#include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/status.h"
@@ -13,11 +22,45 @@ namespace rap::io {
 
 using CsvRow = std::vector<std::string>;
 
+/// Receives each completed row; the row may be consumed (moved from).
+using CsvRowCallback = std::function<void(CsvRow&&)>;
+
+/// Incremental CSV parser.  Chunk boundaries may fall anywhere —
+/// mid-field, mid-CRLF, even between the two quotes of an escaped
+/// quote.  Errors report the same messages and global byte offsets as
+/// the batch parser.  After an error the parser must be discarded.
+class CsvStreamParser {
+ public:
+  /// Consumes one chunk, invoking `callback` for every row completed
+  /// within it.
+  util::Status feed(std::string_view chunk, const CsvRowCallback& callback);
+
+  /// Signals end of input: flushes a final unterminated row (if any) and
+  /// resets the parser for reuse.
+  util::Status finish(const CsvRowCallback& callback);
+
+ private:
+  CsvRow current_;
+  std::string field_;
+  bool in_quotes_ = false;
+  /// A '"' was seen inside a quoted field; whether it closes the field
+  /// or starts an escaped quote depends on the next byte, which may be
+  /// in the next chunk.
+  bool pending_quote_ = false;
+  bool row_has_content_ = false;
+  std::uint64_t offset_ = 0;  ///< global byte offset of the next char
+};
+
 /// Parse an entire CSV document from a string.
 util::Result<std::vector<CsvRow>> parseCsv(const std::string& text);
 
 /// Read and parse a CSV file.
 util::Result<std::vector<CsvRow>> readCsvFile(const std::string& path);
+
+/// Stream a CSV file row by row without materializing the document
+/// (64 KiB read chunks).
+util::Status streamCsvFile(const std::string& path,
+                           const CsvRowCallback& callback);
 
 /// Serialize rows, quoting any field containing comma / quote / newline.
 std::string writeCsv(const std::vector<CsvRow>& rows);

@@ -1,0 +1,348 @@
+#include "stream/engine.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "obs/trace.h"
+#include "util/logging.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace rap::stream {
+
+namespace {
+
+/// Canonical row order for assembled windows: the sealed table's content
+/// is a pure function of the admitted events, independent of producer
+/// interleaving and shard scheduling — localization results are
+/// reproducible run to run.
+bool rowLess(const dataset::LeafRow& a, const dataset::LeafRow& b) noexcept {
+  if (a.ac.slots() != b.ac.slots()) return a.ac.slots() < b.ac.slots();
+  if (a.v != b.v) return a.v < b.v;
+  return a.f < b.f;
+}
+
+}  // namespace
+
+StreamEngine::StreamEngine(dataset::Schema schema, StreamConfig config)
+    : schema_(std::move(schema)),
+      config_(config),
+      watermark_(config.allowed_lateness),
+      assembler_(config.shards, config.window_width),
+      detector_(config.detect_threshold, config.detect_two_sided),
+      miner_(config.miner) {
+  RAP_CHECK(config_.shards >= 1);
+  RAP_CHECK(config_.window_width >= 1);
+  RAP_CHECK(config_.allowed_lateness >= 0);
+  RAP_CHECK(config_.queue_capacity >= 1);
+  RAP_CHECK(config_.localize_threads >= 1);
+
+  auto& reg = obs::defaultRegistry();
+  metrics_.ingested = &reg.counter("rap_stream_ingested_total");
+  metrics_.rejected = &reg.counter("rap_stream_rejected_total");
+  metrics_.dropped_oldest = &reg.counter("rap_stream_dropped_oldest_total");
+  metrics_.dropped_newest = &reg.counter("rap_stream_dropped_newest_total");
+  metrics_.windows_sealed = &reg.counter("rap_stream_windows_sealed_total");
+  metrics_.alarms = &reg.counter("rap_stream_alarms_total");
+  metrics_.localizations = &reg.counter("rap_stream_localizations_total");
+  metrics_.queue_depth = &reg.gauge("rap_stream_queue_depth");
+  metrics_.watermark = &reg.gauge("rap_stream_watermark");
+  metrics_.seal_seconds = &reg.histogram(
+      "rap_stream_window_seal_seconds", obs::exponentialBuckets(1e-5, 4.0, 10));
+  metrics_.localize_seconds = &reg.histogram(
+      "rap_stream_localize_seconds", obs::exponentialBuckets(1e-4, 4.0, 10));
+  metrics_.shard.late_admitted = &reg.counter("rap_stream_late_admitted_total");
+  metrics_.shard.late_dropped = &reg.counter("rap_stream_late_dropped_total");
+  metrics_.shard.queue_depth = metrics_.queue_depth;
+
+  if (config_.trigger == TriggerPolicy::kOnAlarm) {
+    alarm_ = std::make_unique<alarm::AlarmManager>(config_.monitor,
+                                                   config_.alarm_debounce);
+  }
+
+  shards_.reserve(static_cast<std::size_t>(config_.shards));
+  for (std::int32_t i = 0; i < config_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(
+        i, config_, watermark_, assembler_, counters_, metrics_.shard,
+        [this] { onShardProgress(); }));
+  }
+}
+
+StreamEngine::~StreamEngine() { stop(); }
+
+void StreamEngine::setWindowCallback(WindowCallback callback) {
+  RAP_CHECK_MSG(!started_.load(), "install callbacks before start()");
+  window_cb_ = std::move(callback);
+}
+
+void StreamEngine::setLocalizationCallback(LocalizationCallback callback) {
+  RAP_CHECK_MSG(!started_.load(), "install callbacks before start()");
+  localize_cb_ = std::move(callback);
+}
+
+void StreamEngine::start() {
+  RAP_CHECK_MSG(!started_.load(), "engine started twice");
+  RAP_CHECK_MSG(!stopped_.load(), "engine is terminal after stop()");
+  pool_ = std::make_unique<util::ThreadPool>(config_.localize_threads);
+  for (auto& shard : shards_) shard->start();
+  sealer_ = std::thread([this] { sealerLoop(); });
+  started_.store(true, std::memory_order_release);
+}
+
+bool StreamEngine::validEvent(const StreamEvent& event) const noexcept {
+  if (event.leaf.attributeCount() != schema_.attributeCount()) return false;
+  for (dataset::AttrId a = 0; a < schema_.attributeCount(); ++a) {
+    const dataset::ElemId elem = event.leaf.slot(a);
+    // Rejects wildcards (kWildcard == -1) and out-of-range ids alike.
+    if (elem < 0 || elem >= schema_.cardinality(a)) return false;
+  }
+  return true;
+}
+
+PushResult StreamEngine::ingest(StreamEvent event) {
+  std::vector<StreamEvent> one;
+  one.push_back(std::move(event));
+  return ingestBatch(std::move(one));
+}
+
+PushResult StreamEngine::ingestBatch(std::vector<StreamEvent> events) {
+  PushResult total;
+  if (events.empty()) return total;
+  std::uint64_t rejected = 0;
+  if (!running()) {
+    rejected = events.size();
+  } else {
+    std::vector<std::vector<StreamEvent>> parts(shards_.size());
+    dataset::AcHash hasher;
+    for (auto& event : events) {
+      if (!validEvent(event)) {
+        rejected += 1;
+        continue;
+      }
+      const std::size_t shard = hasher(event.leaf) % shards_.size();
+      parts[shard].push_back(std::move(event));
+    }
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      if (!parts[i].empty()) total += shards_[i]->offer(std::move(parts[i]));
+    }
+  }
+
+  if (total.accepted > 0) {
+    counters_.ingested.fetch_add(total.accepted, std::memory_order_relaxed);
+  }
+  if (rejected > 0) {
+    counters_.rejected.fetch_add(rejected, std::memory_order_relaxed);
+  }
+  if (total.dropped_oldest > 0) {
+    counters_.dropped_oldest.fetch_add(total.dropped_oldest,
+                                       std::memory_order_relaxed);
+  }
+  if (total.dropped_newest > 0) {
+    counters_.dropped_newest.fetch_add(total.dropped_newest,
+                                       std::memory_order_relaxed);
+  }
+  if (obs::metricsEnabled()) {
+    if (total.accepted > 0) metrics_.ingested->increment(total.accepted);
+    if (rejected > 0) metrics_.rejected->increment(rejected);
+    if (total.dropped_oldest > 0) {
+      metrics_.dropped_oldest->increment(total.dropped_oldest);
+    }
+    if (total.dropped_newest > 0) {
+      metrics_.dropped_newest->increment(total.dropped_newest);
+    }
+    metrics_.queue_depth->set(static_cast<double>(
+        counters_.queued.load(std::memory_order_relaxed)));
+  }
+  maybeBroadcastSeal();
+  return total;
+}
+
+void StreamEngine::maybeBroadcastSeal() {
+  // Wake every shard when the sealable frontier crosses a new epoch, so
+  // shards that happen to be idle still seal (and the assembler's
+  // min-over-shards frontier advances).  At most one broadcast per
+  // window width of event time.
+  const std::int64_t sealable = watermark_.sealableEpoch(config_.window_width);
+  if (sealable == WatermarkTracker::kNone) return;
+  std::int64_t seen = last_broadcast_epoch_.load(std::memory_order_relaxed);
+  if (sealable <= seen) return;
+  if (last_broadcast_epoch_.compare_exchange_strong(seen, sealable,
+                                                    std::memory_order_relaxed)) {
+    for (auto& shard : shards_) shard->nudge();
+  }
+}
+
+void StreamEngine::onShardProgress() {
+  {
+    std::lock_guard<std::mutex> lock(sealer_mutex_);
+    progress_ = true;
+  }
+  sealer_cv_.notify_one();
+}
+
+bool StreamEngine::allShardsAcked(std::uint64_t token) const {
+  for (const auto& shard : shards_) {
+    if (shard->drainAck() < token) return false;
+  }
+  return true;
+}
+
+void StreamEngine::sealerLoop() {
+  std::unique_lock<std::mutex> lock(sealer_mutex_);
+  for (;;) {
+    sealer_cv_.wait(lock, [this] { return progress_ || sealer_should_stop_; });
+    progress_ = false;
+    const bool stopping = sealer_should_stop_;
+    lock.unlock();
+
+    while (auto window = assembler_.popReady()) {
+      processWindow(std::move(*window));
+    }
+
+    lock.lock();
+    const std::uint64_t token = drain_token_.load(std::memory_order_acquire);
+    if (token > sealer_acked_drain_ && allShardsAcked(token) &&
+        !assembler_.hasReady()) {
+      sealer_acked_drain_ = token;
+      drain_cv_.notify_all();
+    }
+    if (stopping && !progress_ && !assembler_.hasReady()) return;
+  }
+}
+
+void StreamEngine::processWindow(SealedWindow window) {
+  util::WallTimer timer;
+  RAP_TRACE_SPAN("stream/seal_window",
+                 {{"epoch", window.epoch},
+                  {"rows", static_cast<std::int64_t>(window.rows.size())}});
+  std::sort(window.rows.begin(), window.rows.end(), rowLess);
+
+  dataset::LeafTable table(schema_);
+  table.reserve(window.rows.size());
+  for (auto& row : window.rows) table.addRow(std::move(row));
+  window.rows.clear();
+
+  const std::uint32_t flagged = detector_.run(table);
+  bool alarmed = false;
+  if (alarm_) alarmed = alarm_->observe(table.totalV()).has_value();
+
+  bool localize = false;
+  switch (config_.trigger) {
+    case TriggerPolicy::kOnAlarm:
+      localize = alarmed;
+      break;
+    case TriggerPolicy::kAnomalousWindow:
+      localize = flagged > 0;
+      break;
+    case TriggerPolicy::kEveryWindow:
+      localize = !table.empty();
+      break;
+  }
+
+  windows_sealed_.fetch_add(1, std::memory_order_relaxed);
+  if (alarmed) alarms_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::metricsEnabled()) {
+    metrics_.windows_sealed->increment();
+    if (alarmed) metrics_.alarms->increment();
+    metrics_.seal_seconds->observe(timer.elapsedSeconds());
+    metrics_.watermark->set(static_cast<double>(watermark_.watermark()));
+  }
+
+  if (window_cb_) {
+    const WindowInfo info{window.epoch, window.start_ts, window.end_ts,
+                          table,        flagged,         alarmed,
+                          localize};
+    window_cb_(info);
+  }
+  if (!localize) return;
+
+  // Snapshot ships to the pool; ingestion and sealing never wait on the
+  // search.  ThreadPool tasks must not throw — localize inputs were
+  // validated at ingest, so the miner cannot trip its arity checks.
+  pool_->submit([this, epoch = window.epoch, start = window.start_ts,
+                 end = window.end_ts, flagged, alarmed,
+                 table = std::move(table)]() mutable {
+    RAP_TRACE_SPAN("stream/localize", {{"epoch", epoch}});
+    util::WallTimer localize_timer;
+    Localization out;
+    out.epoch = epoch;
+    out.start_ts = start;
+    out.end_ts = end;
+    out.rows = table.size();
+    out.anomalous_rows = flagged;
+    out.alarmed = alarmed;
+    out.result = miner_.localize(table, config_.top_k);
+    localizations_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::metricsEnabled()) {
+      metrics_.localizations->increment();
+      metrics_.localize_seconds->observe(localize_timer.elapsedSeconds());
+    }
+    if (localize_cb_) localize_cb_(out);
+    std::lock_guard<std::mutex> lock(results_mutex_);
+    results_.push_back(std::move(out));
+  });
+}
+
+void StreamEngine::drain() {
+  RAP_CHECK_MSG(started_.load(), "drain() requires a started engine");
+  const std::uint64_t token =
+      drain_token_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  for (auto& shard : shards_) shard->requestDrain(token);
+  {
+    std::unique_lock<std::mutex> lock(sealer_mutex_);
+    drain_cv_.wait(lock, [this, token] { return sealer_acked_drain_ >= token; });
+  }
+  pool_->wait();
+}
+
+void StreamEngine::stop() {
+  if (!started_.load() || stopped_.load()) return;
+  drain();
+  stopped_.store(true, std::memory_order_release);
+  for (auto& shard : shards_) shard->close();
+  for (auto& shard : shards_) shard->join();
+  {
+    std::lock_guard<std::mutex> lock(sealer_mutex_);
+    sealer_should_stop_ = true;
+    progress_ = true;
+  }
+  sealer_cv_.notify_all();
+  sealer_.join();
+  pool_->wait();
+  RAP_LOG_KV(Info, {"windows", windows_sealed_.load()},
+             {"localizations", localizations_.load()})
+      << "stream engine stopped";
+}
+
+StreamStats StreamEngine::stats() const {
+  StreamStats stats;
+  stats.ingested = counters_.ingested.load(std::memory_order_relaxed);
+  stats.rejected = counters_.rejected.load(std::memory_order_relaxed);
+  stats.dropped_oldest =
+      counters_.dropped_oldest.load(std::memory_order_relaxed);
+  stats.dropped_newest =
+      counters_.dropped_newest.load(std::memory_order_relaxed);
+  stats.late_admitted = counters_.late_admitted.load(std::memory_order_relaxed);
+  stats.late_dropped = counters_.late_dropped.load(std::memory_order_relaxed);
+  stats.windows_sealed = windows_sealed_.load(std::memory_order_relaxed);
+  stats.alarms = alarms_.load(std::memory_order_relaxed);
+  stats.localizations = localizations_.load(std::memory_order_relaxed);
+  stats.queue_depth = counters_.queued.load(std::memory_order_relaxed);
+  stats.watermark = watermark_.watermark();
+  return stats;
+}
+
+std::vector<StreamEngine::Localization> StreamEngine::takeLocalizations() {
+  std::vector<Localization> out;
+  {
+    std::lock_guard<std::mutex> lock(results_mutex_);
+    out.swap(results_);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Localization& a, const Localization& b) {
+              return a.epoch < b.epoch;
+            });
+  return out;
+}
+
+}  // namespace rap::stream

@@ -1,0 +1,196 @@
+// StreamEngine — the streaming front-end of the paper's Fig. 1 workflow.
+//
+//   producers ──ingest──> shard queues ──consumers──> window fragments
+//                                            │ watermark seals
+//                                            v
+//                                     WindowAssembler
+//                                            │ whole windows, epoch order
+//                                            v
+//              sealer thread: detect -> aggregate alarm -> trigger
+//                                            │ snapshot on trigger
+//                                            v
+//                         ThreadPool: RapMiner::localize (never blocks
+//                                     ingestion or sealing)
+//
+// Lifecycle: construct -> start() -> ingest()/ingestBatch() from any
+// number of threads -> drain() (flush everything buffered, wait for the
+// resulting localizations) -> stop() (drain + join; terminal).
+//
+// Threading contract:
+//   * ingest/ingestBatch: any thread, concurrently.
+//   * drain/stop: one control thread; quiesce producers first — events
+//     racing a drain may be counted late and dropped.
+//   * callbacks: the window callback runs on the sealer thread, the
+//     localization callback on a pool worker; both must be thread-safe
+//     with respect to the caller's own state and must not call back
+//     into the engine.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "alarm/monitor.h"
+#include "core/rapminer.h"
+#include "core/types.h"
+#include "dataset/leaf_table.h"
+#include "dataset/schema.h"
+#include "detect/detector.h"
+#include "obs/metrics.h"
+#include "stream/config.h"
+#include "stream/shard.h"
+#include "stream/watermark.h"
+#include "stream/window.h"
+#include "util/thread_pool.h"
+
+namespace rap::stream {
+
+/// Point-in-time snapshot of the engine's counters.
+struct StreamStats {
+  std::uint64_t ingested = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t dropped_oldest = 0;
+  std::uint64_t dropped_newest = 0;
+  std::uint64_t late_admitted = 0;
+  std::uint64_t late_dropped = 0;
+  std::uint64_t windows_sealed = 0;
+  std::uint64_t alarms = 0;
+  std::uint64_t localizations = 0;
+  std::int64_t queue_depth = 0;  ///< events buffered across all shards
+  std::int64_t watermark = WatermarkTracker::kNone;
+};
+
+class StreamEngine {
+ public:
+  /// Sealed window as handed to the window callback: verdicts applied,
+  /// alarm consulted.  The table reference is valid only for the call.
+  struct WindowInfo {
+    std::int64_t epoch = 0;
+    std::int64_t start_ts = 0;
+    std::int64_t end_ts = 0;
+    const dataset::LeafTable& table;
+    std::uint32_t anomalous_rows = 0;
+    bool alarmed = false;
+    bool localize_dispatched = false;
+  };
+
+  /// One finished localization.
+  struct Localization {
+    std::int64_t epoch = 0;
+    std::int64_t start_ts = 0;
+    std::int64_t end_ts = 0;
+    std::size_t rows = 0;
+    std::uint32_t anomalous_rows = 0;
+    bool alarmed = false;
+    core::LocalizationResult result;
+  };
+
+  using WindowCallback = std::function<void(const WindowInfo&)>;
+  using LocalizationCallback = std::function<void(const Localization&)>;
+
+  StreamEngine(dataset::Schema schema, StreamConfig config);
+  ~StreamEngine();
+
+  StreamEngine(const StreamEngine&) = delete;
+  StreamEngine& operator=(const StreamEngine&) = delete;
+
+  /// Callbacks must be installed before start().
+  void setWindowCallback(WindowCallback callback);
+  void setLocalizationCallback(LocalizationCallback callback);
+
+  void start();
+
+  /// Thread-safe producer entry points.  Malformed events (wrong arity,
+  /// wildcard slots, out-of-range ids) are counted as rejected, never
+  /// aborted on — a daemon must survive a bad producer.
+  PushResult ingest(StreamEvent event);
+  PushResult ingestBatch(std::vector<StreamEvent> events);
+
+  /// Flushes every buffered event into sealed windows and blocks until
+  /// the resulting localizations finish.  The engine keeps running, but
+  /// every epoch is sealed afterwards: later events count as late.
+  void drain();
+
+  /// drain() + join every thread.  Terminal and idempotent.
+  void stop();
+
+  bool running() const noexcept {
+    return started_.load(std::memory_order_acquire) &&
+           !stopped_.load(std::memory_order_acquire);
+  }
+
+  StreamStats stats() const;
+
+  /// Moves out the localizations finished so far, sorted by epoch.
+  std::vector<Localization> takeLocalizations();
+
+  const dataset::Schema& schema() const noexcept { return schema_; }
+  const StreamConfig& config() const noexcept { return config_; }
+
+ private:
+  struct EngineMetrics {
+    obs::Counter* ingested = nullptr;
+    obs::Counter* rejected = nullptr;
+    obs::Counter* dropped_oldest = nullptr;
+    obs::Counter* dropped_newest = nullptr;
+    obs::Counter* windows_sealed = nullptr;
+    obs::Counter* alarms = nullptr;
+    obs::Counter* localizations = nullptr;
+    obs::Gauge* queue_depth = nullptr;
+    obs::Gauge* watermark = nullptr;
+    obs::Histogram* seal_seconds = nullptr;
+    obs::Histogram* localize_seconds = nullptr;
+    ShardMetrics shard;
+  };
+
+  bool validEvent(const StreamEvent& event) const noexcept;
+  void maybeBroadcastSeal();
+  void onShardProgress();
+  void sealerLoop();
+  void processWindow(SealedWindow window);
+  bool allShardsAcked(std::uint64_t token) const;
+
+  dataset::Schema schema_;
+  StreamConfig config_;
+
+  StreamCounters counters_;
+  WatermarkTracker watermark_;
+  WindowAssembler assembler_;
+  EngineMetrics metrics_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  detect::RelativeDeviationDetector detector_;
+  core::RapMiner miner_;
+  std::unique_ptr<alarm::AlarmManager> alarm_;  ///< sealer thread only
+  std::unique_ptr<util::ThreadPool> pool_;
+
+  std::atomic<std::uint64_t> windows_sealed_{0};
+  std::atomic<std::uint64_t> alarms_{0};
+  std::atomic<std::uint64_t> localizations_{0};
+  std::atomic<std::int64_t> last_broadcast_epoch_{WatermarkTracker::kNone};
+
+  std::thread sealer_;
+  std::mutex sealer_mutex_;
+  std::condition_variable sealer_cv_;
+  std::condition_variable drain_cv_;
+  bool progress_ = false;            ///< guarded by sealer_mutex_
+  bool sealer_should_stop_ = false;  ///< guarded by sealer_mutex_
+  std::uint64_t sealer_acked_drain_ = 0;  ///< guarded by sealer_mutex_
+  std::atomic<std::uint64_t> drain_token_{0};
+
+  std::mutex results_mutex_;
+  std::vector<Localization> results_;
+
+  WindowCallback window_cb_;
+  LocalizationCallback localize_cb_;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace rap::stream

@@ -1,0 +1,36 @@
+// StreamEvent — one leaf-level KPI measurement on the wire: the fully
+// concrete attribute combination, its event timestamp, the actual value
+// and the forecast attached upstream by the collector (a production
+// deployment of the paper's pipeline computes forecasts next to the
+// collection layer, so localization inputs arrive ready-made).
+//
+// Timestamps are abstract event-time units (the replay harnesses use
+// "seconds"); windows of width W cover [e*W, (e+1)*W) for epoch e.
+#pragma once
+
+#include <cstdint>
+
+#include "dataset/attribute_combination.h"
+
+namespace rap::stream {
+
+struct StreamEvent {
+  dataset::AttributeCombination leaf;  ///< fully concrete combination
+  std::int64_t ts = 0;                 ///< event time
+  double v = 0.0;                      ///< actual KPI value
+  double f = 0.0;                      ///< forecast KPI value
+};
+
+/// Floor division, correct for negative timestamps (epochs must tile the
+/// whole time axis, not mirror around zero).
+constexpr std::int64_t floorDiv(std::int64_t a, std::int64_t b) noexcept {
+  const std::int64_t q = a / b;
+  return q * b == a ? q : q - (((a < 0) != (b < 0)) ? 1 : 0);
+}
+
+/// Epoch (window index) of an event-time stamp for width-`width` windows.
+constexpr std::int64_t epochOf(std::int64_t ts, std::int64_t width) noexcept {
+  return floorDiv(ts, width);
+}
+
+}  // namespace rap::stream

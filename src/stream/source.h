@@ -1,0 +1,72 @@
+// Event sources for the streaming engine: turning the repo's generated
+// cases into timestamped, shuffled, multi-producer event streams.
+//
+//   * eventsFromCase       — one labeled snapshot (gen::Case) spread
+//     across a single window, deterministically shuffled;
+//   * eventsFromTimeSeries — a TimeSeriesCase expanded minute by minute,
+//     with the forecast attached at the source by a seasonal-naive
+//     predictor (production collectors ship forecasts next to values);
+//   * ReplaySource         — N producer threads feeding an engine in
+//     batches, optionally paced against event time (speedup control).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "gen/case.h"
+#include "gen/timeseries.h"
+#include "stream/engine.h"
+#include "stream/event.h"
+
+namespace rap::stream {
+
+struct CaseEventsConfig {
+  std::int64_t window_width = 60;
+  /// Window the snapshot lands in (timestamps drawn inside it).
+  std::int64_t epoch = 0;
+  /// Seed of the deterministic shuffle + per-event timestamp jitter.
+  std::uint64_t shuffle_seed = 1;
+};
+
+/// Flattens one labeled snapshot into a shuffled single-window stream.
+/// Leaf verdicts are NOT carried over — the engine re-detects from
+/// (v, f), as a production pipeline would.
+std::vector<StreamEvent> eventsFromCase(const gen::Case& c,
+                                        const CaseEventsConfig& config);
+
+/// Expands a TimeSeriesCase into per-minute events covering the whole
+/// history plus the failure minute: minute t becomes window t (width
+/// `window_width`), each active leaf contributing one event with
+///   v = observed value,
+///   f = value one season earlier (running mean during the first season).
+/// Events are ts-sorted with per-event jitter inside each window, so a
+/// paced replay interleaves leaves realistically.
+std::vector<StreamEvent> eventsFromTimeSeries(const gen::TimeSeriesCase& c,
+                                              std::int64_t window_width,
+                                              std::int32_t season_length,
+                                              std::uint64_t shuffle_seed);
+
+class ReplaySource {
+ public:
+  struct Config {
+    std::size_t producers = 2;
+    /// Event-time units replayed per wall-clock second; <= 0 replays at
+    /// full speed.
+    double speedup = 0.0;
+    std::size_t batch_size = 256;
+  };
+
+  explicit ReplaySource(Config config) : config_(config) {}
+
+  /// Feeds `events` (assumed ts-sorted when pacing) to the engine from
+  /// `producers` threads, strided round-robin so every producer's slice
+  /// stays ts-sorted.  Blocks until every event was offered; returns
+  /// the aggregate push outcome.
+  PushResult run(StreamEngine& engine, std::vector<StreamEvent> events) const;
+
+ private:
+  Config config_;
+};
+
+}  // namespace rap::stream

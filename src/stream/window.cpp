@@ -1,0 +1,74 @@
+#include "stream/window.h"
+
+#include <algorithm>
+
+#include "stream/watermark.h"
+#include "util/status.h"
+
+namespace rap::stream {
+
+WindowAssembler::WindowAssembler(std::int32_t shard_count,
+                                 std::int64_t window_width)
+    : window_width_(window_width),
+      shard_sealed_(static_cast<std::size_t>(shard_count),
+                    WatermarkTracker::kNone) {
+  RAP_CHECK(shard_count >= 1);
+  RAP_CHECK(window_width >= 1);
+}
+
+void WindowAssembler::contribute(std::int64_t epoch,
+                                 std::vector<dataset::LeafRow> rows) {
+  if (rows.empty()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = pending_[epoch];
+  if (slot.empty()) {
+    slot = std::move(rows);
+  } else {
+    slot.insert(slot.end(), std::make_move_iterator(rows.begin()),
+                std::make_move_iterator(rows.end()));
+  }
+}
+
+void WindowAssembler::sealShardUpTo(std::int32_t shard, std::int64_t epoch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& sealed = shard_sealed_[static_cast<std::size_t>(shard)];
+  sealed = std::max(sealed, epoch);
+}
+
+std::int64_t WindowAssembler::sealedUpTo() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return *std::min_element(shard_sealed_.begin(), shard_sealed_.end());
+}
+
+std::optional<SealedWindow> WindowAssembler::popReadyLocked() {
+  if (pending_.empty()) return std::nullopt;
+  const std::int64_t ready_up_to =
+      *std::min_element(shard_sealed_.begin(), shard_sealed_.end());
+  auto first = pending_.begin();
+  if (ready_up_to == WatermarkTracker::kNone || first->first > ready_up_to) {
+    return std::nullopt;
+  }
+  SealedWindow window;
+  window.epoch = first->first;
+  window.start_ts = first->first * window_width_;
+  window.end_ts = window.start_ts + window_width_;
+  window.rows = std::move(first->second);
+  pending_.erase(first);
+  return window;
+}
+
+std::optional<SealedWindow> WindowAssembler::popReady() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return popReadyLocked();
+}
+
+bool WindowAssembler::hasReady() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (pending_.empty()) return false;
+  const std::int64_t ready_up_to =
+      *std::min_element(shard_sealed_.begin(), shard_sealed_.end());
+  return ready_up_to != WatermarkTracker::kNone &&
+         pending_.begin()->first <= ready_up_to;
+}
+
+}  // namespace rap::stream

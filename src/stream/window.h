@@ -1,0 +1,70 @@
+// Window assembly: turning per-shard window fragments into whole sealed
+// windows.
+//
+// Each shard buffers its hash-partition of the stream per epoch; when
+// the watermark passes a window's end the shard hands its fragment to
+// the WindowAssembler and promises (sealShardUpTo) that no further
+// fragment at or below that epoch will follow.  A window is ready once
+// EVERY shard has sealed past it — the assembler then releases windows
+// in strictly increasing epoch order, which is what keeps the
+// aggregate-KPI alarm's seasonal phase arithmetic honest downstream.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "dataset/leaf_table.h"
+#include "stream/event.h"
+
+namespace rap::stream {
+
+/// One fully assembled event-time window, before detection.
+struct SealedWindow {
+  std::int64_t epoch = 0;
+  std::int64_t start_ts = 0;  ///< inclusive
+  std::int64_t end_ts = 0;    ///< exclusive
+  std::vector<dataset::LeafRow> rows;  ///< concatenated shard fragments
+};
+
+/// Thread-safe collector of shard fragments.  Epochs with no rows are
+/// skipped entirely (a sparse stream produces no empty windows, matching
+/// the batch grouping of the same events).
+class WindowAssembler {
+ public:
+  WindowAssembler(std::int32_t shard_count, std::int64_t window_width);
+
+  WindowAssembler(const WindowAssembler&) = delete;
+  WindowAssembler& operator=(const WindowAssembler&) = delete;
+
+  /// Appends one shard's fragment for `epoch`.  Must happen before that
+  /// shard seals past the epoch.
+  void contribute(std::int64_t epoch, std::vector<dataset::LeafRow> rows);
+
+  /// Shard `shard` promises no further contribute() at epoch <= `epoch`.
+  /// Monotone per shard (lower values are ignored).
+  void sealShardUpTo(std::int32_t shard, std::int64_t epoch);
+
+  /// Lowest-epoch window every shard has sealed past, or nullopt.
+  /// Windows are released in strictly increasing epoch order.
+  std::optional<SealedWindow> popReady();
+
+  bool hasReady() const;
+
+  /// min over shards of their sealed-up-to epoch (WatermarkTracker::kNone
+  /// while any shard has not sealed anything yet).
+  std::int64_t sealedUpTo() const;
+
+ private:
+  std::optional<SealedWindow> popReadyLocked();
+
+  const std::int64_t window_width_;
+
+  mutable std::mutex mutex_;
+  std::map<std::int64_t, std::vector<dataset::LeafRow>> pending_;
+  std::vector<std::int64_t> shard_sealed_;  ///< per shard, kNone initially
+};
+
+}  // namespace rap::stream

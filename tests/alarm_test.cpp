@@ -1,13 +1,126 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <deque>
 #include <numbers>
+#include <vector>
 
 #include "alarm/monitor.h"
+#include "stats/descriptive.h"
 #include "util/rng.h"
 
 namespace rap::alarm {
 namespace {
+
+MonitorConfig testConfig();
+
+/// Brute-force reference for KpiMonitor: full-history FIFO, fresh median
+/// scans every observation.  The production monitor keeps per-phase
+/// buffers and a running median instead; its verdicts must match this
+/// formulation bit for bit.
+class ReferenceMonitor {
+ public:
+  explicit ReferenceMonitor(MonitorConfig config) : config_(config) {}
+
+  Verdict observe(double value) {
+    Verdict verdict;
+    verdict.baseline = baseline();
+    verdict.residual = value - verdict.baseline;
+    verdict.scale = scale();
+
+    const bool warm = samples_seen_ >= config_.warmup;
+    if (warm && verdict.scale > 0.0) {
+      const double deviation =
+          config_.drops_only ? -verdict.residual : std::fabs(verdict.residual);
+      verdict.anomalous = deviation > config_.k_mad * verdict.scale;
+    }
+
+    if (!verdict.anomalous) residuals_.push_back(verdict.residual);
+    history_.push_back(value);
+    const auto horizon = static_cast<std::size_t>(config_.season_length) *
+                         static_cast<std::size_t>(config_.seasons_kept);
+    while (history_.size() > horizon) history_.pop_front();
+    while (residuals_.size() > horizon) residuals_.pop_front();
+    samples_seen_ += 1;
+    return verdict;
+  }
+
+ private:
+  double baseline() const {
+    const auto m = static_cast<std::size_t>(config_.season_length);
+    std::vector<double> phase_samples;
+    for (std::size_t back = m; back <= history_.size(); back += m) {
+      phase_samples.push_back(history_[history_.size() - back]);
+    }
+    if (phase_samples.size() >= 2) return stats::median(phase_samples);
+    const std::size_t window = std::min<std::size_t>(history_.size(), 64);
+    if (window == 0) return 0.0;
+    std::vector<double> recent(
+        history_.end() - static_cast<std::ptrdiff_t>(window), history_.end());
+    return stats::median(recent);
+  }
+
+  double scale() const {
+    if (residuals_.size() < 8) return 0.0;
+    std::vector<double> abs_residuals;
+    abs_residuals.reserve(residuals_.size());
+    for (const double r : residuals_) abs_residuals.push_back(std::fabs(r));
+    return 1.4826 * stats::median(abs_residuals);
+  }
+
+  MonitorConfig config_;
+  std::deque<double> history_;
+  std::deque<double> residuals_;
+  std::int64_t samples_seen_ = 0;
+};
+
+void expectBitIdentical(MonitorConfig config, std::uint64_t seed,
+                        std::int64_t samples, std::int32_t period) {
+  KpiMonitor monitor(config);
+  ReferenceMonitor reference(config);
+  util::Rng fast_rng(seed);
+  util::Rng ref_rng(seed);
+  for (std::int64_t t = 0; t < samples; ++t) {
+    double value = 100.0 +
+                   40.0 * std::sin(2.0 * std::numbers::pi *
+                                   static_cast<double>(t % period) /
+                                   static_cast<double>(period));
+    value *= 1.0 + 0.05 * fast_rng.gaussian();
+    ref_rng.gaussian();  // keep the streams aligned
+    // Sprinkle outages so the anomalous branch (residual withheld from
+    // the scale estimate) is exercised too.
+    if (t % 97 == 96) value *= 0.3;
+    const Verdict got = monitor.observe(value);
+    const Verdict want = reference.observe(value);
+    ASSERT_EQ(got.anomalous, want.anomalous) << "sample " << t;
+    ASSERT_EQ(got.baseline, want.baseline) << "sample " << t;
+    ASSERT_EQ(got.residual, want.residual) << "sample " << t;
+    ASSERT_EQ(got.scale, want.scale) << "sample " << t;
+  }
+}
+
+TEST(KpiMonitor, MatchesBruteForceReferenceBitForBit) {
+  // Long enough that the horizon (48*5 = 240) evicts for most of the run.
+  expectBitIdentical(testConfig(), 21, 48 * 30, 48);
+}
+
+TEST(KpiMonitor, MatchesReferenceWithTinyHorizonBelowFallbackWindow) {
+  // horizon = 4*3 = 12 < 64: the cold-start fallback window is capped by
+  // the horizon, not by its own width.
+  MonitorConfig config;
+  config.season_length = 4;
+  config.seasons_kept = 3;
+  config.k_mad = 6.0;
+  config.warmup = 8;
+  expectBitIdentical(config, 23, 500, 4);
+}
+
+TEST(KpiMonitor, MatchesReferenceTwoSided) {
+  MonitorConfig config = testConfig();
+  config.drops_only = false;
+  config.seasons_kept = 2;
+  expectBitIdentical(config, 29, 48 * 12, 48);
+}
 
 /// Diurnal signal with mild noise.
 double signal(std::int64_t t, std::int32_t period, util::Rng& rng) {

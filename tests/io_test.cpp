@@ -101,6 +101,107 @@ TEST(CsvFile, MissingFileIsNotFound) {
   EXPECT_EQ(result.status().code(), util::StatusCode::kNotFound);
 }
 
+// ------------------------------------------------------- CSV (streaming)
+
+/// Feeds `text` to a CsvStreamParser in chunks of `chunk_size` bytes.
+util::Result<std::vector<CsvRow>> streamInChunks(const std::string& text,
+                                                 std::size_t chunk_size) {
+  std::vector<CsvRow> rows;
+  const CsvRowCallback collect = [&rows](CsvRow&& row) {
+    rows.push_back(std::move(row));
+  };
+  CsvStreamParser parser;
+  for (std::size_t i = 0; i < text.size(); i += chunk_size) {
+    const auto status =
+        parser.feed(std::string_view(text).substr(i, chunk_size), collect);
+    if (!status.isOk()) return status;
+  }
+  const auto status = parser.finish(collect);
+  if (!status.isOk()) return status;
+  return rows;
+}
+
+TEST(CsvStream, EveryChunkSizeMatchesBatchParse) {
+  // Escaped quotes, embedded commas and newlines, CRLF, no trailing
+  // newline — every chunk size must cut through each of them somewhere.
+  const std::string text =
+      "\"a,b\",\"say \"\"hi\"\"\",\"line\nbreak\"\r\n"
+      "plain,,fields\r\n"
+      "last,\"row \"\"quoted\"\"\"";
+  const auto batch = parseCsv(text).value();
+  for (std::size_t chunk = 1; chunk <= text.size(); ++chunk) {
+    EXPECT_EQ(streamInChunks(text, chunk).value(), batch)
+        << "chunk size " << chunk;
+  }
+}
+
+TEST(CsvStream, RowsArriveAsTheyComplete) {
+  CsvStreamParser parser;
+  std::vector<CsvRow> rows;
+  const CsvRowCallback collect = [&rows](CsvRow&& row) {
+    rows.push_back(std::move(row));
+  };
+  ASSERT_TRUE(parser.feed("a,b\nc,", collect).isOk());
+  EXPECT_EQ(rows.size(), 1u);  // the second row is still open
+  ASSERT_TRUE(parser.feed("d\n", collect).isOk());
+  EXPECT_EQ(rows.size(), 2u);
+  ASSERT_TRUE(parser.finish(collect).isOk());
+  EXPECT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (CsvRow{"c", "d"}));
+}
+
+TEST(CsvStream, ErrorsCarryGlobalOffsets) {
+  CsvStreamParser parser;
+  const CsvRowCallback ignore = [](CsvRow&&) {};
+  ASSERT_TRUE(parser.feed("x,y\na", ignore).isOk());
+  const auto status = parser.feed("b\"c", ignore);
+  ASSERT_FALSE(status.isOk());
+  // Offset 6 in the overall stream, not offset 1 in the second chunk —
+  // and the identical message the batch parser produces.
+  EXPECT_EQ(status.message(), "quote inside unquoted field near offset 6");
+  EXPECT_EQ(parseCsv("x,y\nab\"c").status().message(), status.message());
+}
+
+TEST(CsvStream, UnterminatedQuoteFailsAtFinish) {
+  CsvStreamParser parser;
+  const CsvRowCallback ignore = [](CsvRow&&) {};
+  ASSERT_TRUE(parser.feed("\"open", ignore).isOk());
+  const auto status = parser.finish(ignore);
+  ASSERT_FALSE(status.isOk());
+  EXPECT_EQ(status.message(), "unterminated quoted field");
+}
+
+TEST(CsvStream, FinishResetsForReuse) {
+  CsvStreamParser parser;
+  std::vector<CsvRow> rows;
+  const CsvRowCallback collect = [&rows](CsvRow&& row) {
+    rows.push_back(std::move(row));
+  };
+  ASSERT_TRUE(parser.feed("a,b", collect).isOk());
+  ASSERT_TRUE(parser.finish(collect).isOk());
+  ASSERT_TRUE(parser.feed("c,d", collect).isOk());
+  ASSERT_TRUE(parser.finish(collect).isOk());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (CsvRow{"a", "b"}));
+  EXPECT_EQ(rows[1], (CsvRow{"c", "d"}));
+}
+
+TEST_F(TempDir, StreamCsvFileDeliversEveryRow) {
+  const std::vector<CsvRow> rows{
+      {"h1", "h2"}, {"quoted,comma", "line\nbreak"}, {"1", "2"}};
+  ASSERT_TRUE(writeCsvFile(path("s.csv"), rows).isOk());
+  std::vector<CsvRow> streamed;
+  ASSERT_TRUE(streamCsvFile(path("s.csv"), [&streamed](CsvRow&& row) {
+                streamed.push_back(std::move(row));
+              }).isOk());
+  EXPECT_EQ(streamed, rows);
+}
+
+TEST(CsvStreamFile, MissingFileIsNotFound) {
+  const auto status = streamCsvFile("/nonexistent/file.csv", [](CsvRow&&) {});
+  EXPECT_EQ(status.code(), util::StatusCode::kNotFound);
+}
+
 // -------------------------------------------------------------- LeafTable
 
 LeafTable sampleTable() {
