@@ -50,18 +50,18 @@ std::vector<std::pair<const char*, core::RapMinerConfig>> variants() {
   out.push_back({"full RAPMiner (early stop, CP order)", {}});
   {
     core::RapMinerConfig c;
-    c.early_stop = false;
+    c.search.early_stop = false;
     out.push_back({"no early stop", c});
   }
   {
     core::RapMinerConfig c;
-    c.cuboid_order = core::CuboidOrder::kNumeric;
+    c.search.order = core::CuboidOrder::kNumeric;
     out.push_back({"numeric cuboid order", c});
   }
   {
     core::RapMinerConfig c;
-    c.early_stop = false;
-    c.cuboid_order = core::CuboidOrder::kNumeric;
+    c.search.early_stop = false;
+    c.search.order = core::CuboidOrder::kNumeric;
     out.push_back({"no early stop + numeric order", c});
   }
   return out;

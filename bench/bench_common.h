@@ -5,6 +5,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -27,8 +28,12 @@ inline constexpr std::uint64_t kDefaultSeed = 20220627;  // DSN'22 week
 /// timing harnesses measure the same code path as before.
 class ObsSession {
  public:
-  ObsSession(int argc, char** argv) {
+  /// `add_flags` lets a harness register its own flags on the shared
+  /// parser before parsing (read them back via flags()).
+  ObsSession(int argc, char** argv,
+             const std::function<void(util::FlagParser&)>& add_flags = {}) {
     obs::addObsFlags(flags_);
+    if (add_flags) add_flags(flags_);
     if (auto status = flags_.parse(argc, argv); !status.isOk()) {
       std::fprintf(stderr, "%s\n%s", status.toString().c_str(),
                    flags_.helpText(argv[0]).c_str());
@@ -44,6 +49,9 @@ class ObsSession {
   const std::vector<std::string>& positional() const noexcept {
     return flags_.positional();
   }
+
+  /// Access to harness flags registered via the constructor callback.
+  const util::FlagParser& flags() const noexcept { return flags_; }
 
  private:
   util::FlagParser flags_;

@@ -9,15 +9,24 @@
 // deletion stage.  With deletion, cost should track the RAP dimension
 // (flat-ish); without it, cost should grow with the lattice (2^n - 1).
 #include "bench/bench_common.h"
+#include "util/strings.h"
 
 using namespace rap;
 
 int main(int argc, char** argv) {
-  const bench::ObsSession obs_session(argc, argv);
+  const bench::ObsSession obs_session(argc, argv, [](util::FlagParser& flags) {
+    flags.addInt("threads", 1,
+                 "also time the no-deletion run with this layer fan-out "
+                 "(>1 adds a column; 0 = all cores)");
+  });
   util::setLogLevel(util::LogLevel::kWarn);
   bench::printHeader("Extension",
                      "scalability in attribute count (fixed RAP dimension)",
                      bench::kDefaultSeed);
+  const auto fanout =
+      static_cast<std::int32_t>(obs_session.flags().getInt("threads"));
+  const std::int32_t fanout_threads = core::resolveThreads(fanout);
+  const bool with_fanout = fanout_threads > 1;
 
   struct SchemaSpec {
     const char* label;
@@ -32,8 +41,13 @@ int main(int argc, char** argv) {
   };
 
   util::TextTable table;
-  table.setHeader({"schema", "leaves", "cuboids", "RC@3",
-                   "time (deletion)", "time (no deletion)"});
+  std::vector<std::string> header{"schema", "leaves", "cuboids", "RC@3",
+                                  "time (deletion)", "time (no deletion)"};
+  if (with_fanout) {
+    header.push_back(
+        util::strFormat("time (no del, %dt)", fanout_threads));
+  }
+  table.setHeader(header);
   for (const auto& spec : specs) {
     gen::RapmdConfig config;
     config.num_cases = 15;
@@ -46,19 +60,27 @@ int main(int argc, char** argv) {
 
     core::RapMinerConfig with;
     core::RapMinerConfig without;
-    without.enable_attribute_deletion = false;
+    without.cp.enable_attribute_deletion = false;
     const auto runs_with =
         eval::runLocalizer(eval::rapminerLocalizer(with), cases, {.k = 5});
     const auto runs_without =
         eval::runLocalizer(eval::rapminerLocalizer(without), cases, {.k = 5});
 
-    table.addRow(
-        {spec.label, std::to_string(generator.schema().leafCount()),
-         std::to_string(generator.schema().cuboidCount()),
-         util::TextTable::pct(eval::aggregateRecallAtK(runs_with, cases, 3)),
-         util::TextTable::duration(eval::aggregateTiming(runs_with).mean()),
-         util::TextTable::duration(
-             eval::aggregateTiming(runs_without).mean())});
+    std::vector<std::string> row{
+        spec.label, std::to_string(generator.schema().leafCount()),
+        std::to_string(generator.schema().cuboidCount()),
+        util::TextTable::pct(eval::aggregateRecallAtK(runs_with, cases, 3)),
+        util::TextTable::duration(eval::aggregateTiming(runs_with).mean()),
+        util::TextTable::duration(eval::aggregateTiming(runs_without).mean())};
+    if (with_fanout) {
+      core::RapMinerConfig fanned = without;
+      fanned.parallel.threads = fanout_threads;
+      const auto runs_fanned = eval::runLocalizer(
+          eval::rapminerLocalizer(fanned, "RAPMiner-mt"), cases, {.k = 5});
+      row.push_back(
+          util::TextTable::duration(eval::aggregateTiming(runs_fanned).mean()));
+    }
+    table.addRow(row);
   }
   std::printf("%s\n", table.render().c_str());
   std::printf(

@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
   for (const double t_cp :
        {0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1}) {
     core::RapMinerConfig config;
-    config.t_cp = t_cp;
+    config.cp.t_cp = t_cp;
     const auto localizer = eval::rapminerLocalizer(config);
     const auto runs = eval::runLocalizer(localizer, cases, {.k = 5});
     table.addRow({util::TextTable::num(t_cp, 4),

@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
   table.setHeader({"t_conf", "RC@3", "mean time"});
   for (const double t_conf : {0.55, 0.6, 0.65, 0.7, 0.75, 0.8, 0.85, 0.9, 0.95}) {
     core::RapMinerConfig config;
-    config.t_conf = t_conf;
+    config.search.t_conf = t_conf;
     const auto localizer = eval::rapminerLocalizer(config);
     const auto runs = eval::runLocalizer(localizer, cases, {.k = 5});
     table.addRow({util::TextTable::num(t_conf, 2),

@@ -1,11 +1,192 @@
 // Fig. 9(b): average localization running time on RAPMD, per method.
+//
+// --sweep-threads turns the harness into the parallel-search scalability
+// study instead: RAPMiner only, one run per thread count on a wider
+// synthetic schema (8 attributes, deletion disabled, so every layer has
+// enough cuboids to fan out), asserting that each thread count returns
+// exactly the patterns of the serial reference before recording its
+// timing.  The sweep writes BENCH_parallel_search.json for CI trending.
+//
+//   $ ./fig9b_time_rapmd                                  # paper figure
+//   $ ./fig9b_time_rapmd --sweep-threads 1,2,4,8 \
+//       --sweep-cases 20 --json-out BENCH_parallel_search.json
+#include <fstream>
+#include <thread>
+
 #include "bench/bench_common.h"
+#include "io/json.h"
+#include "util/strings.h"
 
 using namespace rap;
 
+namespace {
+
+/// The sweep workload: 8 attributes so layers 2..4 hold 28/56/70
+/// cuboids — enough independent aggregations per layer for the fan-out
+/// to matter.  Deletion stays off so the lattice is not collapsed first.
+std::vector<gen::Case> makeSweepCases(std::uint64_t seed,
+                                      std::int32_t num_cases) {
+  gen::RapmdConfig config;
+  config.num_cases = num_cases;
+  config.label_noise = 0.02;
+  gen::RapmdGenerator generator(
+      dataset::Schema::synthetic({8, 6, 5, 4, 4, 3, 3, 2}), config, seed);
+  return generator.generate();
+}
+
+bool samePatterns(const std::vector<core::ScoredPattern>& a,
+                  const std::vector<core::ScoredPattern>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i].ac == b[i].ac) || a[i].confidence != b[i].confidence ||
+        a[i].layer != b[i].layer || a[i].score != b[i].score) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int runThreadSweep(const util::FlagParser& flags) {
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.getInt("seed"));
+  const auto num_cases = static_cast<std::int32_t>(flags.getInt("sweep-cases"));
+  std::vector<std::int32_t> thread_counts;
+  for (const auto& field :
+       util::split(flags.getString("sweep-threads"), ',')) {
+    thread_counts.push_back(std::atoi(field.c_str()));
+    if (thread_counts.back() < 1) {
+      std::fprintf(stderr, "bad --sweep-threads entry '%s'\n", field.c_str());
+      return 2;
+    }
+  }
+  if (thread_counts.empty() || thread_counts.front() != 1) {
+    // The serial run is the correctness + speedup baseline.
+    thread_counts.insert(thread_counts.begin(), 1);
+  }
+
+  bench::printHeader("Parallel search sweep",
+                     "RAPMiner layer fan-out vs thread count", seed);
+  const auto cases = makeSweepCases(seed, num_cases);
+  std::printf("cases=%d schema=8 attrs (69,120 leaves) deletion=off\n\n",
+              num_cases);
+
+  core::RapMinerConfig base;
+  base.cp.enable_attribute_deletion = false;
+
+  // Serial reference: patterns per case, reused to check every other
+  // thread count, plus the speedup denominator.
+  std::vector<std::vector<core::ScoredPattern>> reference;
+  double serial_mean = 0.0;
+
+  util::TextTable table;
+  table.setHeader({"threads", "mean", "p50", "p95", "max", "speedup"});
+
+  io::JsonWriter json;
+  json.beginObject();
+  json.key("bench");
+  json.value("parallel_search");
+  json.key("seed");
+  json.value(static_cast<std::int64_t>(seed));
+  json.key("cases");
+  json.value(static_cast<std::int64_t>(num_cases));
+  json.key("schema_attributes");
+  json.value(static_cast<std::int64_t>(8));
+  json.key("hardware_concurrency");
+  json.value(static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+  json.key("results");
+  json.beginArray();
+
+  for (const auto threads : thread_counts) {
+    core::RapMinerConfig config = base;
+    config.parallel.threads = threads;
+    const core::RapMiner miner(config);
+
+    util::TimingStats timing;
+    bool identical = true;
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      const util::WallTimer timer;
+      const auto result = miner.localize(cases[i].table, /*k=*/0);
+      timing.add(timer.elapsedSeconds());
+      if (threads == 1) {
+        reference.push_back(result.patterns);
+      } else if (!samePatterns(result.patterns, reference[i])) {
+        identical = false;
+      }
+    }
+    if (!identical) {
+      std::fprintf(stderr,
+                   "FATAL: threads=%d diverged from the serial patterns\n",
+                   threads);
+      return 1;
+    }
+    if (threads == 1) serial_mean = timing.mean();
+    const double speedup =
+        timing.mean() > 0.0 ? serial_mean / timing.mean() : 0.0;
+
+    table.addRow({std::to_string(threads),
+                  util::TextTable::duration(timing.mean()),
+                  util::TextTable::duration(timing.percentile(0.5)),
+                  util::TextTable::duration(timing.percentile(0.95)),
+                  util::TextTable::duration(timing.max()),
+                  util::strFormat("%.2fx", speedup)});
+
+    json.beginObject();
+    json.key("threads");
+    json.value(static_cast<std::int64_t>(threads));
+    json.key("mean_seconds");
+    json.value(timing.mean());
+    json.key("p50_seconds");
+    json.value(timing.percentile(0.5));
+    json.key("p95_seconds");
+    json.value(timing.percentile(0.95));
+    json.key("max_seconds");
+    json.value(timing.max());
+    json.key("speedup_vs_serial");
+    json.value(speedup);
+    json.key("patterns_match_serial");
+    json.value(true);
+    json.endObject();
+  }
+  json.endArray();
+  json.endObject();
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "speedup is bounded by the machine: hardware_concurrency=%u\n",
+      std::thread::hardware_concurrency());
+
+  const std::string out_path = flags.getString("json-out");
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << std::move(json).str() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  const bench::ObsSession obs_session(argc, argv);
+  const bench::ObsSession obs_session(argc, argv, [](util::FlagParser& flags) {
+    flags.addString("sweep-threads", "",
+                    "comma-separated thread counts; non-empty switches the "
+                    "harness to the parallel-search sweep");
+    flags.addInt("sweep-cases", 10, "RAPMD cases per thread count (sweep)");
+    flags.addInt("seed", static_cast<std::int64_t>(bench::kDefaultSeed),
+                 "workload seed");
+    flags.addString("json-out", "BENCH_parallel_search.json",
+                    "sweep result file ('' = don't write)");
+  });
   util::setLogLevel(util::LogLevel::kWarn);
+
+  if (!obs_session.flags().getString("sweep-threads").empty()) {
+    return runThreadSweep(obs_session.flags());
+  }
+
   bench::printHeader("Fig. 9(b)", "mean running time on RAPMD",
                      bench::kDefaultSeed);
 

@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
                         {"RAPMiner without Redundant Attribute Deletion", false}};
   for (auto& variant : variants) {
     core::RapMinerConfig config;
-    config.enable_attribute_deletion = variant.deletion;
+    config.cp.enable_attribute_deletion = variant.deletion;
     const auto localizer = eval::rapminerLocalizer(config);
     const auto runs = eval::runLocalizer(localizer, cases, {.k = 3});
     variant.rc3 = eval::aggregateRecallAtK(runs, cases, 3);

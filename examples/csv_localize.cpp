@@ -6,14 +6,14 @@
 //
 //   $ ./csv_localize --schema schema.csv --data ts.csv [--k 5]
 //                    [--detect-threshold 0.095] [--t-cp 0.001] [--t-conf 0.8]
+//                    [--threads 1]
 //
 // Run without flags to see a self-contained demo: the binary writes a
 // sample schema/data pair to /tmp, then localizes it.
 #include <cstdio>
 
-#include "core/rapminer.h"
-#include "dataset/cuboid.h"
-#include "detect/detector.h"
+#include "rap.h"
+
 #include "io/dataset_io.h"
 #include "io/json.h"
 #include "util/flags.h"
@@ -54,6 +54,8 @@ int main(int argc, char** argv) {
                   "table carries no labels)");
   flags.addDouble("t-cp", 0.0005, "RAPMiner classification-power threshold");
   flags.addDouble("t-conf", 0.8, "RAPMiner anomaly-confidence threshold");
+  flags.addInt("threads", 1,
+               "search fan-out concurrency (1 = serial, 0 = all cores)");
   flags.addBool("json", false, "emit the result as a JSON document");
   if (auto status = flags.parse(argc, argv); !status.isOk()) {
     std::fprintf(stderr, "%s\n%s", status.toString().c_str(),
@@ -87,10 +89,18 @@ int main(int argc, char** argv) {
     std::printf("detector flagged %u of %zu leaves\n", flagged, table->size());
   }
 
-  core::RapMinerConfig config;
-  config.t_cp = flags.getDouble("t-cp");
-  config.t_conf = flags.getDouble("t-conf");
-  const auto result = core::RapMiner(config).localize(
+  // Builder: user-supplied thresholds get a Status instead of an abort.
+  const auto miner = core::RapMiner::Builder()
+                         .tCp(flags.getDouble("t-cp"))
+                         .tConf(flags.getDouble("t-conf"))
+                         .threads(static_cast<std::int32_t>(
+                             flags.getInt("threads")))
+                         .build();
+  if (!miner.isOk()) {
+    std::fprintf(stderr, "config: %s\n", miner.status().toString().c_str());
+    return 2;
+  }
+  const auto result = miner->localize(
       table.value(), static_cast<std::int32_t>(flags.getInt("k")));
 
   if (flags.getBool("json")) {

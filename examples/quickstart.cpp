@@ -5,9 +5,7 @@
 //   $ ./quickstart
 #include <cstdio>
 
-#include "core/rapminer.h"
-#include "dataset/cuboid.h"
-#include "dataset/leaf_table.h"
+#include "rap.h"
 
 using namespace rap;
 

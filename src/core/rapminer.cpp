@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/strings.h"
 #include "util/timer.h"
 
 namespace rap::core {
@@ -15,10 +17,68 @@ double rapScore(double confidence, std::int32_t layer) noexcept {
 }
 
 RapMiner::RapMiner(RapMinerConfig config) : config_(config) {
-  RAP_CHECK_MSG(config_.t_conf > 0.0 && config_.t_conf < 1.0,
-                "t_conf must be in (0,1), got " << config_.t_conf);
-  RAP_CHECK_MSG(config_.t_cp >= 0.0 && config_.t_cp < 1.0,
-                "t_cp must be in [0,1), got " << config_.t_cp);
+  RAP_CHECK_MSG(config_.search.t_conf > 0.0 && config_.search.t_conf <= 1.0,
+                "t_conf must be in (0,1], got " << config_.search.t_conf);
+  RAP_CHECK_MSG(config_.cp.t_cp >= 0.0 && config_.cp.t_cp < 1.0,
+                "t_cp must be in [0,1), got " << config_.cp.t_cp);
+  RAP_CHECK_MSG(config_.parallel.threads >= 0,
+                "threads must be >= 0, got " << config_.parallel.threads);
+  const std::int32_t effective = resolveThreads(config_.parallel.threads);
+  if (effective > 1) {
+    pool_ = std::make_shared<util::ThreadPool>(
+        static_cast<std::size_t>(effective - 1));
+  }
+}
+
+RapMiner::Builder& RapMiner::Builder::config(RapMinerConfig config) {
+  config_ = config;
+  return *this;
+}
+RapMiner::Builder& RapMiner::Builder::tCp(double t_cp) {
+  config_.cp.t_cp = t_cp;
+  return *this;
+}
+RapMiner::Builder& RapMiner::Builder::tConf(double t_conf) {
+  config_.search.t_conf = t_conf;
+  return *this;
+}
+RapMiner::Builder& RapMiner::Builder::attributeDeletion(bool enable) {
+  config_.cp.enable_attribute_deletion = enable;
+  return *this;
+}
+RapMiner::Builder& RapMiner::Builder::earlyStop(bool enable) {
+  config_.search.early_stop = enable;
+  return *this;
+}
+RapMiner::Builder& RapMiner::Builder::cuboidOrder(CuboidOrder order) {
+  config_.search.order = order;
+  return *this;
+}
+RapMiner::Builder& RapMiner::Builder::threads(std::int32_t threads) {
+  config_.parallel.threads = threads;
+  return *this;
+}
+
+util::Status RapMiner::Builder::validate() const {
+  if (!(config_.cp.t_cp >= 0.0 && config_.cp.t_cp < 1.0)) {
+    return util::Status::invalidArgument(util::strFormat(
+        "t_cp must be in [0, 1), got %g", config_.cp.t_cp));
+  }
+  if (!(config_.search.t_conf > 0.0 && config_.search.t_conf <= 1.0)) {
+    return util::Status::invalidArgument(util::strFormat(
+        "t_conf must be in (0, 1], got %g", config_.search.t_conf));
+  }
+  if (config_.parallel.threads < 0) {
+    return util::Status::invalidArgument(util::strFormat(
+        "threads must be >= 0 (0 = hardware concurrency), got %d",
+        config_.parallel.threads));
+  }
+  return util::Status::ok();
+}
+
+util::Result<RapMiner> RapMiner::Builder::build() const {
+  if (auto status = validate(); !status.isOk()) return status;
+  return RapMiner(config_);
 }
 
 namespace {
@@ -40,6 +100,8 @@ void publishLocalizeMetrics(const SearchStats& stats, double total_seconds) {
       .increment(stats.combinations_pruned);
   registry.counter("rap_search_candidates_total")
       .increment(stats.candidates_found);
+  registry.gauge("rap_search_threads")
+      .set(static_cast<double>(stats.search_threads));
   if (stats.early_stopped) {
     registry.counter("rap_search_early_stop_total").increment();
   }
@@ -51,6 +113,10 @@ void publishLocalizeMetrics(const SearchStats& stats, double total_seconds) {
         .increment(layer.combinations_evaluated);
     registry.counter("rap_search_layer_combinations_pruned_total", labels)
         .increment(layer.combinations_pruned);
+    registry
+        .histogram("rap_search_layer_aggregate_seconds",
+                   obs::exponentialBuckets(1e-5, 4.0, 10), labels)
+        .observe(layer.seconds_aggregate);
   }
   registry
       .histogram("rap_localize_seconds",
@@ -62,11 +128,29 @@ void publishLocalizeMetrics(const SearchStats& stats, double total_seconds) {
 
 LocalizationResult RapMiner::localize(const dataset::LeafTable& table,
                                       std::int32_t k) const {
+  return localize(table, k, pool_.get());
+}
+
+LocalizationResult RapMiner::localize(const dataset::LeafTable& table,
+                                      std::int32_t k,
+                                      util::ThreadPool* pool) const {
   RAP_TRACE_SPAN("localize",
                  {{"rows", static_cast<std::int64_t>(table.size())},
                   {"k", k}});
   const util::WallTimer total_timer;
   LocalizationResult result;
+
+  // Nothing to localize: no rows, no attributes, or no anomalous leaf.
+  // Algorithm 1 would delete every attribute and Algorithm 2 would visit
+  // nothing, so skip both stages outright (the stats contract for this
+  // path is documented on localize()).
+  if (table.empty() || table.schema().attributeCount() == 0 ||
+      table.anomalousCount() == 0) {
+    if (obs::metricsEnabled()) {
+      publishLocalizeMetrics(result.stats, total_timer.elapsedSeconds());
+    }
+    return result;
+  }
 
   // Stage 1 — Algorithm 1.  With deletion disabled (Table VI ablation)
   // every attribute survives, still ordered by CP so the cuboid visit
@@ -75,8 +159,8 @@ LocalizationResult RapMiner::localize(const dataset::LeafTable& table,
   std::vector<dataset::AttrId> kept;
   {
     RAP_TRACE_SPAN("localize/cp_deletion");
-    if (config_.enable_attribute_deletion) {
-      kept = deleteRedundantAttributes(table, config_.t_cp,
+    if (config_.cp.enable_attribute_deletion) {
+      kept = deleteRedundantAttributes(table, config_.cp.t_cp,
                                        &result.stats.classification_power);
     } else {
       kept = deleteRedundantAttributes(table, -1.0,
@@ -88,18 +172,19 @@ LocalizationResult RapMiner::localize(const dataset::LeafTable& table,
       table.schema().attributeCount() - static_cast<std::int32_t>(kept.size());
   result.stats.seconds_attribute_deletion = stage_timer.elapsedSeconds();
 
-  // Stage 2 — Algorithm 2.
+  // Stage 2 — Algorithm 2, serial or fanned out across the pool.
   stage_timer.reset();
   {
     RAP_TRACE_SPAN("localize/search",
                    {{"kept_attributes",
                      static_cast<std::int64_t>(kept.size())}});
-    SearchConfig search_config;
-    search_config.t_conf = config_.t_conf;
-    search_config.early_stop = config_.early_stop;
-    search_config.order = config_.cuboid_order;
-    result.patterns =
-        acGuidedSearch(table, kept, search_config, result.stats);
+    if (pool != nullptr && pool->threadCount() > 0) {
+      result.patterns = acGuidedSearchParallel(table, kept, config_.search,
+                                               *pool, result.stats);
+    } else {
+      result.patterns =
+          acGuidedSearch(table, kept, config_.search, result.stats);
+    }
   }
   result.stats.seconds_search = stage_timer.elapsedSeconds();
 

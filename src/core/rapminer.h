@@ -6,50 +6,138 @@
 // The input LeafTable must carry per-leaf anomaly verdicts (run one of
 // the rap::detect detectors first, or load a labeled table).  localize()
 // performs:
-//   1. Algorithm 1 — CP-based redundant attribute deletion (t_cp);
-//   2. Algorithm 2 — AC-guided layer-by-layer top-down search (t_conf,
-//      early stop);
+//   1. Algorithm 1 — CP-based redundant attribute deletion (cp.t_cp);
+//   2. Algorithm 2 — AC-guided layer-by-layer top-down search
+//      (search.t_conf, early stop), serial or parallel per
+//      parallel.threads — the two schedules are bit-identical;
 //   3. RAPScore ranking (Eq. 3) and truncation to the top k patterns.
+//
+// Configuration is nested by pipeline stage:
+//
+//   RapMinerConfig config;
+//   config.cp.t_cp = 0.001;             // Algorithm 1
+//   config.search.t_conf = 0.9;         // Algorithm 2
+//   config.parallel.threads = 8;        // within-layer fan-out
+//
+// For validated construction (util::Status instead of RAP_CHECK aborts
+// on out-of-range thresholds) use RapMiner::Builder.
 #pragma once
+
+#include <memory>
 
 #include "core/classification_power.h"
 #include "core/search.h"
 #include "core/types.h"
 #include "dataset/leaf_table.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace rap::core {
 
-struct RapMinerConfig {
+/// Stage 1 (Algorithm 1) knobs.
+struct CpConfig {
   /// Criteria 1 threshold; the paper recommends "a very small value"
   /// (below 0.1) and studies sensitivity across a sweep (Fig. 10(a)).
   /// On the synthetic RAPMD background the noise floor of a
   /// RAP-unrelated attribute's CP sits just under this default (around
   /// 3e-4 for clean labels); bench/fig10a sweeps the full range.
   double t_cp = 0.0005;
-  /// Criteria 2 threshold; "relatively large", studied over
-  /// [0.55, 0.95] (Fig. 10(b)).
-  double t_conf = 0.8;
   /// Disable stage 1 to reproduce the Table VI ablation.
   bool enable_attribute_deletion = true;
-  /// Disable the Algorithm 2 early stop (lines 9-11).
+};
+
+struct RapMinerConfig {
+  CpConfig cp;              ///< Algorithm 1 (Criteria 1)
+  SearchConfig search;      ///< Algorithm 2 (Criteria 2/3, visit order)
+  ParallelConfig parallel;  ///< within-layer cuboid fan-out
+};
+
+/// Pre-PR3 flat configuration shape, kept for one release so downstream
+/// code migrates at its own pace.  Converts to the nested shape; the
+/// conversion is deprecated, the fields map 1:1:
+///   t_cp, enable_attribute_deletion -> cp.*
+///   t_conf, early_stop, cuboid_order -> search.{t_conf, early_stop, order}
+struct LegacyRapMinerConfig {
+  double t_cp = 0.0005;
+  double t_conf = 0.8;
+  bool enable_attribute_deletion = true;
   bool early_stop = true;
-  /// Cuboid visit order within a layer (ablation knob).
   CuboidOrder cuboid_order = CuboidOrder::kCpWeighted;
+
+  [[deprecated(
+      "flat RapMinerConfig is deprecated; use the nested "
+      "RapMinerConfig{cp, search, parallel}")]]
+  operator RapMinerConfig() const {  // NOLINT: implicit by design (shim)
+    RapMinerConfig config;
+    config.cp.t_cp = t_cp;
+    config.cp.enable_attribute_deletion = enable_attribute_deletion;
+    config.search.t_conf = t_conf;
+    config.search.early_stop = early_stop;
+    config.search.order = cuboid_order;
+    return config;
+  }
 };
 
 class RapMiner {
  public:
+  /// Aborts (RAP_CHECK) on out-of-range thresholds — construction from a
+  /// compile-time config is a programming error when invalid.  For
+  /// user-supplied configuration use Builder, which validates first.
   explicit RapMiner(RapMinerConfig config = {});
+
+  /// Validating construction for user-supplied (flag/file) thresholds.
+  ///
+  ///   auto miner = RapMiner::Builder().tConf(t).threads(n).build();
+  ///   if (!miner.isOk()) { ... miner.status() ... }
+  class Builder {
+   public:
+    Builder() = default;
+    /// Replace the whole config (then refine with the setters below).
+    Builder& config(RapMinerConfig config);
+    Builder& tCp(double t_cp);
+    Builder& tConf(double t_conf);
+    Builder& attributeDeletion(bool enable);
+    Builder& earlyStop(bool enable);
+    Builder& cuboidOrder(CuboidOrder order);
+    Builder& threads(std::int32_t threads);
+
+    /// kInvalidArgument when t_cp is outside [0, 1), t_conf outside
+    /// (0, 1], or threads is negative; OK otherwise.
+    util::Status validate() const;
+
+    /// validate() then construct; never aborts.
+    util::Result<RapMiner> build() const;
+
+   private:
+    RapMinerConfig config_;
+  };
 
   const RapMinerConfig& config() const noexcept { return config_; }
 
   /// Mines the root anomaly patterns of one labeled leaf table and
   /// returns the top `k` by RAPScore (k <= 0 returns all candidates).
+  ///
+  /// An input with nothing to localize — an empty table, a schema with
+  /// no attributes, or no anomalous leaf — returns an empty result
+  /// immediately: patterns empty, every counter zero, stats.layers and
+  /// stats.classification_power empty and stats.early_stopped false
+  /// (the search never started, so it cannot have stopped early).
   LocalizationResult localize(const dataset::LeafTable& table,
                               std::int32_t k) const;
 
+  /// Same, but the within-layer fan-out runs on the caller's pool
+  /// (overriding parallel.threads; nullptr falls back to the config).
+  /// The pool must not run tasks that block on this search — give the
+  /// miner a dedicated search pool, not the pool the caller's own
+  /// blocking task runs on (see stream::StreamEngine).
+  LocalizationResult localize(const dataset::LeafTable& table, std::int32_t k,
+                              util::ThreadPool* pool) const;
+
  private:
   RapMinerConfig config_;
+  /// Owned fan-out workers (parallel.threads - 1 of them; the calling
+  /// thread is the last worker).  Shared so RapMiner stays copyable.
+  std::shared_ptr<util::ThreadPool> pool_;
 };
 
 /// Eq. 3: RAPScore = Confidence / sqrt(Layer).

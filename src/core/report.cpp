@@ -52,17 +52,22 @@ std::string renderReport(const dataset::Schema& schema,
         result.stats.early_stopped ? ", early-stopped" : "");
     if (!result.stats.layers.empty()) {
       util::TextTable layers;
-      layers.setHeader(
-          {"layer", "cuboids", "evaluated", "pruned", "candidates", "time"});
+      layers.setHeader({"layer", "cuboids", "evaluated", "pruned",
+                        "candidates", "time", "aggregate"});
       for (const auto& layer : result.stats.layers) {
         layers.addRow({std::to_string(layer.layer),
                        std::to_string(layer.cuboids_visited),
                        std::to_string(layer.combinations_evaluated),
                        std::to_string(layer.combinations_pruned),
                        std::to_string(layer.candidates_found),
-                       util::TextTable::duration(layer.seconds)});
+                       util::TextTable::duration(layer.seconds),
+                       util::TextTable::duration(layer.seconds_aggregate)});
       }
       out += layers.render();
+      if (result.stats.search_threads > 1) {
+        out += util::strFormat("  search threads: %d\n",
+                               result.stats.search_threads);
+      }
     }
     const double stage_total = result.stats.seconds_attribute_deletion +
                                result.stats.seconds_search +

@@ -1,9 +1,14 @@
 #include "core/search.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
 
 #include "dataset/cuboid.h"
+#include "dataset/groupby_kernel.h"
 #include "obs/trace.h"
 #include "util/timer.h"
 
@@ -11,6 +16,8 @@ namespace rap::core {
 
 using dataset::AttributeCombination;
 using dataset::CuboidMask;
+using dataset::GroupAggregate;
+using dataset::GroupByKernel;
 using dataset::LeafTable;
 
 namespace {
@@ -48,13 +55,66 @@ std::vector<CuboidMask> orderedCuboids(
   return cuboids;
 }
 
-}  // namespace
+/// Aggregates every cuboid of one layer concurrently: `pool` workers and
+/// the calling thread pull cuboid indices off a shared cursor (balanced
+/// even when cuboid sizes differ wildly) and write disjoint slots of
+/// `groups`.  Returns only once every helper task has exited, so the
+/// borrowed stack state cannot dangle even if the caller early-stops the
+/// layer right after.
+void aggregateLayer(const GroupByKernel& kernel,
+                    const std::vector<CuboidMask>& cuboids,
+                    util::ThreadPool& pool,
+                    std::vector<std::vector<GroupAggregate>>& groups) {
+  const std::size_t n = cuboids.size();
+  groups.assign(n, {});
+  std::atomic<std::size_t> cursor{0};
+  const auto work = [&kernel, &cuboids, &groups, &cursor, n] {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      groups[i] = kernel.groupBy(cuboids[i]);
+    }
+  };
 
-std::vector<ScoredPattern> acGuidedSearch(
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::size_t exited = 0;
+  const std::size_t helpers = std::min(pool.threadCount(), n > 0 ? n - 1 : 0);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    pool.submit([&work, &mutex, &cv, &exited] {
+      work();
+      // Notify while holding the lock: the waiter owns the cv's storage
+      // (caller stack) and may destroy it the moment it observes the
+      // final count, so the notify must complete before the count is
+      // visible.
+      std::lock_guard<std::mutex> lock(mutex);
+      ++exited;
+      cv.notify_all();
+    });
+  }
+  work();
+  std::unique_lock<std::mutex> lock(mutex);
+  cv.wait(lock, [&exited, helpers] { return exited == helpers; });
+}
+
+/// Shared Algorithm 2 driver.  The two schedules differ only in how a
+/// layer's per-cuboid aggregates are produced: the serial path computes
+/// them lazily inside the merge loop (so an early stop skips the rest of
+/// the layer entirely), the parallel path precomputes the whole layer via
+/// aggregateLayer and the merge then consumes the slots in canonical
+/// order.  Everything the result depends on — acceptance, pruning,
+/// early-stop, counters — happens in the single-threaded merge below, in
+/// the exact order of the serial reference, which is what makes the two
+/// schedules bit-identical.
+std::vector<ScoredPattern> searchImpl(
     const LeafTable& table, const std::vector<dataset::AttrId>& kept_attributes,
-    const SearchConfig& config, SearchStats& stats) {
+    const SearchConfig& config, util::ThreadPool* pool, SearchStats& stats) {
+  const GroupByKernel kernel(table);
   std::vector<ScoredPattern> candidates;
   std::vector<AttributeCombination> candidate_acs;  // for pruning
+
+  stats.search_threads =
+      pool == nullptr ? 1 : static_cast<std::int32_t>(pool->threadCount()) + 1;
 
   // Early-stop bookkeeping: the anomalous rows not yet covered by any
   // accepted candidate.  Each acceptance filters the remainder, so the
@@ -81,10 +141,32 @@ std::vector<ScoredPattern> acGuidedSearch(
     const util::WallTimer layer_timer;
     layer_stats = LayerSearchStats{};
     layer_stats.layer = layer;
-    for (const CuboidMask mask :
-         orderedCuboids(kept_attributes, layer, config.order)) {
+
+    const std::vector<CuboidMask> cuboids =
+        orderedCuboids(kept_attributes, layer, config.order);
+
+    // Parallel schedule: aggregate the whole layer up front.  Wasted
+    // only when the early stop fires mid-layer (the merge then discards
+    // the slots past the stop point).
+    std::vector<std::vector<GroupAggregate>> prefetched;
+    const bool parallel = pool != nullptr && cuboids.size() > 1;
+    if (parallel) {
+      const util::WallTimer aggregate_timer;
+      aggregateLayer(kernel, cuboids, *pool, prefetched);
+      layer_stats.seconds_aggregate = aggregate_timer.elapsedSeconds();
+    }
+
+    for (std::size_t i = 0; i < cuboids.size(); ++i) {
       layer_stats.cuboids_visited += 1;
-      for (const auto& group : table.groupBy(mask)) {
+      std::vector<GroupAggregate> groups;
+      if (parallel) {
+        groups = std::move(prefetched[i]);
+      } else {
+        const util::WallTimer aggregate_timer;
+        groups = kernel.groupBy(cuboids[i]);
+        layer_stats.seconds_aggregate += aggregate_timer.elapsedSeconds();
+      }
+      for (const auto& group : groups) {
         // Criteria 3: skip the descendants of accepted candidates.  An
         // accepted candidate always sits at a strictly lower layer, so
         // the ancestor test is exact.
@@ -129,6 +211,26 @@ std::vector<ScoredPattern> acGuidedSearch(
     flushLayer();
   }
   return candidates;
+}
+
+}  // namespace
+
+std::int32_t resolveThreads(std::int32_t threads) noexcept {
+  if (threads > 0) return threads;
+  return std::max(1, static_cast<std::int32_t>(
+                         std::thread::hardware_concurrency()));
+}
+
+std::vector<ScoredPattern> acGuidedSearch(
+    const LeafTable& table, const std::vector<dataset::AttrId>& kept_attributes,
+    const SearchConfig& config, SearchStats& stats) {
+  return searchImpl(table, kept_attributes, config, /*pool=*/nullptr, stats);
+}
+
+std::vector<ScoredPattern> acGuidedSearchParallel(
+    const LeafTable& table, const std::vector<dataset::AttrId>& kept_attributes,
+    const SearchConfig& config, util::ThreadPool& pool, SearchStats& stats) {
+  return searchImpl(table, kept_attributes, config, &pool, stats);
 }
 
 }  // namespace rap::core

@@ -9,12 +9,31 @@
 // ancestors were all normal becomes a candidate RAP; its entire
 // descendant sub-DAG is pruned (Criteria 3).  The search early-stops as
 // soon as the candidates cover every anomalous leaf.
+//
+// Support counts come from dataset::GroupByKernel: per-attribute element
+// code columns are transposed once per search, and each cuboid is then
+// aggregated in a single dense mixed-radix pass instead of per-row
+// AttributeCombination probing.
+//
+// Two schedules produce bit-identical results:
+//   * acGuidedSearch        — the serial reference implementation;
+//   * acGuidedSearchParallel — evaluates each layer's cuboids
+//     concurrently on a util::ThreadPool, then replays Criteria 2/3
+//     acceptance, pruning and the early stop in the canonical visit
+//     order during a deterministic single-threaded merge.  Acceptance
+//     decisions only ever depend on candidates from strictly lower
+//     layers (an accepted candidate cannot be an ancestor of a
+//     same-layer combination), so evaluating a layer's cuboids out of
+//     order is safe; the merge re-imposes the canonical order for
+//     acceptance and bookkeeping.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "core/types.h"
 #include "dataset/leaf_table.h"
+#include "util/thread_pool.h"
 
 namespace rap::core {
 
@@ -31,14 +50,36 @@ struct SearchConfig {
   CuboidOrder order = CuboidOrder::kCpWeighted;
 };
 
+/// Concurrency of the within-layer cuboid fan-out.
+struct ParallelConfig {
+  /// Total worker count including the calling thread: 1 runs the serial
+  /// reference path, 0 resolves to the hardware concurrency, N > 1 adds
+  /// N - 1 pool workers next to the caller.
+  std::int32_t threads = 1;
+};
+
+/// Resolves a ParallelConfig::threads value to an actual concurrency
+/// level >= 1 (0 becomes the hardware concurrency).
+std::int32_t resolveThreads(std::int32_t threads) noexcept;
+
 /// Runs Algorithm 2 over the cuboids formed by `kept_attributes` (the
 /// output of Algorithm 1; its order determines cuboid visit order).
 /// Returns all candidate RAPs with confidence and layer filled in; the
 /// caller ranks them (Eq. 3) and truncates to k.  `stats` accumulates
-/// search-effort counters.
+/// search-effort counters.  Serial reference schedule.
 std::vector<ScoredPattern> acGuidedSearch(
     const dataset::LeafTable& table,
     const std::vector<dataset::AttrId>& kept_attributes,
     const SearchConfig& config, SearchStats& stats);
+
+/// Same search, same results bit for bit, but each layer's cuboid
+/// aggregations fan out across `pool` (the calling thread participates
+/// too).  The pool must not be used for tasks that block on this search.
+/// When the layer early-stops mid-way, aggregations computed past the
+/// stop point are discarded, so stats match the serial schedule exactly.
+std::vector<ScoredPattern> acGuidedSearchParallel(
+    const dataset::LeafTable& table,
+    const std::vector<dataset::AttrId>& kept_attributes,
+    const SearchConfig& config, util::ThreadPool& pool, SearchStats& stats);
 
 }  // namespace rap::core

@@ -26,6 +26,11 @@ struct LayerSearchStats {
   std::uint64_t combinations_pruned = 0;
   std::uint64_t candidates_found = 0;
   double seconds = 0.0;  ///< wall time spent in this layer
+  /// Wall time spent aggregating the layer's cuboids (the dense group-by
+  /// kernel).  Under the parallel schedule this is the fan-out + join
+  /// time of the whole layer, so seconds / seconds_aggregate exposes the
+  /// per-layer speedup next to the serial baseline.
+  double seconds_aggregate = 0.0;
 };
 
 /// Search-effort counters — the quantities behind the paper's efficiency
@@ -39,6 +44,9 @@ struct SearchStats {
   std::uint64_t combinations_pruned = 0;
   std::uint64_t candidates_found = 0;
   bool early_stopped = false;
+  /// Concurrency the search ran at (1 = serial reference schedule;
+  /// N > 1 = N - 1 pool workers plus the calling thread).
+  std::int32_t search_threads = 1;
   /// Per-layer breakdown of the totals above, in visit order; the last
   /// entry is partial when the search early-stopped inside it.
   std::vector<LayerSearchStats> layers;

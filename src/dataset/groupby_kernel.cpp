@@ -1,0 +1,119 @@
+#include "dataset/groupby_kernel.h"
+
+namespace rap::dataset {
+
+namespace {
+
+/// Same dense-array cutoff as LeafTable::groupBy; beyond it the kernel
+/// delegates to the table's sort-and-aggregate fallback.
+constexpr std::uint64_t kDenseLimit = 1u << 22;
+
+}  // namespace
+
+GroupByKernel::GroupByKernel(const LeafTable& table) : table_(&table) {
+  const Schema& schema = table.schema();
+  const std::size_t n = table.size();
+  columns_.resize(static_cast<std::size_t>(schema.attributeCount()));
+  for (auto& column : columns_) column.resize(n);
+  anomalous_.resize(n);
+  v_.resize(n);
+  f_.resize(n);
+  for (RowId id = 0; id < n; ++id) {
+    const LeafRow& row = table.row(id);
+    for (AttrId a = 0; a < schema.attributeCount(); ++a) {
+      columns_[static_cast<std::size_t>(a)][id] =
+          static_cast<std::uint32_t>(row.ac.slot(a));
+    }
+    anomalous_[id] = row.anomalous ? 1 : 0;
+    v_[id] = row.v;
+    f_[id] = row.f;
+  }
+}
+
+std::vector<GroupAggregate> GroupByKernel::groupBy(CuboidMask mask) const {
+  const Schema& schema = table_->schema();
+  const std::uint64_t size = cuboidSize(schema, mask);
+  if (size > kDenseLimit) return table_->groupBy(mask);
+
+  // Mixed-radix strides restricted to the cuboid's attributes, matching
+  // LeafTable::projectionKey: the first member attribute varies slowest.
+  const std::vector<AttrId> attrs = cuboidAttributes(mask);
+  std::vector<std::uint64_t> strides(attrs.size());
+  std::uint64_t stride = 1;
+  for (std::size_t i = attrs.size(); i-- > 0;) {
+    strides[i] = stride;
+    stride *= static_cast<std::uint64_t>(schema.cardinality(attrs[i]));
+  }
+
+  // Column sweeps: one sequential pass per member attribute accumulates
+  // the projection key of every row.
+  const std::size_t n = rowCount();
+  std::vector<std::uint64_t> keys(n, 0);
+  for (std::size_t i = 0; i < attrs.size(); ++i) {
+    const std::uint32_t* column =
+        columns_[static_cast<std::size_t>(attrs[i])].data();
+    const std::uint64_t s = strides[i];
+    for (std::size_t r = 0; r < n; ++r) {
+      keys[r] += s * static_cast<std::uint64_t>(column[r]);
+    }
+  }
+
+  struct Cell {
+    std::uint32_t total = 0;
+    std::uint32_t anomalous = 0;
+    double v_sum = 0.0;
+    double f_sum = 0.0;
+  };
+  std::vector<Cell> dense(static_cast<std::size_t>(size));
+  for (std::size_t r = 0; r < n; ++r) {
+    Cell& cell = dense[static_cast<std::size_t>(keys[r])];
+    cell.total += 1;
+    cell.anomalous += anomalous_[r];
+    cell.v_sum += v_[r];
+    cell.f_sum += f_[r];
+  }
+
+  std::vector<GroupAggregate> out;
+  for (std::uint64_t key = 0; key < size; ++key) {
+    const Cell& cell = dense[static_cast<std::size_t>(key)];
+    if (cell.total == 0) continue;
+    GroupAggregate g;
+    g.total = cell.total;
+    g.anomalous = cell.anomalous;
+    g.v_sum = cell.v_sum;
+    g.f_sum = cell.f_sum;
+    // Decode the mixed-radix key back into the projected combination.
+    AttributeCombination ac(schema.attributeCount());
+    std::uint64_t rest = key;
+    for (std::size_t i = 0; i < attrs.size(); ++i) {
+      ac.setSlot(attrs[i], static_cast<ElemId>(rest / strides[i]));
+      rest %= strides[i];
+    }
+    g.ac = std::move(ac);
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+GroupAggregate GroupByKernel::aggregateFor(const AttributeCombination& ac) const {
+  GroupAggregate g;
+  g.ac = ac;
+  const std::size_t n = rowCount();
+  for (std::size_t r = 0; r < n; ++r) {
+    bool match = true;
+    for (AttrId a = 0; a < ac.attributeCount() && match; ++a) {
+      const ElemId want = ac.slot(a);
+      match = want == kWildcard ||
+              columns_[static_cast<std::size_t>(a)][r] ==
+                  static_cast<std::uint32_t>(want);
+    }
+    if (!match) continue;
+    g.total += 1;
+    g.anomalous += anomalous_[r];
+    g.v_sum += v_[r];
+    g.f_sum += f_[r];
+  }
+  return g;
+}
+
+}  // namespace rap::dataset

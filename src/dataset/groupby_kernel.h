@@ -1,0 +1,56 @@
+// GroupByKernel — cache-friendly cuboid aggregation over a LeafTable.
+//
+// LeafTable::groupBy re-reads every row's AttributeCombination (a
+// heap-allocated slot vector) for every cuboid it aggregates, so a search
+// that visits many cuboids pays the pointer-chasing cost over and over.
+// The kernel pays it once: at construction it transposes the table into
+// per-attribute element-code columns (plus flat anomaly/value columns),
+// and each groupBy() then runs column-sweep passes over contiguous
+// memory — one pass per member attribute to build the mixed-radix
+// projection keys, one final pass to scatter the rows into a flat
+// (total, anomalous, v_sum, f_sum) accumulation array.
+//
+// Output contract: groupBy(mask) is element-for-element identical to
+// LeafTable::groupBy(mask) — same ascending-key order, same counts and,
+// because rows are accumulated in the same row order, bit-identical
+// floating-point sums.  The kernel is immutable after construction and
+// safe to share across threads (the parallel layer search of
+// core::acGuidedSearch aggregates disjoint cuboids concurrently through
+// one kernel).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dataset/cuboid.h"
+#include "dataset/leaf_table.h"
+
+namespace rap::dataset {
+
+class GroupByKernel {
+ public:
+  /// Transposes `table` into columns.  O(rows * attributes); the table
+  /// must outlive the kernel and not grow while the kernel is in use.
+  explicit GroupByKernel(const LeafTable& table);
+
+  const LeafTable& table() const noexcept { return *table_; }
+  std::size_t rowCount() const noexcept { return anomalous_.size(); }
+
+  /// One-pass aggregation of all leaves by their projection onto `mask`;
+  /// identical to table().groupBy(mask) (see header comment).
+  std::vector<GroupAggregate> groupBy(CuboidMask mask) const;
+
+  /// Support counts of a single combination (column scan; used by tests
+  /// to cross-check against InvertedIndex::aggregateFor).
+  GroupAggregate aggregateFor(const AttributeCombination& ac) const;
+
+ private:
+  const LeafTable* table_;
+  // columns_[attr][row] — element code of `row` in attribute `attr`.
+  std::vector<std::vector<std::uint32_t>> columns_;
+  std::vector<std::uint8_t> anomalous_;  ///< [row] 0/1 verdicts
+  std::vector<double> v_;                ///< [row] actual values
+  std::vector<double> f_;                ///< [row] forecast values
+};
+
+}  // namespace rap::dataset

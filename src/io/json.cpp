@@ -160,6 +160,8 @@ std::string resultToJson(const dataset::Schema& schema,
   w.value(static_cast<std::int64_t>(result.stats.combinations_pruned));
   w.key("early_stopped");
   w.value(result.stats.early_stopped);
+  w.key("search_threads");
+  w.value(static_cast<std::int64_t>(result.stats.search_threads));
   w.key("layers");
   w.beginArray();
   for (const auto& layer : result.stats.layers) {
@@ -176,6 +178,8 @@ std::string resultToJson(const dataset::Schema& schema,
     w.value(static_cast<std::int64_t>(layer.candidates_found));
     w.key("seconds");
     w.value(layer.seconds);
+    w.key("seconds_aggregate");
+    w.value(layer.seconds_aggregate);
     w.endObject();
   }
   w.endArray();

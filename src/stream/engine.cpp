@@ -22,6 +22,14 @@ bool rowLess(const dataset::LeafRow& a, const dataset::LeafRow& b) noexcept {
   return a.f < b.f;
 }
 
+/// The engine owns the search fan-out pool (search_pool_) and hands it
+/// to localize() per call, so the miner itself must not spin up a
+/// second, idle pool for the same thread budget.
+core::RapMinerConfig minerConfigWithoutOwnPool(core::RapMinerConfig config) {
+  config.parallel.threads = 1;
+  return config;
+}
+
 }  // namespace
 
 StreamEngine::StreamEngine(dataset::Schema schema, StreamConfig config)
@@ -30,7 +38,7 @@ StreamEngine::StreamEngine(dataset::Schema schema, StreamConfig config)
       watermark_(config.allowed_lateness),
       assembler_(config.shards, config.window_width),
       detector_(config.detect_threshold, config.detect_two_sided),
-      miner_(config.miner) {
+      miner_(minerConfigWithoutOwnPool(config.miner)) {
   RAP_CHECK(config_.shards >= 1);
   RAP_CHECK(config_.window_width >= 1);
   RAP_CHECK(config_.allowed_lateness >= 0);
@@ -83,6 +91,12 @@ void StreamEngine::setLocalizationCallback(LocalizationCallback callback) {
 void StreamEngine::start() {
   RAP_CHECK_MSG(!started_.load(), "engine started twice");
   RAP_CHECK_MSG(!stopped_.load(), "engine is terminal after stop()");
+  const std::int32_t search_threads =
+      core::resolveThreads(config_.miner.parallel.threads);
+  if (search_threads > 1) {
+    search_pool_ = std::make_unique<util::ThreadPool>(
+        static_cast<std::size_t>(search_threads - 1));
+  }
   pool_ = std::make_unique<util::ThreadPool>(config_.localize_threads);
   for (auto& shard : shards_) shard->start();
   sealer_ = std::thread([this] { sealerLoop(); });
@@ -271,7 +285,7 @@ void StreamEngine::processWindow(SealedWindow window) {
     out.rows = table.size();
     out.anomalous_rows = flagged;
     out.alarmed = alarmed;
-    out.result = miner_.localize(table, config_.top_k);
+    out.result = miner_.localize(table, config_.top_k, search_pool_.get());
     localizations_.fetch_add(1, std::memory_order_relaxed);
     if (obs::metricsEnabled()) {
       metrics_.localizations->increment();

@@ -254,7 +254,7 @@ TEST(RapMiner, RanksCoarserPatternsFirst) {
   // prefers the lower layer.
   const LeafTable table = makeTable({"(a1, *, *, *)", "(*, b2, c1, *)"});
   RapMinerConfig config;
-  config.early_stop = false;
+  config.search.early_stop = false;
   const auto result = RapMiner(config).localize(table, 5);
   ASSERT_GE(result.patterns.size(), 2u);
   EXPECT_EQ(result.patterns[0].ac.toString(table.schema()), "(a1, *, *, *)");
@@ -264,7 +264,7 @@ TEST(RapMiner, RanksCoarserPatternsFirst) {
 TEST(RapMiner, TopKTruncates) {
   const LeafTable table = makeTable({"(a1, *, *, *)", "(*, b2, c1, *)"});
   RapMinerConfig config;
-  config.early_stop = false;
+  config.search.early_stop = false;
   EXPECT_EQ(RapMiner(config).localize(table, 1).patterns.size(), 1u);
   // k <= 0 returns every candidate.
   EXPECT_GE(RapMiner(config).localize(table, 0).patterns.size(), 2u);
@@ -279,7 +279,7 @@ TEST(RapMiner, NoAnomaliesNoPatterns) {
 TEST(RapMiner, AblationFlagSearchesFullLattice) {
   const LeafTable table = makeTable({"(a1, *, *, *)"});
   RapMinerConfig no_delete;
-  no_delete.enable_attribute_deletion = false;
+  no_delete.cp.enable_attribute_deletion = false;
   const auto result = RapMiner(no_delete).localize(table, 5);
   EXPECT_EQ(result.stats.attributes_deleted, 0);
   EXPECT_EQ(result.stats.kept_attributes.size(), 4u);
@@ -290,9 +290,9 @@ TEST(RapMiner, AblationFlagSearchesFullLattice) {
 TEST(RapMiner, DeletionShrinksVisitedCuboids) {
   const LeafTable table = makeTable({"(a1, *, *, *)"});
   RapMinerConfig with;
-  with.early_stop = false;
+  with.search.early_stop = false;
   RapMinerConfig without = with;
-  without.enable_attribute_deletion = false;
+  without.cp.enable_attribute_deletion = false;
   const auto r_with = RapMiner(with).localize(table, 5);
   const auto r_without = RapMiner(without).localize(table, 5);
   EXPECT_LT(r_with.stats.cuboids_visited, r_without.stats.cuboids_visited);
@@ -331,7 +331,7 @@ TEST(AcSearch, NumericOrderFindsTheSameCandidates) {
 TEST(RapMiner, CuboidOrderConfigPlumbsThrough) {
   const LeafTable table = makeTable({"(a1, *, *, *)"});
   RapMinerConfig config;
-  config.cuboid_order = CuboidOrder::kNumeric;
+  config.search.order = CuboidOrder::kNumeric;
   const auto result = RapMiner(config).localize(table, 3);
   ASSERT_FALSE(result.patterns.empty());
   EXPECT_EQ(result.patterns[0].ac.toString(table.schema()), "(a1, *, *, *)");
@@ -339,11 +339,66 @@ TEST(RapMiner, CuboidOrderConfigPlumbsThrough) {
 
 TEST(RapMinerConfig, RejectsInvalidThresholds) {
   RapMinerConfig bad;
-  bad.t_conf = 1.5;
+  bad.search.t_conf = 1.5;
   EXPECT_DEATH({ RapMiner miner(bad); (void)miner; }, "t_conf");
   RapMinerConfig bad2;
-  bad2.t_cp = -0.5;
+  bad2.cp.t_cp = -0.5;
   EXPECT_DEATH({ RapMiner miner(bad2); (void)miner; }, "t_cp");
+}
+
+TEST(RapMinerBuilder, ValidateRejectsOutOfRangeKnobs) {
+  // Builder::build() turns the constructor's RAP_CHECK aborts into a
+  // recoverable Status for user-supplied thresholds.
+  EXPECT_EQ(RapMiner::Builder().tCp(-0.5).validate().code(),
+            util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(RapMiner::Builder().tCp(1.0).validate().code(),
+            util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(RapMiner::Builder().tConf(0.0).validate().code(),
+            util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(RapMiner::Builder().tConf(1.5).validate().code(),
+            util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(RapMiner::Builder().threads(-1).validate().code(),
+            util::StatusCode::kInvalidArgument);
+
+  const auto bad = RapMiner::Builder().tConf(2.0).build();
+  ASSERT_FALSE(bad.isOk());
+  EXPECT_EQ(bad.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(RapMinerBuilder, BuildsWorkingMinerOnBoundaryValues) {
+  // t_conf = 1.0 and t_cp = 0.0 sit on the closed ends of their ranges.
+  const auto miner = RapMiner::Builder()
+                         .tCp(0.0)
+                         .tConf(1.0)
+                         .attributeDeletion(false)
+                         .earlyStop(false)
+                         .cuboidOrder(CuboidOrder::kNumeric)
+                         .threads(2)
+                         .build();
+  ASSERT_TRUE(miner.isOk());
+  const auto result = miner->localize(makeTable({"(a1, *, *, *)"}), 0);
+  // Confidence can never exceed 1.0, so t_conf = 1.0 accepts nothing.
+  EXPECT_TRUE(result.patterns.empty());
+  EXPECT_EQ(result.stats.search_threads, 2);
+}
+
+TEST(RapMinerConfig, LegacyFlatConfigConvertsToNested) {
+  LegacyRapMinerConfig flat;
+  flat.t_cp = 0.01;
+  flat.t_conf = 0.75;
+  flat.enable_attribute_deletion = false;
+  flat.early_stop = false;
+  flat.cuboid_order = CuboidOrder::kNumeric;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const RapMinerConfig nested = flat;
+#pragma GCC diagnostic pop
+  EXPECT_EQ(nested.cp.t_cp, 0.01);
+  EXPECT_EQ(nested.search.t_conf, 0.75);
+  EXPECT_FALSE(nested.cp.enable_attribute_deletion);
+  EXPECT_FALSE(nested.search.early_stop);
+  EXPECT_EQ(nested.search.order, CuboidOrder::kNumeric);
+  EXPECT_EQ(nested.parallel.threads, 1);
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 
 #include "core/rapminer.h"
 #include "dataset/cuboid.h"
+#include "dataset/groupby_kernel.h"
 #include "dataset/index.h"
 #include "eval/metrics.h"
 #include "eval/runner.h"
@@ -81,16 +82,60 @@ TEST_P(RandomTableProperty, IndexAgreesWithScanOnRandomProbes) {
   }
 }
 
+TEST_P(RandomTableProperty, KernelMatchesTableGroupByBitExactly) {
+  // The dense kernel's contract: element-for-element identical to
+  // LeafTable::groupBy on every cuboid, including the float sums
+  // (compared with ==, not a tolerance — the parallel search's
+  // bit-identity guarantee rests on this).
+  util::Rng rng(GetParam() ^ 0xC0DE);
+  const LeafTable table = randomTable(rng);
+  const dataset::GroupByKernel kernel(table);
+  for (const auto mask :
+       dataset::allCuboidsByLayer(dataset::allAttributesMask(table.schema()))) {
+    const auto expected = table.groupBy(mask);
+    const auto actual = kernel.groupBy(mask);
+    ASSERT_EQ(expected.size(), actual.size()) << "mask=" << mask;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(expected[i].ac, actual[i].ac);
+      EXPECT_EQ(expected[i].total, actual[i].total);
+      EXPECT_EQ(expected[i].anomalous, actual[i].anomalous);
+      EXPECT_EQ(expected[i].v_sum, actual[i].v_sum);
+      EXPECT_EQ(expected[i].f_sum, actual[i].f_sum);
+    }
+  }
+}
+
+TEST_P(RandomTableProperty, KernelAggregateAgreesWithIndexOnRandomProbes) {
+  util::Rng rng(GetParam() ^ 0xBEEF);
+  const LeafTable table = randomTable(rng);
+  const dataset::GroupByKernel kernel(table);
+  const dataset::InvertedIndex index(table);
+  const Schema& schema = table.schema();
+  for (int probe = 0; probe < 20; ++probe) {
+    AttributeCombination ac(schema.attributeCount());
+    for (dataset::AttrId a = 0; a < schema.attributeCount(); ++a) {
+      if (rng.bernoulli(0.5)) {
+        ac.setSlot(a, static_cast<dataset::ElemId>(
+                          rng.uniformInt(0, schema.cardinality(a) - 1)));
+      }
+    }
+    const auto agg_kernel = kernel.aggregateFor(ac);
+    const auto agg_index = index.aggregateFor(ac);
+    EXPECT_EQ(agg_kernel.total, agg_index.total);
+    EXPECT_EQ(agg_kernel.anomalous, agg_index.anomalous);
+  }
+}
+
 TEST_P(RandomTableProperty, RapMinerInvariants) {
   util::Rng rng(GetParam());
   const LeafTable table = randomTable(rng);
   core::RapMinerConfig config;
-  config.t_conf = rng.uniform(0.55, 0.95);
+  config.search.t_conf = rng.uniform(0.55, 0.95);
   const auto result = core::RapMiner(config).localize(table, 0);
 
   for (const auto& p : result.patterns) {
     // Criteria 2: every reported pattern clears the confidence bar.
-    EXPECT_GT(p.confidence, config.t_conf);
+    EXPECT_GT(p.confidence, config.search.t_conf);
     EXPECT_DOUBLE_EQ(table.aggregateFor(p.ac).confidence(), p.confidence);
     // Layer bookkeeping is consistent.
     EXPECT_EQ(p.layer, p.ac.dim());
@@ -129,9 +174,9 @@ TEST_P(RandomTableProperty, DeletionNeverExpandsSearch) {
   util::Rng rng(GetParam() ^ 0x123456);
   const LeafTable table = randomTable(rng);
   core::RapMinerConfig with;
-  with.early_stop = false;
+  with.search.early_stop = false;
   core::RapMinerConfig without = with;
-  without.enable_attribute_deletion = false;
+  without.cp.enable_attribute_deletion = false;
   const auto r_with = core::RapMiner(with).localize(table, 0);
   const auto r_without = core::RapMiner(without).localize(table, 0);
   EXPECT_LE(r_with.stats.cuboids_visited, r_without.stats.cuboids_visited);

@@ -1,0 +1,186 @@
+// Parallel-vs-serial equivalence for Algorithm 2: the deterministic
+// merge must make the pooled schedule bit-identical to the serial
+// reference — patterns, confidences, scores, and every search-effort
+// counter.  Also the regression suite for the trivial-input early
+// return of RapMiner::localize.  This file runs under the CI TSan job.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "core/rapminer.h"
+#include "core/search.h"
+#include "dataset/groupby_kernel.h"
+#include "gen/rapmd.h"
+#include "util/thread_pool.h"
+
+namespace rap {
+namespace {
+
+using core::LocalizationResult;
+using core::RapMiner;
+using core::RapMinerConfig;
+using dataset::LeafTable;
+using dataset::Schema;
+
+/// Bit-exact equality of results: patterns (including double fields
+/// compared with ==, not a tolerance) and the deterministic part of the
+/// stats (wall times excluded, schedule-dependent by nature).
+void expectBitIdentical(const LocalizationResult& serial,
+                        const LocalizationResult& parallel) {
+  ASSERT_EQ(serial.patterns.size(), parallel.patterns.size());
+  for (std::size_t i = 0; i < serial.patterns.size(); ++i) {
+    EXPECT_EQ(serial.patterns[i].ac, parallel.patterns[i].ac) << "i=" << i;
+    EXPECT_EQ(serial.patterns[i].confidence, parallel.patterns[i].confidence);
+    EXPECT_EQ(serial.patterns[i].layer, parallel.patterns[i].layer);
+    EXPECT_EQ(serial.patterns[i].score, parallel.patterns[i].score);
+  }
+  EXPECT_EQ(serial.stats.kept_attributes, parallel.stats.kept_attributes);
+  EXPECT_EQ(serial.stats.attributes_deleted,
+            parallel.stats.attributes_deleted);
+  EXPECT_EQ(serial.stats.cuboids_visited, parallel.stats.cuboids_visited);
+  EXPECT_EQ(serial.stats.combinations_evaluated,
+            parallel.stats.combinations_evaluated);
+  EXPECT_EQ(serial.stats.combinations_pruned,
+            parallel.stats.combinations_pruned);
+  EXPECT_EQ(serial.stats.candidates_found, parallel.stats.candidates_found);
+  EXPECT_EQ(serial.stats.early_stopped, parallel.stats.early_stopped);
+  ASSERT_EQ(serial.stats.layers.size(), parallel.stats.layers.size());
+  for (std::size_t i = 0; i < serial.stats.layers.size(); ++i) {
+    const auto& a = serial.stats.layers[i];
+    const auto& b = parallel.stats.layers[i];
+    EXPECT_EQ(a.layer, b.layer);
+    EXPECT_EQ(a.cuboids_visited, b.cuboids_visited);
+    EXPECT_EQ(a.combinations_evaluated, b.combinations_evaluated);
+    EXPECT_EQ(a.combinations_pruned, b.combinations_pruned);
+    EXPECT_EQ(a.candidates_found, b.candidates_found);
+  }
+}
+
+std::vector<gen::Case> rapmdCases(std::uint64_t seed, std::int32_t n,
+                                  double label_noise = 0.02) {
+  gen::RapmdConfig config;
+  config.num_cases = n;
+  config.label_noise = label_noise;
+  gen::RapmdGenerator generator(Schema::cdn(), config, seed);
+  return generator.generate();
+}
+
+class ThreadSweep : public ::testing::TestWithParam<std::int32_t> {};
+
+TEST_P(ThreadSweep, BitIdenticalOnRapmdCases) {
+  const std::int32_t threads = GetParam();
+  RapMinerConfig serial_config;
+  RapMinerConfig parallel_config;
+  parallel_config.parallel.threads = threads;
+  const RapMiner serial(serial_config);
+  const RapMiner parallel(parallel_config);
+  EXPECT_EQ(parallel.localize(rapmdCases(1, 1)[0].table, 0)
+                .stats.search_threads,
+            threads == 1 ? 1 : threads);
+
+  for (const auto& c : rapmdCases(20220627, 8)) {
+    expectBitIdentical(serial.localize(c.table, 0),
+                       parallel.localize(c.table, 0));
+  }
+}
+
+TEST_P(ThreadSweep, BitIdenticalOnExhaustiveSearch) {
+  // Deletion off + early stop off: every layer of the full lattice goes
+  // through the merge, the worst case for ordering bugs.
+  const std::int32_t threads = GetParam();
+  RapMinerConfig base;
+  base.cp.enable_attribute_deletion = false;
+  base.search.early_stop = false;
+  RapMinerConfig fanned = base;
+  fanned.parallel.threads = threads;
+  const RapMiner serial(base);
+  const RapMiner parallel(fanned);
+  for (const auto& c : rapmdCases(7, 4, /*label_noise=*/0.05)) {
+    expectBitIdentical(serial.localize(c.table, 0),
+                       parallel.localize(c.table, 0));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadSweep,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(ParallelSearch, ExternalPoolOverridesConfig) {
+  util::ThreadPool pool(3);
+  const RapMiner miner;  // parallel.threads = 1: no owned pool
+  const auto c = rapmdCases(99, 1)[0];
+  const auto serial = miner.localize(c.table, 0);
+  const auto fanned = miner.localize(c.table, 0, &pool);
+  EXPECT_EQ(serial.stats.search_threads, 1);
+  EXPECT_EQ(fanned.stats.search_threads, 4);  // 3 workers + caller
+  expectBitIdentical(serial, fanned);
+}
+
+TEST(ParallelSearch, SharedPoolSurvivesConcurrentLocalizations) {
+  // Two threads localize different tables through one fan-out pool at
+  // once — the per-call completion latch must keep them independent.
+  util::ThreadPool pool(2);
+  const RapMiner miner;
+  const auto cases = rapmdCases(123, 4);
+  std::vector<LocalizationResult> serial;
+  for (const auto& c : cases) serial.push_back(miner.localize(c.table, 0));
+
+  std::vector<LocalizationResult> parallel(cases.size());
+  std::vector<std::thread> callers;
+  for (std::size_t t = 0; t < 2; ++t) {
+    callers.emplace_back([&, t] {
+      for (std::size_t i = t; i < cases.size(); i += 2) {
+        parallel[i] = miner.localize(cases[i].table, 0, &pool);
+      }
+    });
+  }
+  for (auto& caller : callers) caller.join();
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    expectBitIdentical(serial[i], parallel[i]);
+  }
+}
+
+TEST(ParallelSearch, ZeroThreadsResolvesToHardwareConcurrency) {
+  EXPECT_GE(core::resolveThreads(0), 1);
+  EXPECT_EQ(core::resolveThreads(1), 1);
+  EXPECT_EQ(core::resolveThreads(8), 8);
+  RapMinerConfig config;
+  config.parallel.threads = 0;
+  const auto c = rapmdCases(5, 1)[0];
+  expectBitIdentical(RapMiner().localize(c.table, 0),
+                     RapMiner(config).localize(c.table, 0));
+}
+
+// ------------------------------------------- trivial-input early return
+
+/// The documented contract: empty result, zero counters, empty layers
+/// and classification_power, early_stopped false.
+void expectUntouchedStats(const LocalizationResult& result) {
+  EXPECT_TRUE(result.patterns.empty());
+  EXPECT_TRUE(result.stats.classification_power.empty());
+  EXPECT_TRUE(result.stats.kept_attributes.empty());
+  EXPECT_TRUE(result.stats.layers.empty());
+  EXPECT_EQ(result.stats.attributes_deleted, 0);
+  EXPECT_EQ(result.stats.cuboids_visited, 0u);
+  EXPECT_EQ(result.stats.combinations_evaluated, 0u);
+  EXPECT_EQ(result.stats.candidates_found, 0u);
+  EXPECT_FALSE(result.stats.early_stopped);
+}
+
+TEST(LocalizeEarlyReturn, EmptyTable) {
+  const LeafTable table(Schema::tiny());
+  expectUntouchedStats(RapMiner().localize(table, 5));
+}
+
+TEST(LocalizeEarlyReturn, NoAnomalousLeaves) {
+  const Schema schema = Schema::tiny();
+  LeafTable table(schema);
+  for (std::uint64_t i = 0; i < schema.leafCount(); ++i) {
+    table.addRow(dataset::leafFromIndex(schema, i), 100.0, 100.0, false);
+  }
+  expectUntouchedStats(RapMiner().localize(table, 5));
+}
+
+}  // namespace
+}  // namespace rap

@@ -127,7 +127,7 @@ TEST(ShapeTable6, DeletionTradesRecallForTime) {
 
   core::RapMinerConfig with;
   core::RapMinerConfig without;
-  without.enable_attribute_deletion = false;
+  without.cp.enable_attribute_deletion = false;
   const auto runs_with =
       eval::runLocalizer(eval::rapminerLocalizer(with), cases, {.k = 3});
   const auto runs_without =
