@@ -6,6 +6,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/logging.h"
 #include "util/strings.h"
 #include "util/timer.h"
 
@@ -21,6 +22,12 @@ RapMiner::RapMiner(RapMinerConfig config) : config_(config) {
                 "t_conf must be in (0,1], got " << config_.search.t_conf);
   RAP_CHECK_MSG(config_.cp.t_cp >= 0.0 && config_.cp.t_cp < 1.0,
                 "t_cp must be in [0,1), got " << config_.cp.t_cp);
+  RAP_CHECK_MSG(std::isfinite(config_.search.deadline_seconds) &&
+                    config_.search.deadline_seconds >= 0.0,
+                "deadline_seconds must be finite and >= 0, got "
+                    << config_.search.deadline_seconds);
+  RAP_CHECK_MSG(config_.search.max_layers >= 0,
+                "max_layers must be >= 0, got " << config_.search.max_layers);
   RAP_CHECK_MSG(config_.parallel.threads >= 0,
                 "threads must be >= 0, got " << config_.parallel.threads);
   const std::int32_t effective = resolveThreads(config_.parallel.threads);
@@ -58,15 +65,46 @@ RapMiner::Builder& RapMiner::Builder::threads(std::int32_t threads) {
   config_.parallel.threads = threads;
   return *this;
 }
+RapMiner::Builder& RapMiner::Builder::deadlineSeconds(double seconds) {
+  config_.search.deadline_seconds = seconds;
+  return *this;
+}
+RapMiner::Builder& RapMiner::Builder::maxLayers(std::int32_t layers) {
+  config_.search.max_layers = layers;
+  return *this;
+}
 
 util::Status RapMiner::Builder::validate() const {
+  // Every float threshold is checked for NaN/Inf FIRST, with a message
+  // naming the problem: NaN compares false against both ends of a range
+  // check, so a pure range test would produce a misleading "out of
+  // range" diagnostic (or, written as two one-sided tests, accept NaN).
+  if (!std::isfinite(config_.cp.t_cp)) {
+    return util::Status::invalidArgument(util::strFormat(
+        "t_cp must be a finite number, got %g", config_.cp.t_cp));
+  }
   if (!(config_.cp.t_cp >= 0.0 && config_.cp.t_cp < 1.0)) {
     return util::Status::invalidArgument(util::strFormat(
         "t_cp must be in [0, 1), got %g", config_.cp.t_cp));
   }
+  if (!std::isfinite(config_.search.t_conf)) {
+    return util::Status::invalidArgument(util::strFormat(
+        "t_conf must be a finite number, got %g", config_.search.t_conf));
+  }
   if (!(config_.search.t_conf > 0.0 && config_.search.t_conf <= 1.0)) {
     return util::Status::invalidArgument(util::strFormat(
         "t_conf must be in (0, 1], got %g", config_.search.t_conf));
+  }
+  if (!std::isfinite(config_.search.deadline_seconds) ||
+      config_.search.deadline_seconds < 0.0) {
+    return util::Status::invalidArgument(util::strFormat(
+        "deadline_seconds must be finite and >= 0 (0 = none), got %g",
+        config_.search.deadline_seconds));
+  }
+  if (config_.search.max_layers < 0) {
+    return util::Status::invalidArgument(util::strFormat(
+        "max_layers must be >= 0 (0 = unlimited), got %d",
+        config_.search.max_layers));
   }
   if (config_.parallel.threads < 0) {
     return util::Status::invalidArgument(util::strFormat(
@@ -104,6 +142,12 @@ void publishLocalizeMetrics(const SearchStats& stats, double total_seconds) {
       .set(static_cast<double>(stats.search_threads));
   if (stats.early_stopped) {
     registry.counter("rap_search_early_stop_total").increment();
+  }
+  if (!stats.degraded_reason.empty()) {
+    registry
+        .counter("rap_search_degraded_total",
+                 {{"reason", stats.degraded_reason}})
+        .increment();
   }
   for (const auto& layer : stats.layers) {
     const obs::Labels labels{{"layer", std::to_string(layer.layer)}};
@@ -187,6 +231,13 @@ LocalizationResult RapMiner::localize(const dataset::LeafTable& table,
     }
   }
   result.stats.seconds_search = stage_timer.elapsedSeconds();
+  result.degraded = !result.stats.degraded_reason.empty();
+  if (result.degraded) {
+    RAP_LOG_KV(Warn, {"reason", result.stats.degraded_reason},
+               {"candidates", static_cast<std::int64_t>(result.patterns.size())},
+               {"seconds", result.stats.seconds_search})
+        << "search degraded: returning partial candidate set";
+  }
 
   // Stage 3 — RAPScore ranking (Eq. 3) and truncation to top-k.
   stage_timer.reset();

@@ -100,9 +100,16 @@ class RapMiner {
     Builder& earlyStop(bool enable);
     Builder& cuboidOrder(CuboidOrder order);
     Builder& threads(std::int32_t threads);
+    /// Wall-clock budget for Algorithm 2 (seconds; 0 disables).
+    Builder& deadlineSeconds(double seconds);
+    /// Cuboid-layer cap for Algorithm 2 (0 = unlimited).
+    Builder& maxLayers(std::int32_t layers);
 
     /// kInvalidArgument when t_cp is outside [0, 1), t_conf outside
-    /// (0, 1], or threads is negative; OK otherwise.
+    /// (0, 1], the deadline is negative, the layer cap is negative, or
+    /// threads is negative.  NaN and infinities are rejected explicitly
+    /// for every floating-point threshold — NaN compares false against
+    /// both ends of a range check, so it must never reach the miner.
     util::Status validate() const;
 
     /// validate() then construct; never aborts.

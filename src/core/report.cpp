@@ -50,6 +50,11 @@ std::string renderReport(const dataset::Schema& schema,
         static_cast<unsigned long long>(result.stats.combinations_pruned),
         static_cast<unsigned long long>(result.stats.candidates_found),
         result.stats.early_stopped ? ", early-stopped" : "");
+    if (result.degraded) {
+      out += util::strFormat(
+          "  DEGRADED (%s): partial candidate set, lattice not exhausted\n",
+          result.stats.degraded_reason.c_str());
+    }
     if (!result.stats.layers.empty()) {
       util::TextTable layers;
       layers.setHeader({"layer", "cuboids", "evaluated", "pruned",

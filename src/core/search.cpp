@@ -9,6 +9,7 @@
 
 #include "dataset/cuboid.h"
 #include "dataset/groupby_kernel.h"
+#include "fault/fault.h"
 #include "obs/trace.h"
 #include "util/timer.h"
 
@@ -109,6 +110,15 @@ void aggregateLayer(const GroupByKernel& kernel,
 std::vector<ScoredPattern> searchImpl(
     const LeafTable& table, const std::vector<dataset::AttrId>& kept_attributes,
     const SearchConfig& config, util::ThreadPool* pool, SearchStats& stats) {
+  // Deadline bookkeeping: one timer read per cuboid, and only when a
+  // deadline is configured — the default (0 = none) costs one branch.
+  const util::WallTimer search_timer;
+  const bool has_deadline = config.deadline_seconds > 0.0;
+  const auto deadlineExpired = [&]() {
+    return has_deadline &&
+           search_timer.elapsedSeconds() > config.deadline_seconds;
+  };
+
   const GroupByKernel kernel(table);
   std::vector<ScoredPattern> candidates;
   std::vector<AttributeCombination> candidate_acs;  // for pruning
@@ -137,6 +147,26 @@ std::vector<ScoredPattern> searchImpl(
 
   const auto max_layer = static_cast<std::int32_t>(kept_attributes.size());
   for (std::int32_t layer = 1; layer <= max_layer; ++layer) {
+    // Degraded exits, checked between layers so every accepted candidate
+    // below the cut is returned intact: the configured layer cap, the
+    // cooperative deadline, and (chaos builds) an injected abort.
+    if (config.max_layers > 0 && layer > config.max_layers) {
+      stats.degraded_reason = "layer-cap";
+      return candidates;
+    }
+    if (deadlineExpired()) {
+      stats.degraded_reason = "deadline";
+      return candidates;
+    }
+    switch (RAP_FAULT_HIT("search.layer")) {
+      case fault::Action::kError:
+      case fault::Action::kDrop:
+        stats.degraded_reason = "fault";
+        return candidates;
+      default:
+        break;
+    }
+
     RAP_TRACE_SPAN("search/layer", {{"layer", layer}});
     const util::WallTimer layer_timer;
     layer_stats = LayerSearchStats{};
@@ -157,6 +187,15 @@ std::vector<ScoredPattern> searchImpl(
     }
 
     for (std::size_t i = 0; i < cuboids.size(); ++i) {
+      // Mid-layer deadline: stop before the next aggregation, keep the
+      // effort already spent in the stats (the layer entry is partial,
+      // like an early-stopped one).
+      if (deadlineExpired()) {
+        stats.degraded_reason = "deadline";
+        layer_stats.seconds = layer_timer.elapsedSeconds();
+        flushLayer();
+        return candidates;
+      }
       layer_stats.cuboids_visited += 1;
       std::vector<GroupAggregate> groups;
       if (parallel) {

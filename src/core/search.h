@@ -48,6 +48,17 @@ struct SearchConfig {
   double t_conf = 0.8;      ///< Criteria 2 confidence threshold
   bool early_stop = true;   ///< Algorithm 2 lines 9-11
   CuboidOrder order = CuboidOrder::kCpWeighted;
+  /// Cooperative wall-clock budget for Algorithm 2 in seconds (0 = no
+  /// deadline).  Checked before every cuboid aggregation; on expiry the
+  /// search returns the candidates accepted so far with
+  /// stats.degraded_reason = "deadline" instead of finishing the
+  /// lattice.  Granularity is one cuboid: a single aggregation is never
+  /// interrupted mid-sweep.
+  double deadline_seconds = 0.0;
+  /// Hard cap on the cuboid layers visited (0 = all).  A search that
+  /// still has layers left when the cap is reached returns degraded
+  /// with stats.degraded_reason = "layer-cap".
+  std::int32_t max_layers = 0;
 };
 
 /// Concurrency of the within-layer cuboid fan-out.

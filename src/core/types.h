@@ -44,6 +44,14 @@ struct SearchStats {
   std::uint64_t combinations_pruned = 0;
   std::uint64_t candidates_found = 0;
   bool early_stopped = false;
+  /// Non-empty when Algorithm 2 returned a PARTIAL candidate set after
+  /// hitting a resource bound instead of exhausting the lattice:
+  /// "deadline" (SearchConfig.deadline_seconds expired), "layer-cap"
+  /// (SearchConfig.max_layers reached with layers left), or "fault"
+  /// (an injected search.layer abort — chaos builds only).  The
+  /// candidates returned are exactly those accepted before the cut, so
+  /// a degraded result is still a valid (if incomplete) localization.
+  std::string degraded_reason;
   /// Concurrency the search ran at (1 = serial reference schedule;
   /// N > 1 = N - 1 pool workers plus the calling thread).
   std::int32_t search_threads = 1;
@@ -60,6 +68,10 @@ struct SearchStats {
 struct LocalizationResult {
   std::vector<ScoredPattern> patterns;  ///< sorted by RAPScore descending
   SearchStats stats;
+  /// True when the search was cut short (deadline / layer cap / injected
+  /// fault) and `patterns` ranks a partial candidate set; the reason is
+  /// stats.degraded_reason.
+  bool degraded = false;
 };
 
 }  // namespace rap::core

@@ -1,0 +1,156 @@
+#include "fault/fault.h"
+
+#include <chrono>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace rap::fault {
+
+namespace internal {
+std::atomic<std::int32_t> g_armed_points{0};
+}  // namespace internal
+
+const char* actionName(Action action) noexcept {
+  switch (action) {
+    case Action::kNone:
+      return "none";
+    case Action::kThrow:
+      return "throw";
+    case Action::kError:
+      return "error";
+    case Action::kDelay:
+      return "delay";
+    case Action::kDrop:
+      return "drop";
+  }
+  return "unknown";
+}
+
+Registry& Registry::instance() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+void Registry::arm(const std::string& point, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(point);
+  if (it == points_.end()) {
+    points_.emplace(point, std::make_shared<Point>());
+    it = points_.find(point);
+    internal::g_armed_points.fetch_add(1, std::memory_order_relaxed);
+  } else if (it->second->spec.action == Action::kNone &&
+             spec.action != Action::kNone) {
+    internal::g_armed_points.fetch_add(1, std::memory_order_relaxed);
+  }
+  it->second->spec = spec;
+  it->second->hit_count.store(0, std::memory_order_relaxed);
+  it->second->fire_count.store(0, std::memory_order_relaxed);
+}
+
+void Registry::disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(point);
+  if (it == points_.end()) return;
+  if (it->second->spec.action != Action::kNone) {
+    internal::g_armed_points.fetch_sub(1, std::memory_order_relaxed);
+  }
+  it->second->spec.action = Action::kNone;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::int32_t armed = 0;
+  for (const auto& [name, point] : points_) {
+    if (point->spec.action != Action::kNone) ++armed;
+  }
+  internal::g_armed_points.fetch_sub(armed, std::memory_order_relaxed);
+  points_.clear();
+  total_fires_.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t Registry::fires(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = points_.find(point);
+  return it == points_.end()
+             ? 0
+             : it->second->fire_count.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Registry::hits(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = points_.find(point);
+  return it == points_.end()
+             ? 0
+             : it->second->hit_count.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Registry::totalFires() const {
+  return total_fires_.load(std::memory_order_relaxed);
+}
+
+Registry::Point* Registry::find(const char* point) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = points_.find(point);
+  return it == points_.end() ? nullptr : it->second.get();
+}
+
+Action Registry::onHit(const char* point) {
+  Point* p = find(point);
+  if (p == nullptr || p->spec.action == Action::kNone) return Action::kNone;
+  const FaultSpec spec = p->spec;  // copy once; arm() replaces wholesale
+
+  const std::uint64_t hit =
+      p->hit_count.fetch_add(1, std::memory_order_relaxed);
+  if (hit < spec.skip_first) return Action::kNone;
+
+  // Deterministic per-hit decision: a pure function of (seed, hit).
+  if (spec.probability < 1.0) {
+    std::uint64_t state = spec.seed ^ (hit * 0x9E3779B97F4A7C15ULL);
+    const std::uint64_t draw = util::splitmix64(state);
+    const double u =
+        static_cast<double>(draw >> 11) * (1.0 / 9007199254740992.0);
+    if (u >= spec.probability) return Action::kNone;
+  }
+
+  const std::uint64_t fired =
+      p->fire_count.fetch_add(1, std::memory_order_relaxed);
+  if (fired >= spec.max_fires) return Action::kNone;
+  total_fires_.fetch_add(1, std::memory_order_relaxed);
+
+  if (obs::metricsEnabled()) {
+    obs::defaultRegistry()
+        .counter("rap_fault_injected_total",
+                 {{"point", point}, {"action", actionName(spec.action)}})
+        .increment();
+  }
+  RAP_LOG_KV(Debug, {"point", point}, {"action", actionName(spec.action)},
+             {"hit", hit})
+      << "fault injected";
+
+  switch (spec.action) {
+    case Action::kDelay:
+      std::this_thread::sleep_for(std::chrono::microseconds(spec.delay_micros));
+      return Action::kDelay;
+    case Action::kThrow:
+      throw InjectedFault(point);
+    default:
+      return spec.action;
+  }
+}
+
+Action inject(const char* point) { return Registry::instance().onHit(point); }
+
+util::Status injectStatus(const char* point) {
+  switch (inject(point)) {
+    case Action::kError:
+    case Action::kDrop:
+      return util::Status::internal(std::string("injected fault at ") + point);
+    default:
+      return util::Status::ok();
+  }
+}
+
+}  // namespace rap::fault

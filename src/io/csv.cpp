@@ -3,6 +3,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "fault/fault.h"
+#include "util/strings.h"
+
 namespace rap::io {
 
 util::Status CsvStreamParser::feed(std::string_view chunk,
@@ -16,14 +19,28 @@ util::Status CsvStreamParser::feed(std::string_view chunk,
     callback(std::move(current_));
     current_.clear();
     row_has_content_ = false;
+    row_ += 1;
+  };
+  auto rowError = [this](const char* what) {
+    return util::Status::invalidArgument(
+        util::strFormat("%s at row %llu near offset %llu", what,
+                        static_cast<unsigned long long>(row_),
+                        static_cast<unsigned long long>(offset_)));
+  };
+  auto appendToField = [this](char c) {
+    if (field_.size() >= kMaxFieldBytes) return false;
+    field_ += c;
+    return true;
   };
 
   for (std::size_t i = 0; i < chunk.size(); ++i, ++offset_) {
     const char c = chunk[i];
+    if (c == '\0') return rowError("embedded NUL byte");
     if (pending_quote_) {
       pending_quote_ = false;
       if (c == '"') {
-        field_ += '"';  // escaped quote, possibly split across chunks
+        // Escaped quote, possibly split across chunks.
+        if (!appendToField('"')) return rowError("over-long field");
         continue;
       }
       in_quotes_ = false;  // the pending quote closed the field
@@ -32,17 +49,15 @@ util::Status CsvStreamParser::feed(std::string_view chunk,
     if (in_quotes_) {
       if (c == '"') {
         pending_quote_ = true;
-      } else {
-        field_ += c;
+      } else if (!appendToField(c)) {
+        return rowError("over-long field");
       }
       continue;
     }
     switch (c) {
       case '"':
         if (!field_.empty()) {
-          return util::Status::invalidArgument(
-              "quote inside unquoted field near offset " +
-              std::to_string(offset_));
+          return rowError("quote inside unquoted field");
         }
         in_quotes_ = true;
         row_has_content_ = true;
@@ -56,10 +71,12 @@ util::Status CsvStreamParser::feed(std::string_view chunk,
       case '\n':
         if (row_has_content_ || !field_.empty() || !current_.empty()) {
           endRow();
+        } else {
+          row_ += 1;  // blank line still advances the row count
         }
         break;
       default:
-        field_ += c;
+        if (!appendToField(c)) return rowError("over-long field");
         row_has_content_ = true;
         break;
     }
@@ -114,6 +131,7 @@ util::Status streamCsvFile(const std::string& path,
   CsvStreamParser parser;
   std::vector<char> buffer(1 << 16);
   while (in) {
+    RAP_RETURN_IF_ERROR(RAP_FAULT_STATUS("io.csv_chunk"));
     in.read(buffer.data(), static_cast<std::streamsize>(buffer.size()));
     const std::streamsize n = in.gcount();
     if (n <= 0) break;

@@ -29,8 +29,20 @@ using CsvRowCallback = std::function<void(CsvRow&&)>;
 /// mid-field, mid-CRLF, even between the two quotes of an escaped
 /// quote.  Errors report the same messages and global byte offsets as
 /// the batch parser.  After an error the parser must be discarded.
+///
+/// Hostile-input hardening (a daemon fed by arbitrary producers must
+/// fail with a Status, never by exhausting memory or corrupting rows):
+///   * a field longer than kMaxFieldBytes is an error, not an
+///     allocation — a missing quote can otherwise swallow the rest of
+///     the input into one field;
+///   * an embedded NUL byte is an error — the datasets are text, and a
+///     NUL reliably signals a truncated or binary upload.
+/// Both errors carry the 1-based row number and byte offset.
 class CsvStreamParser {
  public:
+  /// Upper bound on one field's size, in bytes.
+  static constexpr std::size_t kMaxFieldBytes = 1 << 20;
+
   /// Consumes one chunk, invoking `callback` for every row completed
   /// within it.
   util::Status feed(std::string_view chunk, const CsvRowCallback& callback);
@@ -49,6 +61,7 @@ class CsvStreamParser {
   bool pending_quote_ = false;
   bool row_has_content_ = false;
   std::uint64_t offset_ = 0;  ///< global byte offset of the next char
+  std::uint64_t row_ = 1;     ///< 1-based row of the next char
 };
 
 /// Parse an entire CSV document from a string.

@@ -1,5 +1,7 @@
 #include "io/dataset_io.h"
 
+#include <cmath>
+
 #include "util/strings.h"
 
 namespace rap::io {
@@ -71,6 +73,14 @@ util::Result<LeafTable> loadLeafTable(const Schema& schema,
     if (!v) return v.status();
     auto f = util::parseDouble(row[n_attrs + 1]);
     if (!f) return f.status();
+    // NaN/Inf KPI values poison every ratio downstream (deviation,
+    // RAPScore); reject them here with the row that carried them.
+    if (!std::isfinite(v.value()) || !std::isfinite(f.value())) {
+      return util::Status::invalidArgument(
+          util::strFormat("%s:%zu: non-finite KPI value (real=%s predict=%s)",
+                          path.c_str(), r + 1, row[n_attrs].c_str(),
+                          row[n_attrs + 1].c_str()));
+    }
     bool anomalous = false;
     if (row.size() > min_cols) {
       anomalous = util::trim(row[n_attrs + 2]) == "1";

@@ -160,6 +160,14 @@ std::string resultToJson(const dataset::Schema& schema,
   w.value(static_cast<std::int64_t>(result.stats.combinations_pruned));
   w.key("early_stopped");
   w.value(result.stats.early_stopped);
+  w.key("degraded");
+  w.value(result.degraded);
+  w.key("degraded_reason");
+  if (result.stats.degraded_reason.empty()) {
+    w.nullValue();
+  } else {
+    w.value(result.stats.degraded_reason);
+  }
   w.key("search_threads");
   w.value(static_cast<std::int64_t>(result.stats.search_threads));
   w.key("layers");

@@ -278,8 +278,13 @@ std::string MetricsRegistry::renderJson() const {
       for (const auto& [k, v] : series->labels) {
         if (!first_label) out += ",";
         first_label = false;
-        out += "\"" + internal::jsonEscape(k) + "\":\"" +
-               internal::jsonEscape(v) + "\"";
+        // Built with += only: GCC 12 misfires -Wrestrict on the
+        // `const char* + std::string&&` concatenation chain here.
+        out += "\"";
+        out += internal::jsonEscape(k);
+        out += "\":\"";
+        out += internal::jsonEscape(v);
+        out += "\"";
       }
       out += "}";
       switch (family.kind) {
@@ -298,10 +303,12 @@ std::string MetricsRegistry::renderJson() const {
                  ",\"buckets\":[";
           for (std::size_t i = 0; i < counts.size(); ++i) {
             if (i > 0) out += ",";
-            const std::string le =
-                i < h.bounds().size()
-                    ? "\"" + internal::formatDouble(h.bounds()[i]) + "\""
-                    : "\"+Inf\"";
+            std::string le = "\"+Inf\"";
+            if (i < h.bounds().size()) {
+              le = "\"";
+              le += internal::formatDouble(h.bounds()[i]);
+              le += "\"";
+            }
             out += "{\"le\":" + le + ",\"count\":" + std::to_string(counts[i]) +
                    "}";
           }

@@ -33,7 +33,11 @@ std::string JsonLineLogSink::formatRecord(const util::LogRecord& record) {
     out += internal::jsonEscape(field.key);
     out += "\":";
     if (field.quoted) {
-      out += "\"" + internal::jsonEscape(field.value) + "\"";
+      // Built with += only: GCC 12 misfires -Wrestrict on the
+      // `const char* + std::string&&` concatenation chain here.
+      out += "\"";
+      out += internal::jsonEscape(field.value);
+      out += "\"";
     } else {
       out += field.value;
     }

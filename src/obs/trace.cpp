@@ -118,9 +118,15 @@ std::string renderArgs(std::initializer_list<TraceArg> args) {
   for (const auto& arg : args) {
     if (!first) out += ",";
     first = false;
-    out += "\"" + internal::jsonEscape(arg.key) + "\":";
+    // Built with += only: GCC 12 misfires -Wrestrict on the
+    // `const char* + std::string&&` concatenation chain here.
+    out += "\"";
+    out += internal::jsonEscape(arg.key);
+    out += "\":";
     if (arg.quoted) {
-      out += "\"" + internal::jsonEscape(arg.value) + "\"";
+      out += "\"";
+      out += internal::jsonEscape(arg.value);
+      out += "\"";
     } else {
       out += arg.value;
     }

@@ -62,6 +62,16 @@ struct StreamConfig {
   std::int32_t top_k = 5;
   /// Workers of the localization pool; search never blocks ingestion.
   std::size_t localize_threads = 2;
+
+  /// Per-window localization budget, in wall seconds.  > 0 overrides
+  /// miner.search.deadline_seconds: a search that exhausts the budget
+  /// returns its best candidates so far with result.degraded = true
+  /// instead of stalling the pipeline.  0 = no deadline.
+  double localize_deadline_seconds = 0.0;
+
+  /// Capacity of the dead-letter buffer holding events that fail
+  /// validation at ingest (see stream/quarantine.h).
+  std::size_t quarantine_capacity = 1024;
 };
 
 }  // namespace rap::stream

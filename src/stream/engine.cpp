@@ -1,11 +1,15 @@
 #include "stream/engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
+#include "fault/fault.h"
+#include "io/checkpoint.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/status.h"
+#include "util/strings.h"
 #include "util/timer.h"
 
 namespace rap::stream {
@@ -24,10 +28,15 @@ bool rowLess(const dataset::LeafRow& a, const dataset::LeafRow& b) noexcept {
 
 /// The engine owns the search fan-out pool (search_pool_) and hands it
 /// to localize() per call, so the miner itself must not spin up a
-/// second, idle pool for the same thread budget.
-core::RapMinerConfig minerConfigWithoutOwnPool(core::RapMinerConfig config) {
-  config.parallel.threads = 1;
-  return config;
+/// second, idle pool for the same thread budget.  The stream-level
+/// localization deadline, when set, overrides the miner's own.
+core::RapMinerConfig minerConfigForStream(const StreamConfig& config) {
+  core::RapMinerConfig miner = config.miner;
+  miner.parallel.threads = 1;
+  if (config.localize_deadline_seconds > 0.0) {
+    miner.search.deadline_seconds = config.localize_deadline_seconds;
+  }
+  return miner;
 }
 
 }  // namespace
@@ -37,22 +46,32 @@ StreamEngine::StreamEngine(dataset::Schema schema, StreamConfig config)
       config_(config),
       watermark_(config.allowed_lateness),
       assembler_(config.shards, config.window_width),
+      quarantine_(config.quarantine_capacity),
       detector_(config.detect_threshold, config.detect_two_sided),
-      miner_(minerConfigWithoutOwnPool(config.miner)) {
+      miner_(minerConfigForStream(config)) {
   RAP_CHECK(config_.shards >= 1);
   RAP_CHECK(config_.window_width >= 1);
   RAP_CHECK(config_.allowed_lateness >= 0);
   RAP_CHECK(config_.queue_capacity >= 1);
   RAP_CHECK(config_.localize_threads >= 1);
+  RAP_CHECK(config_.quarantine_capacity >= 1);
+  RAP_CHECK(std::isfinite(config_.localize_deadline_seconds) &&
+            config_.localize_deadline_seconds >= 0.0);
 
   auto& reg = obs::defaultRegistry();
   metrics_.ingested = &reg.counter("rap_stream_ingested_total");
   metrics_.rejected = &reg.counter("rap_stream_rejected_total");
+  metrics_.quarantined = &reg.counter("rap_stream_quarantined_total");
   metrics_.dropped_oldest = &reg.counter("rap_stream_dropped_oldest_total");
   metrics_.dropped_newest = &reg.counter("rap_stream_dropped_newest_total");
   metrics_.windows_sealed = &reg.counter("rap_stream_windows_sealed_total");
+  metrics_.windows_dropped = &reg.counter("rap_stream_windows_dropped_total");
   metrics_.alarms = &reg.counter("rap_stream_alarms_total");
   metrics_.localizations = &reg.counter("rap_stream_localizations_total");
+  metrics_.localizations_degraded =
+      &reg.counter("rap_stream_localizations_degraded_total");
+  metrics_.localize_failures =
+      &reg.counter("rap_stream_localize_failures_total");
   metrics_.queue_depth = &reg.gauge("rap_stream_queue_depth");
   metrics_.watermark = &reg.gauge("rap_stream_watermark");
   metrics_.seal_seconds = &reg.histogram(
@@ -88,6 +107,11 @@ void StreamEngine::setLocalizationCallback(LocalizationCallback callback) {
   localize_cb_ = std::move(callback);
 }
 
+void StreamEngine::setQuarantineCallback(
+    QuarantineBuffer::InspectionCallback callback) {
+  quarantine_.setCallback(std::move(callback));
+}
+
 void StreamEngine::start() {
   RAP_CHECK_MSG(!started_.load(), "engine started twice");
   RAP_CHECK_MSG(!stopped_.load(), "engine is terminal after stop()");
@@ -103,14 +127,20 @@ void StreamEngine::start() {
   started_.store(true, std::memory_order_release);
 }
 
-bool StreamEngine::validEvent(const StreamEvent& event) const noexcept {
-  if (event.leaf.attributeCount() != schema_.attributeCount()) return false;
+const char* StreamEngine::invalidReason(
+    const StreamEvent& event) const noexcept {
+  if (event.leaf.attributeCount() != schema_.attributeCount()) {
+    return "attribute arity does not match schema";
+  }
   for (dataset::AttrId a = 0; a < schema_.attributeCount(); ++a) {
     const dataset::ElemId elem = event.leaf.slot(a);
     // Rejects wildcards (kWildcard == -1) and out-of-range ids alike.
-    if (elem < 0 || elem >= schema_.cardinality(a)) return false;
+    if (elem < 0) return "wildcard or negative element id";
+    if (elem >= schema_.cardinality(a)) return "element id out of range";
   }
-  return true;
+  if (!std::isfinite(event.v)) return "non-finite actual value";
+  if (!std::isfinite(event.f)) return "non-finite forecast value";
+  return nullptr;
 }
 
 PushResult StreamEngine::ingest(StreamEvent event) {
@@ -123,14 +153,23 @@ PushResult StreamEngine::ingestBatch(std::vector<StreamEvent> events) {
   PushResult total;
   if (events.empty()) return total;
   std::uint64_t rejected = 0;
+  std::uint64_t quarantined = 0;
   if (!running()) {
     rejected = events.size();
+  } else if (const fault::Action injected = RAP_FAULT_HIT("stream.ingest");
+             injected == fault::Action::kDrop ||
+             injected == fault::Action::kError) {
+    // Injected ingest failure: the whole batch is discarded — counted as
+    // dropped_newest, never silently.
+    total.dropped_newest = events.size();
   } else {
     std::vector<std::vector<StreamEvent>> parts(shards_.size());
     dataset::AcHash hasher;
     for (auto& event : events) {
-      if (!validEvent(event)) {
+      if (const char* reason = invalidReason(event)) {
         rejected += 1;
+        quarantined += 1;
+        quarantine_.add(std::move(event), reason);
         continue;
       }
       const std::size_t shard = hasher(event.leaf) % shards_.size();
@@ -158,6 +197,7 @@ PushResult StreamEngine::ingestBatch(std::vector<StreamEvent> events) {
   if (obs::metricsEnabled()) {
     if (total.accepted > 0) metrics_.ingested->increment(total.accepted);
     if (rejected > 0) metrics_.rejected->increment(rejected);
+    if (quarantined > 0) metrics_.quarantined->increment(quarantined);
     if (total.dropped_oldest > 0) {
       metrics_.dropped_oldest->increment(total.dropped_oldest);
     }
@@ -201,6 +241,13 @@ bool StreamEngine::allShardsAcked(std::uint64_t token) const {
   return true;
 }
 
+bool StreamEngine::allShardsSnapshotAcked(std::uint64_t token) const {
+  for (const auto& shard : shards_) {
+    if (shard->snapshotAck() < token) return false;
+  }
+  return true;
+}
+
 void StreamEngine::sealerLoop() {
   std::unique_lock<std::mutex> lock(sealer_mutex_);
   for (;;) {
@@ -210,7 +257,18 @@ void StreamEngine::sealerLoop() {
     lock.unlock();
 
     while (auto window = assembler_.popReady()) {
-      processWindow(std::move(*window));
+      const std::int64_t epoch = window->epoch;
+      try {
+        processWindow(std::move(*window));
+      } catch (const std::exception& e) {
+        // A seal-path failure must never take down the sealer thread:
+        // the window is dropped (counted, logged) and the engine keeps
+        // sealing subsequent windows.
+        windows_dropped_.fetch_add(1, std::memory_order_relaxed);
+        if (obs::metricsEnabled()) metrics_.windows_dropped->increment();
+        RAP_LOG_KV(Warn, {"epoch", epoch}, {"error", e.what()})
+            << "window dropped: seal failure";
+      }
     }
 
     lock.lock();
@@ -220,11 +278,33 @@ void StreamEngine::sealerLoop() {
       sealer_acked_drain_ = token;
       drain_cv_.notify_all();
     }
+    const std::uint64_t snapshot_token =
+        snapshot_token_.load(std::memory_order_acquire);
+    if (snapshot_token > sealer_acked_snapshot_ &&
+        allShardsSnapshotAcked(snapshot_token) && !assembler_.hasReady()) {
+      // Every shard has recorded its cut and no window is left ready:
+      // the assembler's pending set is now exactly the partially sealed
+      // fragments the checkpoint must carry.
+      sealer_acked_snapshot_ = snapshot_token;
+      drain_cv_.notify_all();
+    }
     if (stopping && !progress_ && !assembler_.hasReady()) return;
   }
 }
 
 void StreamEngine::processWindow(SealedWindow window) {
+  switch (RAP_FAULT_HIT("stream.seal")) {
+    case fault::Action::kError:
+    case fault::Action::kDrop:
+      windows_dropped_.fetch_add(1, std::memory_order_relaxed);
+      if (obs::metricsEnabled()) metrics_.windows_dropped->increment();
+      RAP_LOG_KV(Warn, {"epoch", window.epoch})
+          << "window dropped: injected seal fault";
+      return;
+    default:
+      break;
+  }
+
   util::WallTimer timer;
   RAP_TRACE_SPAN("stream/seal_window",
                  {{"epoch", window.epoch},
@@ -272,7 +352,9 @@ void StreamEngine::processWindow(SealedWindow window) {
 
   // Snapshot ships to the pool; ingestion and sealing never wait on the
   // search.  ThreadPool tasks must not throw — localize inputs were
-  // validated at ingest, so the miner cannot trip its arity checks.
+  // validated at ingest, so the only throw paths left are injected
+  // faults (and whatever a chaotic deployment surprises us with), which
+  // are contained here as counted failures.
   pool_->submit([this, epoch = window.epoch, start = window.start_ts,
                  end = window.end_ts, flagged, alarmed,
                  table = std::move(table)]() mutable {
@@ -285,16 +367,151 @@ void StreamEngine::processWindow(SealedWindow window) {
     out.rows = table.size();
     out.anomalous_rows = flagged;
     out.alarmed = alarmed;
-    out.result = miner_.localize(table, config_.top_k, search_pool_.get());
+    try {
+      switch (RAP_FAULT_HIT("stream.localize")) {
+        case fault::Action::kError:
+        case fault::Action::kDrop:
+          localize_failures_.fetch_add(1, std::memory_order_relaxed);
+          if (obs::metricsEnabled()) metrics_.localize_failures->increment();
+          RAP_LOG_KV(Warn, {"epoch", epoch})
+              << "localization failed: injected fault";
+          return;
+        default:
+          break;
+      }
+      out.result = miner_.localize(table, config_.top_k, search_pool_.get());
+    } catch (const std::exception& e) {
+      localize_failures_.fetch_add(1, std::memory_order_relaxed);
+      if (obs::metricsEnabled()) metrics_.localize_failures->increment();
+      RAP_LOG_KV(Warn, {"epoch", epoch}, {"error", e.what()})
+          << "localization failed";
+      return;
+    }
     localizations_.fetch_add(1, std::memory_order_relaxed);
+    if (out.result.degraded) {
+      localizations_degraded_.fetch_add(1, std::memory_order_relaxed);
+    }
     if (obs::metricsEnabled()) {
       metrics_.localizations->increment();
+      if (out.result.degraded) metrics_.localizations_degraded->increment();
       metrics_.localize_seconds->observe(localize_timer.elapsedSeconds());
     }
     if (localize_cb_) localize_cb_(out);
     std::lock_guard<std::mutex> lock(results_mutex_);
     results_.push_back(std::move(out));
   });
+}
+
+util::Result<io::StreamCheckpoint> StreamEngine::captureCheckpoint() {
+  if (!running()) {
+    return util::Status::failedPrecondition(
+        "checkpoint() requires a running engine");
+  }
+  const std::uint64_t token =
+      snapshot_token_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  for (auto& shard : shards_) shard->requestSnapshot(token);
+  {
+    std::unique_lock<std::mutex> lock(sealer_mutex_);
+    drain_cv_.wait(lock,
+                   [this, token] { return sealer_acked_snapshot_ >= token; });
+  }
+  // In-flight localizations finish before the cut is serialized, so a
+  // restore never re-localizes a window this run already owned.
+  pool_->wait();
+
+  io::StreamCheckpoint checkpoint;
+  checkpoint.shards = config_.shards;
+  checkpoint.window_width = config_.window_width;
+  checkpoint.max_event_ts = watermark_.maxTimestamp();
+  checkpoint.shard_sealed_up_to.resize(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    ShardState state = shards_[i]->snapshotState();
+    checkpoint.shard_sealed_up_to[i] = state.sealed_up_to;
+    for (auto& [epoch, rows] : state.open) {
+      io::StreamCheckpoint::Fragment fragment;
+      fragment.shard = static_cast<std::int32_t>(i);
+      fragment.epoch = epoch;
+      fragment.rows = std::move(rows);
+      checkpoint.fragments.push_back(std::move(fragment));
+    }
+  }
+  for (auto& [epoch, rows] : assembler_.snapshotPending()) {
+    io::StreamCheckpoint::Fragment fragment;
+    fragment.shard = -1;
+    fragment.epoch = epoch;
+    fragment.rows = std::move(rows);
+    checkpoint.fragments.push_back(std::move(fragment));
+  }
+  return checkpoint;
+}
+
+util::Status StreamEngine::checkpoint(const std::string& path) {
+  util::WallTimer timer;
+  auto captured = captureCheckpoint();
+  RAP_RETURN_IF_ERROR(captured.status());
+  RAP_RETURN_IF_ERROR(io::saveStreamCheckpoint(captured.value(), path));
+  RAP_LOG_KV(Info, {"path", path},
+             {"fragments",
+              static_cast<std::int64_t>(captured.value().fragments.size())},
+             {"seconds", timer.elapsedSeconds()})
+      << "stream checkpoint saved";
+  return util::Status::ok();
+}
+
+void StreamEngine::installCheckpoint(const io::StreamCheckpoint& checkpoint) {
+  RAP_CHECK_MSG(!started_.load(), "restore only before start()");
+  RAP_CHECK(checkpoint.shard_sealed_up_to.size() == shards_.size());
+  if (checkpoint.max_event_ts != io::StreamCheckpoint::kNone) {
+    watermark_.observe(checkpoint.max_event_ts);
+  }
+  std::vector<ShardState> states(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    states[i].sealed_up_to = checkpoint.shard_sealed_up_to[i];
+  }
+  for (const auto& fragment : checkpoint.fragments) {
+    if (fragment.shard < 0) {
+      // Already past the shards when checkpointed: contribute straight
+      // to the assembler, pending the remaining shards' seals.
+      assembler_.contribute(fragment.epoch, fragment.rows);
+    } else {
+      auto& open = states[static_cast<std::size_t>(fragment.shard)]
+                       .open[fragment.epoch];
+      open.insert(open.end(), fragment.rows.begin(), fragment.rows.end());
+    }
+  }
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (states[i].sealed_up_to != WatermarkTracker::kNone) {
+      assembler_.sealShardUpTo(static_cast<std::int32_t>(i),
+                               states[i].sealed_up_to);
+    }
+    shards_[i]->restore(std::move(states[i]));
+  }
+}
+
+util::Result<std::unique_ptr<StreamEngine>> StreamEngine::restore(
+    dataset::Schema schema, StreamConfig config, const std::string& path) {
+  auto loaded = io::loadStreamCheckpoint(path);
+  RAP_RETURN_IF_ERROR(loaded.status());
+  const io::StreamCheckpoint& checkpoint = loaded.value();
+  if (checkpoint.shards != config.shards) {
+    return util::Status::invalidArgument(
+        util::strFormat("checkpoint has %d shards, config wants %d",
+                        checkpoint.shards, config.shards));
+  }
+  if (checkpoint.window_width != config.window_width) {
+    return util::Status::invalidArgument(util::strFormat(
+        "checkpoint window_width %lld does not match config %lld",
+        static_cast<long long>(checkpoint.window_width),
+        static_cast<long long>(config.window_width)));
+  }
+  auto engine = std::make_unique<StreamEngine>(std::move(schema), config);
+  engine->installCheckpoint(checkpoint);
+  RAP_LOG_KV(
+      Info, {"path", path},
+      {"fragments", static_cast<std::int64_t>(checkpoint.fragments.size())},
+      {"max_event_ts", checkpoint.max_event_ts})
+      << "stream engine restored from checkpoint";
+  return engine;
 }
 
 void StreamEngine::drain() {
@@ -332,6 +549,8 @@ StreamStats StreamEngine::stats() const {
   StreamStats stats;
   stats.ingested = counters_.ingested.load(std::memory_order_relaxed);
   stats.rejected = counters_.rejected.load(std::memory_order_relaxed);
+  stats.rejected_quarantined = quarantine_.total();
+  stats.quarantine_overflowed = quarantine_.overflowed();
   stats.dropped_oldest =
       counters_.dropped_oldest.load(std::memory_order_relaxed);
   stats.dropped_newest =
@@ -339,11 +558,20 @@ StreamStats StreamEngine::stats() const {
   stats.late_admitted = counters_.late_admitted.load(std::memory_order_relaxed);
   stats.late_dropped = counters_.late_dropped.load(std::memory_order_relaxed);
   stats.windows_sealed = windows_sealed_.load(std::memory_order_relaxed);
+  stats.windows_dropped = windows_dropped_.load(std::memory_order_relaxed);
   stats.alarms = alarms_.load(std::memory_order_relaxed);
   stats.localizations = localizations_.load(std::memory_order_relaxed);
+  stats.localizations_degraded =
+      localizations_degraded_.load(std::memory_order_relaxed);
+  stats.localize_failures =
+      localize_failures_.load(std::memory_order_relaxed);
   stats.queue_depth = counters_.queued.load(std::memory_order_relaxed);
   stats.watermark = watermark_.watermark();
   return stats;
+}
+
+std::vector<QuarantinedEvent> StreamEngine::takeQuarantined() {
+  return quarantine_.take();
 }
 
 std::vector<StreamEngine::Localization> StreamEngine::takeLocalizations() {

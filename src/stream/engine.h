@@ -43,10 +43,16 @@
 #include "detect/detector.h"
 #include "obs/metrics.h"
 #include "stream/config.h"
+#include "stream/quarantine.h"
 #include "stream/shard.h"
 #include "stream/watermark.h"
 #include "stream/window.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
+
+namespace rap::io {
+struct StreamCheckpoint;
+}  // namespace rap::io
 
 namespace rap::stream {
 
@@ -54,13 +60,24 @@ namespace rap::stream {
 struct StreamStats {
   std::uint64_t ingested = 0;
   std::uint64_t rejected = 0;
+  /// Rejected events routed to the dead-letter buffer (validation
+  /// failures; monotone even after the buffer evicts or is drained).
+  std::uint64_t rejected_quarantined = 0;
+  std::uint64_t quarantine_overflowed = 0;
   std::uint64_t dropped_oldest = 0;
   std::uint64_t dropped_newest = 0;
   std::uint64_t late_admitted = 0;
   std::uint64_t late_dropped = 0;
   std::uint64_t windows_sealed = 0;
+  /// Sealed windows abandoned by a seal-path failure (fault injection or
+  /// an exception out of detection): counted, never silently lost.
+  std::uint64_t windows_dropped = 0;
   std::uint64_t alarms = 0;
   std::uint64_t localizations = 0;
+  /// Localizations that returned a partial (degraded) candidate set.
+  std::uint64_t localizations_degraded = 0;
+  /// Localize tasks that failed outright (injected fault / exception).
+  std::uint64_t localize_failures = 0;
   std::int64_t queue_depth = 0;  ///< events buffered across all shards
   std::int64_t watermark = WatermarkTracker::kNone;
 };
@@ -99,9 +116,21 @@ class StreamEngine {
   StreamEngine(const StreamEngine&) = delete;
   StreamEngine& operator=(const StreamEngine&) = delete;
 
+  /// Builds an engine whose shards, assembler, and watermark resume from
+  /// the checkpoint at `path` (see io/checkpoint.h): the restarted
+  /// engine picks up at the next unsealed epoch — epochs the checkpoint
+  /// recorded as sealed are never sealed again, and buffered fragments
+  /// survive the restart.  config.shards / window_width must match the
+  /// checkpoint.  The engine is returned un-started.
+  static util::Result<std::unique_ptr<StreamEngine>> restore(
+      dataset::Schema schema, StreamConfig config, const std::string& path);
+
   /// Callbacks must be installed before start().
   void setWindowCallback(WindowCallback callback);
   void setLocalizationCallback(LocalizationCallback callback);
+  /// Inspection hook for quarantined records; runs on the producer
+  /// thread that hit the bad event.  Thread-safe to install any time.
+  void setQuarantineCallback(QuarantineBuffer::InspectionCallback callback);
 
   void start();
 
@@ -119,6 +148,16 @@ class StreamEngine {
   /// drain() + join every thread.  Terminal and idempotent.
   void stop();
 
+  /// Writes a consistent checkpoint to `path` while the engine keeps
+  /// running: every shard flushes its queue, seals what the current
+  /// watermark allows, and snapshots its state; the sealer finishes all
+  /// ready windows first so the checkpoint holds only still-open
+  /// fragments.  Quiesce producers for the duration of the call (as with
+  /// drain()) — events racing a checkpoint may land on either side of
+  /// the cut.  Fails (Status, never a crash) on I/O errors or when the
+  /// engine is not running.
+  util::Status checkpoint(const std::string& path);
+
   bool running() const noexcept {
     return started_.load(std::memory_order_acquire) &&
            !stopped_.load(std::memory_order_acquire);
@@ -129,6 +168,9 @@ class StreamEngine {
   /// Moves out the localizations finished so far, sorted by epoch.
   std::vector<Localization> takeLocalizations();
 
+  /// Moves out the quarantined records buffered so far, oldest first.
+  std::vector<QuarantinedEvent> takeQuarantined();
+
   const dataset::Schema& schema() const noexcept { return schema_; }
   const StreamConfig& config() const noexcept { return config_; }
 
@@ -136,11 +178,15 @@ class StreamEngine {
   struct EngineMetrics {
     obs::Counter* ingested = nullptr;
     obs::Counter* rejected = nullptr;
+    obs::Counter* quarantined = nullptr;
     obs::Counter* dropped_oldest = nullptr;
     obs::Counter* dropped_newest = nullptr;
     obs::Counter* windows_sealed = nullptr;
+    obs::Counter* windows_dropped = nullptr;
     obs::Counter* alarms = nullptr;
     obs::Counter* localizations = nullptr;
+    obs::Counter* localizations_degraded = nullptr;
+    obs::Counter* localize_failures = nullptr;
     obs::Gauge* queue_depth = nullptr;
     obs::Gauge* watermark = nullptr;
     obs::Histogram* seal_seconds = nullptr;
@@ -148,12 +194,17 @@ class StreamEngine {
     ShardMetrics shard;
   };
 
-  bool validEvent(const StreamEvent& event) const noexcept;
+  /// nullptr when the event is valid, else a static reason string
+  /// (arity mismatch, wildcard / out-of-range id, non-finite KPI value).
+  const char* invalidReason(const StreamEvent& event) const noexcept;
   void maybeBroadcastSeal();
   void onShardProgress();
   void sealerLoop();
   void processWindow(SealedWindow window);
   bool allShardsAcked(std::uint64_t token) const;
+  bool allShardsSnapshotAcked(std::uint64_t token) const;
+  util::Result<io::StreamCheckpoint> captureCheckpoint();
+  void installCheckpoint(const io::StreamCheckpoint& checkpoint);
 
   dataset::Schema schema_;
   StreamConfig config_;
@@ -161,6 +212,7 @@ class StreamEngine {
   StreamCounters counters_;
   WatermarkTracker watermark_;
   WindowAssembler assembler_;
+  QuarantineBuffer quarantine_;
   EngineMetrics metrics_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
@@ -178,8 +230,11 @@ class StreamEngine {
   std::unique_ptr<util::ThreadPool> pool_;
 
   std::atomic<std::uint64_t> windows_sealed_{0};
+  std::atomic<std::uint64_t> windows_dropped_{0};
   std::atomic<std::uint64_t> alarms_{0};
   std::atomic<std::uint64_t> localizations_{0};
+  std::atomic<std::uint64_t> localizations_degraded_{0};
+  std::atomic<std::uint64_t> localize_failures_{0};
   std::atomic<std::int64_t> last_broadcast_epoch_{WatermarkTracker::kNone};
 
   std::thread sealer_;
@@ -190,6 +245,8 @@ class StreamEngine {
   bool sealer_should_stop_ = false;  ///< guarded by sealer_mutex_
   std::uint64_t sealer_acked_drain_ = 0;  ///< guarded by sealer_mutex_
   std::atomic<std::uint64_t> drain_token_{0};
+  std::uint64_t sealer_acked_snapshot_ = 0;  ///< guarded by sealer_mutex_
+  std::atomic<std::uint64_t> snapshot_token_{0};
 
   std::mutex results_mutex_;
   std::vector<Localization> results_;

@@ -1,0 +1,42 @@
+#include "stream/quarantine.h"
+
+#include "util/status.h"
+
+namespace rap::stream {
+
+QuarantineBuffer::QuarantineBuffer(std::size_t capacity)
+    : capacity_(capacity) {
+  RAP_CHECK(capacity_ >= 1);
+}
+
+void QuarantineBuffer::setCallback(InspectionCallback callback) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  callback_ = std::move(callback);
+}
+
+void QuarantineBuffer::add(StreamEvent event, std::string reason) {
+  QuarantinedEvent entry{std::move(event), std::move(reason)};
+  total_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (callback_) callback_(entry);
+  if (buffer_.size() >= capacity_) {
+    buffer_.pop_front();
+    overflowed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  buffer_.push_back(std::move(entry));
+}
+
+std::vector<QuarantinedEvent> QuarantineBuffer::take() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<QuarantinedEvent> out(std::make_move_iterator(buffer_.begin()),
+                                    std::make_move_iterator(buffer_.end()));
+  buffer_.clear();
+  return out;
+}
+
+std::size_t QuarantineBuffer::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return buffer_.size();
+}
+
+}  // namespace rap::stream

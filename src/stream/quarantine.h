@@ -1,0 +1,70 @@
+// Dead-letter buffer for records that fail validation at ingest.
+//
+// The engine must neither crash on a poison record nor drop it silently:
+// a malformed event (wrong arity, wildcard or out-of-range element id,
+// non-finite KPI value) is routed here with a human-readable reason so
+// an operator can inspect what a broken producer is sending.  The buffer
+// is BOUNDED — a firehose of garbage evicts the oldest quarantined
+// records (counted as overflow) instead of growing without limit.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "stream/event.h"
+
+namespace rap::stream {
+
+/// One rejected record with the validation failure that sent it here.
+struct QuarantinedEvent {
+  StreamEvent event;
+  std::string reason;
+};
+
+class QuarantineBuffer {
+ public:
+  /// Called synchronously (on the quarantining thread, i.e. a producer)
+  /// for every record quarantined, BEFORE it enters the buffer.  Must be
+  /// thread-safe; install before concurrent use.
+  using InspectionCallback = std::function<void(const QuarantinedEvent&)>;
+
+  explicit QuarantineBuffer(std::size_t capacity);
+
+  QuarantineBuffer(const QuarantineBuffer&) = delete;
+  QuarantineBuffer& operator=(const QuarantineBuffer&) = delete;
+
+  void setCallback(InspectionCallback callback);
+
+  /// Thread-safe.  Evicts the oldest resident when full (counted).
+  void add(StreamEvent event, std::string reason);
+
+  /// Moves out everything quarantined so far, oldest first.
+  std::vector<QuarantinedEvent> take();
+
+  /// Records ever quarantined (monotone, includes later-evicted ones).
+  std::uint64_t total() const noexcept {
+    return total_.load(std::memory_order_relaxed);
+  }
+  /// Residents evicted because the buffer was full.
+  std::uint64_t overflowed() const noexcept {
+    return overflowed_.load(std::memory_order_relaxed);
+  }
+  std::size_t size() const;
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::deque<QuarantinedEvent> buffer_;
+  InspectionCallback callback_;
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<std::uint64_t> overflowed_{0};
+};
+
+}  // namespace rap::stream

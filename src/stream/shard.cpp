@@ -59,6 +59,25 @@ void Shard::requestDrain(std::uint64_t token) {
   queue_.nudge();
 }
 
+void Shard::requestSnapshot(std::uint64_t token) {
+  std::uint64_t seen = snapshot_requested_.load(std::memory_order_relaxed);
+  while (token > seen && !snapshot_requested_.compare_exchange_weak(
+                             seen, token, std::memory_order_release)) {
+  }
+  queue_.nudge();
+}
+
+ShardState Shard::snapshotState() const {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return snapshot_;
+}
+
+void Shard::restore(ShardState state) {
+  RAP_CHECK_MSG(!consumer_.joinable(), "restore() after start()");
+  sealed_up_to_ = state.sealed_up_to;
+  open_ = std::move(state.open);
+}
+
 void Shard::bucketEvents(std::vector<StreamEvent>& batch) {
   if (batch.empty()) return;
   const std::int64_t mark = watermark_.watermark();
@@ -123,6 +142,29 @@ void Shard::consumerLoop() {
       if (sealable != WatermarkTracker::kNone && sealable > sealed_up_to_) {
         sealUpTo(sealable);
       }
+    }
+
+    const std::uint64_t snapshot_token =
+        snapshot_requested_.load(std::memory_order_acquire);
+    if (snapshot_token > snapshot_acked_.load(std::memory_order_relaxed)) {
+      // Pick up events racing with the request, seal everything the
+      // current watermark allows (so the recorded frontier matches the
+      // promises already made to the assembler), then copy — the shard
+      // keeps its state and continues serving after the checkpoint.
+      queue_.drainNow(batch);
+      bucketEvents(batch);
+      const std::int64_t sealable =
+          watermark_.sealableEpoch(config_.window_width);
+      if (sealable != WatermarkTracker::kNone && sealable > sealed_up_to_) {
+        sealUpTo(sealable);
+      }
+      {
+        std::lock_guard<std::mutex> lock(snapshot_mutex_);
+        snapshot_.sealed_up_to = sealed_up_to_;
+        snapshot_.open = open_;
+      }
+      snapshot_acked_.store(snapshot_token, std::memory_order_release);
+      on_progress_();
     }
 
     if (!alive) {

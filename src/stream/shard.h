@@ -45,6 +45,14 @@ struct ShardMetrics {
   obs::Gauge* queue_depth = nullptr;
 };
 
+/// One shard's durable state: its seal frontier plus the window
+/// fragments it has bucketed but not yet contributed.  Captured by the
+/// snapshot protocol (checkpoint) and re-injected by restore().
+struct ShardState {
+  std::int64_t sealed_up_to = WatermarkTracker::kNone;
+  std::map<std::int64_t, std::vector<dataset::LeafRow>> open;
+};
+
 class Shard {
  public:
   Shard(std::int32_t id, const StreamConfig& config,
@@ -57,6 +65,22 @@ class Shard {
   Shard& operator=(const Shard&) = delete;
 
   void start();
+
+  /// Seeds consumer-thread state from a checkpoint.  Must run before
+  /// start(); events at epochs <= state.sealed_up_to will count late
+  /// (exactly-once sealing across a kill/restore cycle).
+  void restore(ShardState state);
+
+  /// Snapshot request: the consumer flushes its queue into buckets,
+  /// seals everything the current watermark allows, records a copy of
+  /// its state (non-destructive — the shard keeps running), and acks
+  /// `token`.  Quiesce producers first, as with requestDrain.
+  void requestSnapshot(std::uint64_t token);
+  std::uint64_t snapshotAck() const {
+    return snapshot_acked_.load(std::memory_order_acquire);
+  }
+  /// The state recorded by the latest acked snapshot.
+  ShardState snapshotState() const;
 
   /// Producer side: offers events to the bounded queue (backpressure
   /// policy applies) and advances the watermark by the accepted events.
@@ -101,6 +125,12 @@ class Shard {
 
   std::atomic<std::uint64_t> drain_requested_{0};
   std::atomic<std::uint64_t> drain_acked_{0};
+
+  std::atomic<std::uint64_t> snapshot_requested_{0};
+  std::atomic<std::uint64_t> snapshot_acked_{0};
+  mutable std::mutex snapshot_mutex_;
+  ShardState snapshot_;  ///< guarded by snapshot_mutex_
+
   std::thread consumer_;
 };
 

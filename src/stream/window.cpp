@@ -40,6 +40,12 @@ std::int64_t WindowAssembler::sealedUpTo() const {
   return *std::min_element(shard_sealed_.begin(), shard_sealed_.end());
 }
 
+std::map<std::int64_t, std::vector<dataset::LeafRow>>
+WindowAssembler::snapshotPending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_;
+}
+
 std::optional<SealedWindow> WindowAssembler::popReadyLocked() {
   if (pending_.empty()) return std::nullopt;
   const std::int64_t ready_up_to =

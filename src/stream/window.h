@@ -57,6 +57,10 @@ class WindowAssembler {
   /// while any shard has not sealed anything yet).
   std::int64_t sealedUpTo() const;
 
+  /// Copy of every pending (partially sealed) fragment, for checkpoints.
+  std::map<std::int64_t, std::vector<dataset::LeafRow>> snapshotPending()
+      const;
+
  private:
   std::optional<SealedWindow> popReadyLocked();
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "core/classification_power.h"
 #include "core/rapminer.h"
@@ -363,6 +364,28 @@ TEST(RapMinerBuilder, ValidateRejectsOutOfRangeKnobs) {
   const auto bad = RapMiner::Builder().tConf(2.0).build();
   ASSERT_FALSE(bad.isOk());
   EXPECT_EQ(bad.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(RapMinerBuilder, ValidateRejectsNonFiniteThresholds) {
+  // Regression: NaN / Inf must produce a dedicated "finite number"
+  // diagnostic instead of sneaking past (or confusing) range checks.
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  for (const double bad : {nan, inf, -inf}) {
+    const auto t_cp = RapMiner::Builder().tCp(bad).validate();
+    EXPECT_EQ(t_cp.code(), util::StatusCode::kInvalidArgument);
+    EXPECT_NE(t_cp.message().find("finite"), std::string::npos)
+        << t_cp.message();
+    const auto t_conf = RapMiner::Builder().tConf(bad).validate();
+    EXPECT_EQ(t_conf.code(), util::StatusCode::kInvalidArgument);
+    EXPECT_NE(t_conf.message().find("finite"), std::string::npos)
+        << t_conf.message();
+    EXPECT_FALSE(RapMiner::Builder().deadlineSeconds(bad).validate().isOk());
+  }
+  EXPECT_FALSE(RapMiner::Builder().deadlineSeconds(-1.0).validate().isOk());
+  EXPECT_FALSE(RapMiner::Builder().maxLayers(-1).validate().isOk());
+  EXPECT_TRUE(RapMiner::Builder().deadlineSeconds(0.5).maxLayers(2).validate()
+                  .isOk());
 }
 
 TEST(RapMinerBuilder, BuildsWorkingMinerOnBoundaryValues) {

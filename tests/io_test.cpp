@@ -5,8 +5,12 @@
 
 #include <cmath>
 
+#include <fstream>
+#include <iterator>
+
 #include "core/types.h"
 #include "dataset/cuboid.h"
+#include "io/checkpoint.h"
 #include "io/csv.h"
 #include "io/dataset_io.h"
 #include "io/json.h"
@@ -157,8 +161,10 @@ TEST(CsvStream, ErrorsCarryGlobalOffsets) {
   const auto status = parser.feed("b\"c", ignore);
   ASSERT_FALSE(status.isOk());
   // Offset 6 in the overall stream, not offset 1 in the second chunk —
-  // and the identical message the batch parser produces.
-  EXPECT_EQ(status.message(), "quote inside unquoted field near offset 6");
+  // with the 1-based row, and the identical message the batch parser
+  // produces.
+  EXPECT_EQ(status.message(),
+            "quote inside unquoted field at row 2 near offset 6");
   EXPECT_EQ(parseCsv("x,y\nab\"c").status().message(), status.message());
 }
 
@@ -200,6 +206,52 @@ TEST_F(TempDir, StreamCsvFileDeliversEveryRow) {
 TEST(CsvStreamFile, MissingFileIsNotFound) {
   const auto status = streamCsvFile("/nonexistent/file.csv", [](CsvRow&&) {});
   EXPECT_EQ(status.code(), util::StatusCode::kNotFound);
+}
+
+// -------------------------------------------------- CSV input hardening
+
+TEST(CsvHardening, EmbeddedNulIsRejectedWithRowContext) {
+  CsvStreamParser parser;
+  const CsvRowCallback ignore = [](CsvRow&&) {};
+  const std::string input = std::string("ok,row\nbad") + '\0' + "field";
+  const auto status = parser.feed(input, ignore);
+  ASSERT_EQ(status.code(), util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "embedded NUL byte at row 2 near offset 10");
+}
+
+TEST(CsvHardening, OverLongFieldIsRejectedNotBuffered) {
+  CsvStreamParser parser;
+  const CsvRowCallback ignore = [](CsvRow&&) {};
+  // Stay a hair under the limit, then push one byte past it in a later
+  // chunk: the limit spans chunk boundaries.
+  const std::string almost(CsvStreamParser::kMaxFieldBytes, 'x');
+  ASSERT_TRUE(parser.feed(almost, ignore).isOk());
+  const auto status = parser.feed("x", ignore);
+  ASSERT_EQ(status.code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("over-long field at row 1"),
+            std::string::npos);
+}
+
+TEST(CsvHardening, OverLongQuotedFieldIsRejected) {
+  CsvStreamParser parser;
+  const CsvRowCallback ignore = [](CsvRow&&) {};
+  ASSERT_TRUE(parser.feed("\"", ignore).isOk());
+  const std::string big(CsvStreamParser::kMaxFieldBytes + 1, 'y');
+  const auto status = parser.feed(big, ignore);
+  EXPECT_EQ(status.code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(CsvHardening, FieldAtTheLimitStillParses) {
+  CsvStreamParser parser;
+  std::vector<CsvRow> rows;
+  const CsvRowCallback collect = [&rows](CsvRow&& row) {
+    rows.push_back(std::move(row));
+  };
+  const std::string max_field(CsvStreamParser::kMaxFieldBytes, 'z');
+  ASSERT_TRUE(parser.feed(max_field + ",b\n", collect).isOk());
+  ASSERT_TRUE(parser.finish(collect).isOk());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].size(), CsvStreamParser::kMaxFieldBytes);
 }
 
 // -------------------------------------------------------------- LeafTable
@@ -327,8 +379,127 @@ TEST_F(TempDir, DatasetDirectoryRoundTrip) {
   EXPECT_EQ(loaded->schema.attributeCount(), schema.attributeCount());
 }
 
+TEST_F(TempDir, LeafTableRejectsNonFiniteKpiWithRowContext) {
+  const std::vector<CsvRow> rows{{"A", "B", "C", "D", "real", "predict"},
+                                 {"a1", "b1", "c1", "d1", "1", "2"},
+                                 {"a2", "b1", "c1", "d1", "nan", "2"}};
+  ASSERT_TRUE(writeCsvFile(path("nonfinite.csv"), rows).isOk());
+  const auto loaded = loadLeafTable(Schema::tiny(), path("nonfinite.csv"));
+  ASSERT_EQ(loaded.status().code(), util::StatusCode::kInvalidArgument);
+  // The offending row (1-based, counting the header) is named.
+  EXPECT_NE(loaded.status().message().find(":3: non-finite KPI value"),
+            std::string::npos);
+
+  const std::vector<CsvRow> inf_rows{{"A", "B", "C", "D", "real", "predict"},
+                                     {"a1", "b1", "c1", "d1", "1", "inf"}};
+  ASSERT_TRUE(writeCsvFile(path("inf.csv"), inf_rows).isOk());
+  EXPECT_FALSE(loadLeafTable(Schema::tiny(), path("inf.csv")).isOk());
+}
+
 TEST(DatasetDirectory, MissingDirectoryIsError) {
   EXPECT_FALSE(loadDatasetDirectory("/nonexistent/rap_ds").isOk());
+}
+
+// ------------------------------------------------------------ Checkpoint
+
+StreamCheckpoint sampleCheckpoint() {
+  const Schema schema = Schema::tiny();
+  StreamCheckpoint chk;
+  chk.shards = 2;
+  chk.window_width = 60;
+  chk.max_event_ts = 1234;
+  chk.shard_sealed_up_to = {5, StreamCheckpoint::kNone};
+  StreamCheckpoint::Fragment open;
+  open.shard = 0;
+  open.epoch = 6;
+  open.rows.push_back(dataset::LeafRow{
+      dataset::leafFromIndex(schema, 0), 0.1 + 0.2, 1e-307, true});
+  chk.fragments.push_back(open);
+  StreamCheckpoint::Fragment pending;
+  pending.shard = -1;
+  pending.epoch = 7;
+  pending.rows.push_back(dataset::LeafRow{
+      dataset::leafFromIndex(schema, 3), -42.5, 3.14159265358979, false});
+  chk.fragments.push_back(pending);
+  return chk;
+}
+
+TEST_F(TempDir, CheckpointRoundTripsBitExactly) {
+  const StreamCheckpoint original = sampleCheckpoint();
+  ASSERT_TRUE(saveStreamCheckpoint(original, path("chk")).isOk());
+  const auto loaded = loadStreamCheckpoint(path("chk"));
+  ASSERT_TRUE(loaded.isOk()) << loaded.status().message();
+  const StreamCheckpoint& got = loaded.value();
+  EXPECT_EQ(got.version, StreamCheckpoint::kVersion);
+  EXPECT_EQ(got.shards, original.shards);
+  EXPECT_EQ(got.window_width, original.window_width);
+  EXPECT_EQ(got.max_event_ts, original.max_event_ts);
+  EXPECT_EQ(got.shard_sealed_up_to, original.shard_sealed_up_to);
+  ASSERT_EQ(got.fragments.size(), original.fragments.size());
+  for (std::size_t i = 0; i < got.fragments.size(); ++i) {
+    EXPECT_EQ(got.fragments[i].shard, original.fragments[i].shard);
+    EXPECT_EQ(got.fragments[i].epoch, original.fragments[i].epoch);
+    ASSERT_EQ(got.fragments[i].rows.size(), original.fragments[i].rows.size());
+    for (std::size_t r = 0; r < got.fragments[i].rows.size(); ++r) {
+      const auto& a = got.fragments[i].rows[r];
+      const auto& b = original.fragments[i].rows[r];
+      EXPECT_EQ(a.ac, b.ac);
+      // Hex-float serialization: bit-exact, not merely close.
+      EXPECT_EQ(a.v, b.v);
+      EXPECT_EQ(a.f, b.f);
+      EXPECT_EQ(a.anomalous, b.anomalous);
+    }
+  }
+}
+
+TEST_F(TempDir, CheckpointSaveLeavesNoTmpFileBehind) {
+  ASSERT_TRUE(saveStreamCheckpoint(sampleCheckpoint(), path("chk")).isOk());
+  EXPECT_TRUE(std::filesystem::exists(path("chk")));
+  EXPECT_FALSE(std::filesystem::exists(path("chk") + ".tmp"));
+}
+
+TEST_F(TempDir, CheckpointRejectsUnknownVersion) {
+  ASSERT_TRUE(saveStreamCheckpoint(sampleCheckpoint(), path("chk")).isOk());
+  // Bump the version in place; the loader must refuse, not half-load.
+  std::string text;
+  {
+    std::ifstream in(path("chk"));
+    std::getline(in, text);
+    std::string rest((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    text = "RAPCHKPT 99\n" + rest;
+  }
+  {
+    std::ofstream out(path("chk"), std::ios::trunc);
+    out << text;
+  }
+  const auto loaded = loadStreamCheckpoint(path("chk"));
+  ASSERT_FALSE(loaded.isOk());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("unsupported checkpoint version"),
+            std::string::npos);
+}
+
+TEST_F(TempDir, CheckpointRejectsTruncation) {
+  ASSERT_TRUE(saveStreamCheckpoint(sampleCheckpoint(), path("chk")).isOk());
+  std::string text;
+  {
+    std::ifstream in(path("chk"));
+    text.assign((std::istreambuf_iterator<char>(in)),
+                std::istreambuf_iterator<char>());
+  }
+  // Drop the 'end' trailer and the final row.
+  text.resize(text.size() / 2);
+  {
+    std::ofstream out(path("chk"), std::ios::trunc);
+    out << text;
+  }
+  EXPECT_FALSE(loadStreamCheckpoint(path("chk")).isOk());
+}
+
+TEST(Checkpoint, MissingFileIsNotFound) {
+  EXPECT_EQ(loadStreamCheckpoint("/nonexistent/chk").status().code(),
+            util::StatusCode::kNotFound);
 }
 
 // ------------------------------------------------------------------ JSON

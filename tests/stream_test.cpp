@@ -5,7 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <cmath>
 #include <condition_variable>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <set>
@@ -190,6 +193,78 @@ TEST(BoundedEventQueue, CloseUnblocksProducerAndReportsDrops) {
   producer.join();
   EXPECT_EQ(result.accepted + result.dropped_newest, 3u);
   EXPECT_GE(result.dropped_newest, 1u);
+}
+
+TEST(BoundedEventQueue, ClosePushRaceLosesNoAccountedEvent) {
+  // close() racing concurrent push()ers: every event must end up either
+  // drained or in a drop counter — never lost, never double-counted —
+  // and nobody may deadlock.  Run under TSan in CI.
+  for (const BackpressurePolicy policy :
+       {BackpressurePolicy::kBlock, BackpressurePolicy::kDropOldest,
+        BackpressurePolicy::kDropNewest}) {
+    BoundedEventQueue queue(8, policy);
+    constexpr int kProducers = 4;
+    constexpr int kPerProducer = 500;
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> dropped_oldest{0};
+    std::atomic<std::uint64_t> dropped_newest{0};
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        for (int i = 0; i < kPerProducer; ++i) {
+          const PushResult r =
+              queue.push(makeEvent({0}, p * kPerProducer + i, 1.0, 1.0));
+          accepted += r.accepted;
+          dropped_oldest += r.dropped_oldest;
+          dropped_newest += r.dropped_newest;
+        }
+      });
+    }
+    std::atomic<std::uint64_t> drained{0};
+    std::thread consumer([&] {
+      std::vector<StreamEvent> out;
+      while (queue.drainOrWait(out)) {
+        drained += out.size();
+        out.clear();
+      }
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    queue.close();
+    for (auto& t : producers) t.join();
+    consumer.join();
+
+    // Every push is accounted exactly once...
+    EXPECT_EQ(accepted + dropped_newest,
+              static_cast<std::uint64_t>(kProducers * kPerProducer));
+    // ...and every accepted event is either drained or was evicted.
+    EXPECT_EQ(drained + dropped_oldest, accepted);
+  }
+}
+
+TEST(BoundedEventQueue, PushAfterCloseIsRejected) {
+  BoundedEventQueue queue(4, BackpressurePolicy::kBlock);
+  queue.close();
+  const PushResult r = queue.push(makeEvent({0}, 0, 1.0, 1.0));
+  EXPECT_EQ(r.accepted, 0u);
+  EXPECT_EQ(r.dropped_newest, 1u);
+  std::vector<StreamEvent> out;
+  EXPECT_FALSE(queue.drainOrWait(out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(BoundedEventQueue, CloseRacingNudgeAndDrainTerminates) {
+  BoundedEventQueue queue(4, BackpressurePolicy::kBlock);
+  std::thread nudger([&] {
+    for (int i = 0; i < 1000; ++i) queue.nudge();
+  });
+  std::thread consumer([&] {
+    std::vector<StreamEvent> out;
+    while (queue.drainOrWait(out)) out.clear();
+  });
+  queue.close();
+  nudger.join();
+  consumer.join();  // must not hang on a missed close signal
+  EXPECT_TRUE(queue.closed());
 }
 
 // ---------------------------------------------------------------------------
@@ -422,6 +497,45 @@ TEST(StreamEngine, MalformedEventsAreRejectedNotFatal) {
   EXPECT_EQ(stats.rejected, 3u);
   EXPECT_EQ(stats.ingested, 1u);
   EXPECT_EQ(stats.windows_sealed, 1u);
+}
+
+TEST(StreamEngine, InvalidEventsAreQuarantinedWithReasons) {
+  const auto schema = dataset::Schema::synthetic({4, 3});
+  StreamConfig config = testConfig();
+  config.quarantine_capacity = 2;  // exercise the bounded-eviction path
+  StreamEngine engine(schema, config);
+  std::atomic<int> inspected{0};
+  engine.setQuarantineCallback(
+      [&inspected](const QuarantinedEvent& entry) {
+        EXPECT_FALSE(entry.reason.empty());
+        inspected += 1;
+      });
+  engine.start();
+
+  std::vector<StreamEvent> bad;
+  bad.push_back(makeEvent({0}, 0, 1.0, 1.0));  // wrong arity
+  bad.push_back(makeEvent({0, -1}, 10, 1.0, 1.0));  // wildcard slot
+  bad.push_back(makeEvent({3, 2}, 20, std::nan(""), 1.0));  // NaN value
+  bad.push_back(
+      makeEvent({3, 2}, 30, 1.0,
+                std::numeric_limits<double>::infinity()));  // Inf forecast
+  bad.push_back(makeEvent({3, 2}, 40, 1.0, 1.0));  // valid
+  const PushResult result = engine.ingestBatch(std::move(bad));
+  EXPECT_EQ(result.accepted, 1u);
+  engine.stop();
+
+  const StreamStats stats = engine.stats();
+  EXPECT_EQ(stats.rejected, 4u);
+  EXPECT_EQ(stats.rejected_quarantined, 4u);
+  EXPECT_EQ(stats.quarantine_overflowed, 2u);  // capacity 2, 4 added
+  EXPECT_EQ(inspected.load(), 4);
+
+  // Only the newest two survive in the bounded buffer, oldest first.
+  const auto quarantined = engine.takeQuarantined();
+  ASSERT_EQ(quarantined.size(), 2u);
+  EXPECT_EQ(quarantined[0].reason, "non-finite actual value");
+  EXPECT_EQ(quarantined[1].reason, "non-finite forecast value");
+  EXPECT_TRUE(engine.takeQuarantined().empty());
 }
 
 // ---------------------------------------------------------------------------
