@@ -14,6 +14,7 @@
 #include "dataset/index.h"
 #include "gen/rapmd.h"
 #include "mining/fpgrowth.h"
+#include "obs/metrics.h"
 #include "stats/histogram.h"
 #include "util/rng.h"
 
@@ -176,6 +177,45 @@ void BM_AlarmObserve(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AlarmObserve);
+
+// The obs hot path: instrumentation sites resolve their series once,
+// then the per-event cost is a gate load plus one relaxed atomic.
+// These pin that cost down so "near-free when disabled" stays a
+// measured claim, not a slogan.
+void BM_MetricsGateDisabled(benchmark::State& state) {
+  obs::setMetricsEnabled(false);
+  obs::MetricsRegistry registry;
+  auto& counter = registry.counter("bench_gate_total");
+  for (auto _ : state) {
+    if (obs::metricsEnabled()) counter.increment();
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MetricsGateDisabled);
+
+void BM_MetricsCounterIncrement(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  auto& counter = registry.counter("bench_counter_total");
+  for (auto _ : state) {
+    counter.increment();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MetricsCounterIncrement);
+
+void BM_MetricsHistogramObserve(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  auto& hist = registry.histogram("bench_latency_seconds",
+                                  obs::exponentialBuckets(1e-4, 4.0, 10));
+  double v = 1e-4;
+  for (auto _ : state) {
+    hist.observe(v);
+    v = v > 1.0 ? 1e-4 : v * 1.7;  // sweep the bucket scan's full range
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MetricsHistogramObserve);
 
 void BM_JsonResultSerialization(benchmark::State& state) {
   const auto& c = rapmdCase();

@@ -62,6 +62,10 @@ int main(int argc, char** argv) {
   flags.addInt("capacity", 1 << 16, "per-shard queue capacity");
   flags.addString("policy", "block",
                   "backpressure: block | drop-oldest | drop-newest");
+  flags.addDouble("lag-interval", 0.0,
+                  "pipeline lag collector sample period in seconds "
+                  "(0 = off); compare rows/s against 0 to measure the "
+                  "collector's overhead");
   obs::addObsFlags(flags);
   if (auto status = flags.parse(argc, argv); !status.isOk()) {
     std::fprintf(stderr, "%s\n%s", status.toString().c_str(),
@@ -89,6 +93,7 @@ int main(int argc, char** argv) {
   config.backpressure = policy;
   config.window_width = 60;
   config.trigger = stream::TriggerPolicy::kOnAlarm;
+  config.lag_sample_interval_seconds = flags.getDouble("lag-interval");
 
   // A pool of concrete Table I CDN leaves, reused round-robin; building
   // the event (leaf copy included) is part of the measured producer work,
@@ -122,9 +127,10 @@ int main(int argc, char** argv) {
   engine.start();
 
   std::printf("ingesting %zu rows from %zu producers into %d shards "
-              "(policy=%s, capacity=%d)...\n",
+              "(policy=%s, capacity=%zu, lag-interval=%.3g)...\n",
               total, producers, config.shards,
-              flags.getString("policy").c_str(), flags.getInt("capacity"));
+              flags.getString("policy").c_str(), config.queue_capacity,
+              config.lag_sample_interval_seconds);
 
   std::atomic<bool> running{true};
   std::atomic<std::int64_t> peak_depth{0};

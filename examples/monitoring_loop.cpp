@@ -9,6 +9,7 @@
 //
 //   $ ./monitoring_loop [--seed N] [--metrics-out metrics.txt]
 //                       [--trace-out trace.json] [--log-json]
+//                       [--admin-port P] [--admin-linger S]
 #include <cstdio>
 #include <numeric>
 
@@ -26,6 +27,7 @@ int main(int argc, char** argv) {
   util::FlagParser flags;
   flags.addInt("seed", 31, "simulation seed");
   obs::addObsFlags(flags);
+  obs::addAdminFlags(flags);
   if (auto status = flags.parse(argc, argv); !status.isOk()) {
     std::fprintf(stderr, "%s\n%s", status.toString().c_str(),
                  flags.helpText(argv[0]).c_str());
@@ -35,6 +37,9 @@ int main(int argc, char** argv) {
   // runs; the snapshots are written on every exit path below.
   obs::enableFromFlags(flags);
   obs::ScopedDump obs_dump(flags);
+  // Batch workflow, so the generic obs endpoints only (no engine to
+  // probe); --admin-linger keeps them scrapeable after the run.
+  const auto admin = obs::maybeStartAdminServer(flags);
   RAP_TRACE_SPAN("monitoring_loop");
 
   // Simulated CDN with a failure at a random minute.
@@ -86,6 +91,7 @@ int main(int argc, char** argv) {
   if (!event) {
     std::printf("overall KPI monitor did not raise an alarm — no "
                 "localization triggered\n");
+    obs::adminLingerFromFlags(flags);
     return 1;
   }
   std::printf("ALARM at sample %lld: overall KPI %.0f vs baseline %.0f "
@@ -118,5 +124,6 @@ int main(int argc, char** argv) {
       if (result.patterns[i].ac == t) ++hits;
     }
   }
+  obs::adminLingerFromFlags(flags);
   return hits == incident.truth.size() ? 0 : 1;
 }

@@ -12,6 +12,7 @@
 //                     [--shards N] [--lateness T]
 //                     [--policy block|drop-oldest|drop-newest]
 //                     [--metrics-out metrics.txt] [--trace-out trace.json]
+//                     [--admin-port P] [--admin-linger S] [--lag-interval S]
 //
 // --speedup is in event-time units per wall-clock second (default six
 // simulated hours per second, ~2 s wall); 0 replays at full speed with
@@ -25,6 +26,7 @@
 #include "core/report.h"
 #include "gen/timeseries.h"
 #include "obs/obs.h"
+#include "stream/admin.h"
 #include "stream/engine.h"
 #include "stream/source.h"
 #include "util/flags.h"
@@ -53,7 +55,10 @@ int main(int argc, char** argv) {
   flags.addInt("lateness", -1, "allowed lateness, event-time units (-1 = auto)");
   flags.addString("policy", "block",
                   "backpressure: block | drop-oldest | drop-newest");
+  flags.addDouble("lag-interval", 0.25,
+                  "pipeline lag sampler period, seconds (0 = off)");
   obs::addObsFlags(flags);
+  obs::addAdminFlags(flags);
   if (auto status = flags.parse(argc, argv); !status.isOk()) {
     std::fprintf(stderr, "%s\n%s", status.toString().c_str(),
                  flags.helpText(argv[0]).c_str());
@@ -111,6 +116,7 @@ int main(int argc, char** argv) {
   // The source attaches seasonal-naive forecasts; healthy leaves sit well
   // under this, leaves losing >= 50% of traffic clear it comfortably.
   config.detect_threshold = 0.25;
+  config.lag_sample_interval_seconds = flags.getDouble("lag-interval");
 
   stream::StreamEngine engine(generator.schema(), config);
 
@@ -132,6 +138,13 @@ int main(int argc, char** argv) {
                     core::renderReport(engine.schema(), loc.result).c_str());
       });
   engine.start();
+  // Engine-aware /healthz + /statusz ride alongside the generic obs
+  // endpoints; the handlers only touch thread-safe engine accessors, so
+  // scraping during the replay is fine.
+  const auto admin = obs::maybeStartAdminServer(
+      flags, [&engine](obs::AdminServer& server) {
+        stream::installEngineAdminEndpoints(server, engine);
+      });
 
   auto events = stream::eventsFromTimeSeries(
       incident, config.window_width, ts_config.background.minutes_per_day,
@@ -146,6 +159,9 @@ int main(int argc, char** argv) {
        .speedup = speedup,
        .batch_size = 256});
   source.run(engine, std::move(events));
+  // Linger with the engine still running so /healthz stays green and
+  // /statusz shows the live pipeline while probes scrape.
+  obs::adminLingerFromFlags(flags);
   engine.stop();
 
   const auto stats = engine.stats();

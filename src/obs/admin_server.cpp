@@ -1,0 +1,360 @@
+#include "obs/admin_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/build_info.h"
+#include "obs/obs_internal.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace rap::obs {
+
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 8192;
+
+const char* statusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Internal Server Error";
+  }
+}
+
+/// Blocking full write; sockets may accept partial writes under
+/// pressure, and a scrape response must not be truncated silently.
+bool writeAll(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::int64_t HttpRequest::queryInt(const std::string& key,
+                                   std::int64_t fallback) const {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t end = query.find('&', pos);
+    if (end == std::string::npos) end = query.size();
+    const std::string part = query.substr(pos, end - pos);
+    const std::size_t eq = part.find('=');
+    if (eq != std::string::npos && part.substr(0, eq) == key) {
+      errno = 0;
+      char* tail = nullptr;
+      const long long v = std::strtoll(part.c_str() + eq + 1, &tail, 10);
+      if (errno == 0 && tail != nullptr && *tail == '\0' &&
+          tail != part.c_str() + eq + 1) {
+        return static_cast<std::int64_t>(v);
+      }
+      return fallback;
+    }
+    pos = end + 1;
+  }
+  return fallback;
+}
+
+AdminServer::AdminServer() : AdminServer(Options{}) {}
+
+AdminServer::AdminServer(Options options) : options_(std::move(options)) {
+  if (options_.workers == 0) options_.workers = 1;
+  if (options_.backlog == 0) options_.backlog = 1;
+}
+
+AdminServer::~AdminServer() { stop(); }
+
+void AdminServer::handle(std::string path, Handler handler) {
+  RAP_CHECK_MSG(!started_.load(), "install handlers before start()");
+  RAP_CHECK(handler != nullptr);
+  for (auto& [existing, fn] : routes_) {
+    if (existing == path) {
+      fn = std::move(handler);
+      return;
+    }
+  }
+  routes_.emplace_back(std::move(path), std::move(handler));
+}
+
+util::Status AdminServer::start() {
+  RAP_CHECK_MSG(!started_.load(), "admin server started twice");
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return util::Status::internal(
+        util::strFormat("socket(): %s", std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(fd);
+    return util::Status::invalidArgument("bad bind address '" +
+                                         options_.bind_address + "'");
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return util::Status::internal(
+        util::strFormat("bind(%s:%u): %s", options_.bind_address.c_str(),
+                        static_cast<unsigned>(options_.port),
+                        std::strerror(err)));
+  }
+  if (::listen(fd, 16) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return util::Status::internal(
+        util::strFormat("listen(): %s", std::strerror(err)));
+  }
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    return util::Status::internal(
+        util::strFormat("getsockname(): %s", std::strerror(err)));
+  }
+
+  listen_fd_ = fd;
+  port_.store(ntohs(bound.sin_port), std::memory_order_release);
+  stopping_.store(false, std::memory_order_release);
+  workers_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+  acceptor_ = std::thread([this] { acceptLoop(); });
+  started_.store(true, std::memory_order_release);
+  RAP_LOG_KV(Info, {"address", options_.bind_address},
+             {"port", static_cast<std::int64_t>(port())})
+      << "admin server listening";
+  return util::Status::ok();
+}
+
+void AdminServer::stop() {
+  if (!started_.load(std::memory_order_acquire)) return;
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
+
+  // shutdown() unblocks the acceptor's blocking accept(); close() alone
+  // is not guaranteed to on Linux.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+
+  // Workers drain connections already accepted, then exit on the empty
+  // queue + stopping flag.
+  queue_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+  workers_.clear();
+  RAP_LOG_KV(Info, {"requests", static_cast<std::int64_t>(requestsServed())})
+      << "admin server stopped";
+}
+
+void AdminServer::acceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // shutdown() during stop() lands here (EINVAL); anything else on
+      // a healthy listener is transient — bail only when stopping.
+      if (stopping_.load(std::memory_order_acquire)) return;
+      continue;
+    }
+    bool enqueued = false;
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      if (!stopping_.load(std::memory_order_acquire) &&
+          pending_.size() < options_.backlog) {
+        pending_.push_back(fd);
+        enqueued = true;
+      }
+    }
+    if (enqueued) {
+      queue_cv_.notify_one();
+    } else {
+      static constexpr char kBusy[] =
+          "HTTP/1.1 503 Service Unavailable\r\nContent-Length: 0\r\n"
+          "Connection: close\r\n\r\n";
+      writeAll(fd, kBusy, sizeof(kBusy) - 1);
+      ::close(fd);
+    }
+  }
+}
+
+void AdminServer::workerLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] {
+        return !pending_.empty() || stopping_.load(std::memory_order_acquire);
+      });
+      if (pending_.empty()) return;  // stopping and drained
+      fd = pending_.front();
+      pending_.pop_front();
+    }
+    serveConnection(fd);
+    ::close(fd);
+  }
+}
+
+void AdminServer::serveConnection(int fd) {
+  // One request per connection: read until the header terminator (the
+  // body, if any, is ignored), dispatch, respond, close.
+  std::string raw;
+  char buf[2048];
+  while (raw.size() < kMaxRequestBytes &&
+         raw.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+
+  HttpRequest request;
+  HttpResponse response;
+  const std::size_t line_end = raw.find("\r\n");
+  bool parsed = false;
+  if (line_end != std::string::npos) {
+    const std::string line = raw.substr(0, line_end);
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+    if (sp1 != std::string::npos && sp2 != std::string::npos) {
+      request.method = line.substr(0, sp1);
+      std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+      const std::size_t qmark = target.find('?');
+      if (qmark != std::string::npos) {
+        request.query = target.substr(qmark + 1);
+        target.resize(qmark);
+      }
+      request.path = std::move(target);
+      parsed = !request.method.empty() && !request.path.empty() &&
+               request.path.front() == '/';
+    }
+  }
+
+  if (!parsed) {
+    response = {400, "text/plain; charset=utf-8", "bad request\n"};
+  } else if (request.method != "GET" && request.method != "HEAD") {
+    response = {405, "text/plain; charset=utf-8", "method not allowed\n"};
+  } else {
+    const Handler* handler = nullptr;
+    for (const auto& [path, fn] : routes_) {
+      if (path == request.path) {
+        handler = &fn;
+        break;
+      }
+    }
+    if (handler == nullptr) {
+      response = {404, "text/plain; charset=utf-8", "not found\n"};
+    } else {
+      try {
+        response = (*handler)(request);
+      } catch (const std::exception& e) {
+        // An endpoint bug must not take down the serving plane.
+        response = {500, "text/plain; charset=utf-8",
+                    std::string("handler error: ") + e.what() + "\n"};
+      }
+    }
+  }
+
+  std::string head = util::strFormat(
+      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+      "Connection: close\r\n\r\n",
+      response.status, statusText(response.status),
+      response.content_type.c_str(), response.body.size());
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (!writeAll(fd, head.data(), head.size())) return;
+  if (request.method != "HEAD") {
+    writeAll(fd, response.body.data(), response.body.size());
+  }
+}
+
+std::string renderTracez(const TraceRecorder& recorder, std::size_t limit) {
+  auto events = recorder.snapshotEvents();
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.ts_us < b.ts_us;
+            });
+  const std::size_t begin = events.size() > limit ? events.size() - limit : 0;
+  std::string out = "{\"total\":" + std::to_string(events.size()) +
+                    ",\"events\":[";
+  for (std::size_t i = begin; i < events.size(); ++i) {
+    const TraceEvent& event = events[i];
+    if (i > begin) out += ",";
+    out += "{\"name\":\"";
+    out += internal::jsonEscape(event.name);
+    out += "\",\"ph\":\"";
+    out += event.phase;
+    out += "\",\"ts_us\":" + std::to_string(event.ts_us);
+    if (event.phase == 'X') {
+      out += ",\"dur_us\":" + std::to_string(event.dur_us);
+    }
+    if (event.flow_id != 0) {
+      out += ",\"id\":" + std::to_string(event.flow_id);
+    }
+    out += ",\"tid\":" + std::to_string(event.tid);
+    if (!event.args_json.empty()) out += ",\"args\":" + event.args_json;
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+void registerObsEndpoints(AdminServer& server, MetricsRegistry* registry,
+                          TraceRecorder* recorder) {
+  MetricsRegistry* metrics = registry ? registry : &defaultRegistry();
+  TraceRecorder* traces = recorder ? recorder : &defaultTraceRecorder();
+  registerBuildInfo(*metrics);
+
+  server.handle("/metrics", [metrics](const HttpRequest&) {
+    return HttpResponse{200, "text/plain; version=0.0.4; charset=utf-8",
+                        metrics->renderPrometheus()};
+  });
+  server.handle("/metrics.json", [metrics](const HttpRequest&) {
+    return HttpResponse{200, "application/json", metrics->renderJson()};
+  });
+  server.handle("/tracez", [traces](const HttpRequest& request) {
+    const std::int64_t limit = request.queryInt("limit", 64);
+    return HttpResponse{
+        200, "application/json",
+        renderTracez(*traces,
+                     limit > 0 ? static_cast<std::size_t>(limit) : 0)};
+  });
+  server.handle("/healthz", [](const HttpRequest&) {
+    return HttpResponse{200, "text/plain; charset=utf-8", "ok\n"};
+  });
+}
+
+}  // namespace rap::obs

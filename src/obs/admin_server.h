@@ -1,0 +1,151 @@
+// Embedded admin HTTP server — the live scrape surface of the obs
+// subsystem.
+//
+// A dependency-free HTTP/1.1 server on POSIX sockets: one blocking
+// accept loop plus a small worker set serving GET requests against a
+// path -> handler table.  Built for operational scraping of a running
+// daemon (Prometheus, curl, health probes), not for general traffic:
+// request bodies are ignored, responses always close the connection,
+// and the whole exchange is one read / one write per connection.
+//
+//   obs::AdminServer server({.port = 0});         // 0 = ephemeral
+//   obs::registerObsEndpoints(server);            // /metrics, /tracez, ...
+//   RAP_CHECK(server.start().isOk());
+//   ... server.port() is the bound port ...
+//   server.stop();                                // graceful, idempotent
+//
+// Threading: handlers run on worker threads, concurrently with each
+// other and with the rest of the process — they must only touch
+// thread-safe state (the metrics registry, the trace recorder, and the
+// StreamEngine accessors all qualify).  start()/stop() are control-
+// plane calls from one thread.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace rap::obs {
+
+/// One parsed request line.  Headers and bodies are intentionally not
+/// surfaced — admin endpoints key off method + path (+ query) only.
+struct HttpRequest {
+  std::string method;  ///< "GET", uppercased as received
+  std::string path;    ///< "/metrics" — target with the query stripped
+  std::string query;   ///< "limit=32" — text after '?', possibly empty
+
+  /// Integer query parameter `key`, or `fallback` when absent/garbled.
+  std::int64_t queryInt(const std::string& key, std::int64_t fallback) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+class AdminServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  struct Options {
+    /// Loopback by default: the admin plane is an operator surface, not
+    /// a public one.  Set to "0.0.0.0" to expose deliberately.
+    std::string bind_address = "127.0.0.1";
+    /// TCP port; 0 binds an ephemeral port (tests), read it back with
+    /// port() after start().
+    std::uint16_t port = 0;
+    /// Worker threads serving accepted connections.
+    std::size_t workers = 2;
+    /// Accepted connections waiting for a worker before new arrivals
+    /// are turned away with 503.
+    std::size_t backlog = 64;
+  };
+
+  /// Default options: loopback, ephemeral port.  (Separate constructor
+  /// because a `= {}` default argument would need the nested class's
+  /// member initializers before the enclosing class is complete.)
+  AdminServer();
+  explicit AdminServer(Options options);
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Installs (or replaces) the handler for an exact path.  Handlers
+  /// must be installed before start().
+  void handle(std::string path, Handler handler);
+
+  /// Binds, listens, and spawns the accept loop + workers.  Fails with
+  /// a Status (never a crash) when the address or port is unavailable.
+  util::Status start();
+
+  /// Graceful shutdown: stops accepting, serves connections already
+  /// queued, then joins every thread.  Idempotent; also run by the
+  /// destructor.
+  void stop();
+
+  bool running() const noexcept {
+    return started_.load(std::memory_order_acquire) &&
+           !stopping_.load(std::memory_order_acquire);
+  }
+
+  /// Port actually bound (resolves ephemeral port 0); 0 before start().
+  std::uint16_t port() const noexcept {
+    return port_.load(std::memory_order_acquire);
+  }
+
+  /// Requests served so far (any status), for tests and /statusz.
+  std::uint64_t requestsServed() const noexcept {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void acceptLoop();
+  void workerLoop();
+  void serveConnection(int fd);
+
+  Options options_;
+  std::vector<std::pair<std::string, Handler>> routes_;
+
+  int listen_fd_ = -1;
+  std::atomic<std::uint16_t> port_{0};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> requests_{0};
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;  ///< accepted fds awaiting a worker
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+};
+
+/// Installs the obs-backed endpoints on `server`:
+///   /metrics       Prometheus text exposition of `registry`
+///   /metrics.json  the same snapshot as JSON
+///   /tracez        recent trace events as JSON (?limit=N, default 64)
+///   /healthz       plain "ok" liveness (override with a richer probe)
+/// Also registers the rap_build_info gauge so every scrape identifies
+/// the binary.  Defaults target the process-wide registry/recorder.
+void registerObsEndpoints(AdminServer& server,
+                          MetricsRegistry* registry = nullptr,
+                          TraceRecorder* recorder = nullptr);
+
+/// Renders the /tracez JSON document from `recorder` (the newest
+/// `limit` events, ordered oldest first).  Exposed for tests.
+std::string renderTracez(const TraceRecorder& recorder, std::size_t limit);
+
+}  // namespace rap::obs

@@ -1,0 +1,33 @@
+// Build identity for scrapes and status pages.
+//
+// A daemon fleet is only debuggable when every scrape says which binary
+// produced it: rap_build_info is the Prometheus idiom for that — a
+// constant-1 gauge whose labels carry the identifying facts.  The same
+// facts back the /statusz "build" block.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace rap::obs {
+
+struct BuildInfo {
+  const char* version;     ///< project version (RAP_VERSION_STRING)
+  const char* compiler;    ///< e.g. "gcc 13.2.0"
+  const char* build_type;  ///< CMAKE_BUILD_TYPE, or "unspecified"
+  bool fault_injection;    ///< RAP_FAULT_INJECTION compiled in
+};
+
+/// The facts baked into this binary at compile time.
+const BuildInfo& buildInfo() noexcept;
+
+/// Registers the `rap_build_info` gauge (value 1, labels version /
+/// compiler / build_type / fault_injection) on `registry`.  Idempotent:
+/// re-registering the same series is a no-op by registry semantics.
+void registerBuildInfo(MetricsRegistry& registry = defaultRegistry());
+
+/// {"version":...,"compiler":...,...} for /statusz.
+std::string buildInfoJson();
+
+}  // namespace rap::obs

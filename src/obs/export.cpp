@@ -1,7 +1,10 @@
 #include "obs/export.h"
 
+#include <chrono>
 #include <cstdio>
+#include <thread>
 
+#include "obs/build_info.h"
 #include "obs/structured_log.h"
 #include "util/logging.h"
 #include "util/strings.h"
@@ -53,6 +56,51 @@ void enableFromFlags(const util::FlagParser& flags) {
   if (!flags.getString("metrics-out").empty()) setMetricsEnabled(true);
   if (!flags.getString("trace-out").empty()) setTracingEnabled(true);
   if (flags.getBool("log-json")) enableJsonLogging(stderr);
+}
+
+void addAdminFlags(util::FlagParser& flags) {
+  flags.addInt("admin-port", -1,
+               "serve live /metrics, /healthz, /statusz, /tracez on this "
+               "port (0 = ephemeral; -1 = off)");
+  flags.addInt("admin-linger", 0,
+               "keep the process (and admin server) alive this many "
+               "seconds after the workload finishes");
+}
+
+std::unique_ptr<AdminServer> maybeStartAdminServer(
+    const util::FlagParser& flags,
+    const std::function<void(AdminServer&)>& configure) {
+  const std::int64_t port = flags.getInt("admin-port");
+  if (port < 0) return nullptr;
+  if (port > 65535) {
+    RAP_LOG(Error) << "--admin-port " << port << " out of range; disabled";
+    return nullptr;
+  }
+  // A live scrape surface with frozen instrumentation would lie; turn
+  // everything on before the workload starts.
+  setMetricsEnabled(true);
+  setTracingEnabled(true);
+  auto server = std::make_unique<AdminServer>(
+      AdminServer::Options{.port = static_cast<std::uint16_t>(port)});
+  registerObsEndpoints(*server);
+  if (configure) configure(*server);
+  if (auto status = server->start(); !status.isOk()) {
+    RAP_LOG(Error) << "admin server failed to start: " << status.toString();
+    return nullptr;
+  }
+  // Printed (not just logged) so scripts probing an ephemeral port can
+  // parse it from stdout.
+  std::printf("admin server listening on 127.0.0.1:%u\n",
+              static_cast<unsigned>(server->port()));
+  std::fflush(stdout);
+  return server;
+}
+
+void adminLingerFromFlags(const util::FlagParser& flags) {
+  const std::int64_t seconds = flags.getInt("admin-linger");
+  if (seconds <= 0) return;
+  RAP_LOG_KV(Info, {"seconds", seconds}) << "admin server lingering";
+  std::this_thread::sleep_for(std::chrono::seconds(seconds));
 }
 
 util::Status dumpFromFlags(const util::FlagParser& flags) {

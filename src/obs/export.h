@@ -12,8 +12,11 @@
 // instrumentation stays at its disabled (near-zero) cost.
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <string>
 
+#include "obs/admin_server.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/flags.h"
@@ -35,6 +38,29 @@ util::Status writeTraceFile(const TraceRecorder& recorder,
 
 /// Registers --metrics-out, --trace-out, and --log-json.
 void addObsFlags(util::FlagParser& flags);
+
+/// Registers --admin-port (and --admin-linger for run-to-completion
+/// binaries).  Separate from addObsFlags: only binaries that actually
+/// start the server should accept the flag.
+void addAdminFlags(util::FlagParser& flags);
+
+/// Starts an admin server on --admin-port when the flag is >= 0 (0
+/// binds an ephemeral port — the bound port is logged and queryable via
+/// ->port()).  Serving live scrapes implies live metrics and tracing,
+/// so both are enabled and rap_build_info is registered.  `configure`,
+/// when given, runs after the obs endpoints are installed and before
+/// start() — the hook for engine-specific handlers
+/// (stream::installEngineAdminEndpoints).  Returns nullptr when the
+/// flag is negative (disabled) or binding fails (logged, never fatal:
+/// losing the admin plane must not kill the workload).
+std::unique_ptr<AdminServer> maybeStartAdminServer(
+    const util::FlagParser& flags,
+    const std::function<void(AdminServer&)>& configure = nullptr);
+
+/// Sleeps for --admin-linger seconds (no-op at the default 0) so a
+/// run-to-completion binary keeps its admin plane scrapeable after the
+/// workload finishes — the CI smoke probe and ad-hoc curl both use it.
+void adminLingerFromFlags(const util::FlagParser& flags);
 
 /// Enables metrics / tracing / JSON logging according to parsed flags.
 /// Call before the instrumented workload runs.

@@ -46,6 +46,27 @@ std::string jsonEscape(const std::string& text) {
   return out;
 }
 
+std::string promEscapeLabelValue(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
 std::string formatDouble(double v) {
   if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
     char buf[32];
@@ -196,7 +217,7 @@ std::string labelBlock(const Labels& labels, const std::string& extra_key = "",
     first = false;
     out += k;
     out += "=\"";
-    out += internal::jsonEscape(v);  // same escapes Prometheus expects
+    out += internal::promEscapeLabelValue(v);
     out += "\"";
   };
   for (const auto& [k, v] : labels) append(k, v);

@@ -2,13 +2,20 @@
 //
 //   * metrics.h        — counters / gauges / histograms + registry,
 //                        Prometheus and JSON exposition
-//   * trace.h          — RAP_TRACE_SPAN scoped spans, Chrome trace export
+//   * trace.h          — RAP_TRACE_SPAN scoped spans, traceFlow
+//                        cross-thread links, Chrome trace export
 //   * structured_log.h — JSON-lines sink for RAP_LOG / RAP_LOG_KV
-//   * export.h         — snapshot files + --metrics-out/--trace-out wiring
+//   * export.h         — snapshot files + --metrics-out/--trace-out and
+//                        --admin-port wiring
+//   * admin_server.h   — embedded HTTP server: live /metrics, /healthz,
+//                        /statusz, /tracez
+//   * build_info.h     — rap_build_info gauge + /statusz build block
 //
 // See docs/observability.md for naming conventions and usage.
 #pragma once
 
+#include "obs/admin_server.h"
+#include "obs/build_info.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/structured_log.h"

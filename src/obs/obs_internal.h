@@ -10,6 +10,11 @@ namespace rap::obs::internal {
 /// Minimal RFC 8259 string escaping (quotes, backslash, control chars).
 std::string jsonEscape(const std::string& text);
 
+/// Prometheus text-exposition label-value escaping: exactly backslash,
+/// double-quote, and line feed (the spec's three), everything else —
+/// tabs and other control bytes included — passes through verbatim.
+std::string promEscapeLabelValue(const std::string& text);
+
 /// Shortest-ish decimal rendering for exposition output: integers print
 /// without a fractional part, everything else with %.9g.
 std::string formatDouble(double v);

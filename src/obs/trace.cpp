@@ -73,10 +73,18 @@ std::string TraceRecorder::renderChromeTrace() const {
     if (!first) out += ",";
     first = false;
     out += "{\"name\":\"" + internal::jsonEscape(event.name) +
-           "\",\"cat\":\"rap\",\"ph\":\"X\",\"ts\":" +
-           std::to_string(event.ts_us) +
-           ",\"dur\":" + std::to_string(event.dur_us) +
-           ",\"pid\":1,\"tid\":" + std::to_string(event.tid);
+           "\",\"cat\":\"rap\",\"ph\":\"";
+    out += event.phase;
+    out += "\",\"ts\":" + std::to_string(event.ts_us);
+    if (event.phase == 'X') {
+      out += ",\"dur\":" + std::to_string(event.dur_us);
+    } else {
+      out += ",\"id\":" + std::to_string(event.flow_id);
+      // Terminating flow points bind to the enclosing slice rather than
+      // the next one, so the arrow lands inside the span it annotates.
+      if (event.phase == 'f') out += ",\"bp\":\"e\"";
+    }
+    out += ",\"pid\":1,\"tid\":" + std::to_string(event.tid);
     if (!event.args_json.empty()) {
       out += ",\"args\":" + event.args_json;
     }
@@ -136,6 +144,19 @@ std::string renderArgs(std::initializer_list<TraceArg> args) {
 }
 
 }  // namespace
+
+void traceFlow(char phase, const char* name, std::uint64_t flow_id,
+               std::initializer_list<TraceArg> args) {
+  if (!tracingEnabled()) return;
+  TraceRecorder& recorder = defaultTraceRecorder();
+  TraceEvent event;
+  event.name = name;
+  event.phase = phase;
+  event.flow_id = flow_id;
+  event.ts_us = recorder.nowMicros();
+  event.args_json = renderArgs(args);
+  recorder.record(std::move(event));
+}
 
 TraceSpan::TraceSpan(const char* name, std::initializer_list<TraceArg> args)
     : name_(name), active_(tracingEnabled()) {

@@ -49,13 +49,18 @@ struct TraceArg {
   bool quoted = true;
 };
 
-/// One finished span.  `name` points at a string literal (the macro
-/// only ever passes literals), timestamps are microseconds since the
-/// recorder's construction.
+/// One finished span or flow point.  `name` points at a string literal
+/// (the emitting macros/functions only ever pass literals), timestamps
+/// are microseconds since the recorder's construction.
 struct TraceEvent {
   const char* name = "";
+  /// Chrome trace phase: 'X' complete span (the default), or a flow
+  /// event — 's' start, 't' step, 'f' end — linking spans across
+  /// threads (see traceFlow).
+  char phase = 'X';
   std::uint64_t ts_us = 0;
-  std::uint64_t dur_us = 0;
+  std::uint64_t dur_us = 0;       ///< 'X' only
+  std::uint64_t flow_id = 0;      ///< flow events only; 0 = none
   std::uint32_t tid = 0;
   std::string args_json;  ///< pre-rendered "{...}" or empty
 };
@@ -107,6 +112,16 @@ inline bool tracingEnabled() noexcept {
   return internal::g_tracing_enabled.load(std::memory_order_relaxed);
 }
 void setTracingEnabled(bool enabled) noexcept;
+
+/// Records one flow point at "now" on the calling thread.  Flow events
+/// with the same (name, id) chain into one arrow sequence in Perfetto /
+/// chrome://tracing, each point binding to the 'X' span enclosing its
+/// timestamp on its thread — that is how one window's journey renders
+/// as a connected lane across the producer, sealer, and pool threads.
+/// `phase` is 's' (start), 't' (step), or 'f' (end).  No-op (one
+/// relaxed load + branch) while tracing is disabled.
+void traceFlow(char phase, const char* name, std::uint64_t flow_id,
+               std::initializer_list<TraceArg> args = {});
 
 /// RAII span; use via RAP_TRACE_SPAN.  A default-constructed span is
 /// inert (that is the disabled-tracing arm of the macro).

@@ -1,0 +1,172 @@
+#include "stream/admin.h"
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "obs/build_info.h"
+#include "stream/watermark.h"
+#include "util/strings.h"
+
+namespace rap::stream {
+
+namespace {
+
+const char* backpressureName(BackpressurePolicy policy) {
+  switch (policy) {
+    case BackpressurePolicy::kBlock:
+      return "block";
+    case BackpressurePolicy::kDropOldest:
+      return "drop_oldest";
+    case BackpressurePolicy::kDropNewest:
+      return "drop_newest";
+  }
+  return "unknown";
+}
+
+const char* triggerName(TriggerPolicy policy) {
+  switch (policy) {
+    case TriggerPolicy::kOnAlarm:
+      return "on_alarm";
+    case TriggerPolicy::kAnomalousWindow:
+      return "anomalous_window";
+    case TriggerPolicy::kEveryWindow:
+      return "every_window";
+  }
+  return "unknown";
+}
+
+void appendField(std::string& out, const char* key, std::uint64_t value) {
+  out += util::strFormat("\"%s\":%llu", key,
+                         static_cast<unsigned long long>(value));
+}
+
+/// Event-time fields use the kNone sentinel; render it as JSON null so
+/// a dashboard never mistakes INT64_MIN for a timestamp.
+void appendMaybe(std::string& out, const char* key, std::int64_t value) {
+  if (value == WatermarkTracker::kNone) {
+    out += util::strFormat("\"%s\":null", key);
+  } else {
+    out += util::strFormat("\"%s\":%lld", key,
+                           static_cast<long long>(value));
+  }
+}
+
+}  // namespace
+
+std::string renderStatusz(const StreamEngine& engine,
+                          const obs::AdminServer* server) {
+  const StreamStats stats = engine.stats();
+  const StreamConfig& config = engine.config();
+
+  std::string out = "{";
+  out += util::strFormat("\"running\":%s,",
+                         engine.running() ? "true" : "false");
+  double uptime = 0.0;
+  if (engine.startTime() != std::chrono::steady_clock::time_point{}) {
+    const std::chrono::duration<double> up =
+        std::chrono::steady_clock::now() - engine.startTime();
+    uptime = up.count();
+  }
+  out += util::strFormat("\"uptime_seconds\":%.3f,", uptime);
+  out += "\"build\":" + obs::buildInfoJson() + ",";
+
+  out += "\"stats\":{";
+  appendField(out, "ingested", stats.ingested);
+  out += ",";
+  appendField(out, "rejected", stats.rejected);
+  out += ",";
+  appendField(out, "rejected_quarantined", stats.rejected_quarantined);
+  out += ",";
+  appendField(out, "quarantine_overflowed", stats.quarantine_overflowed);
+  out += ",";
+  appendField(out, "dropped_oldest", stats.dropped_oldest);
+  out += ",";
+  appendField(out, "dropped_newest", stats.dropped_newest);
+  out += ",";
+  appendField(out, "late_admitted", stats.late_admitted);
+  out += ",";
+  appendField(out, "late_dropped", stats.late_dropped);
+  out += ",";
+  appendField(out, "windows_sealed", stats.windows_sealed);
+  out += ",";
+  appendField(out, "windows_dropped", stats.windows_dropped);
+  out += ",";
+  appendField(out, "alarms", stats.alarms);
+  out += ",";
+  appendField(out, "localizations", stats.localizations);
+  out += ",";
+  appendField(out, "localizations_degraded", stats.localizations_degraded);
+  out += ",";
+  appendField(out, "localize_failures", stats.localize_failures);
+  out += util::strFormat(",\"queue_depth\":%lld,",
+                         static_cast<long long>(stats.queue_depth));
+  appendMaybe(out, "watermark", stats.watermark);
+  out += "},";
+
+  out += "\"pipeline\":{";
+  appendMaybe(out, "max_event_ts", engine.maxEventTimestamp());
+  out += ",";
+  appendMaybe(out, "sealed_frontier_epoch", engine.sealedFrontierEpoch());
+  out += ",\"shard_queue_depths\":[";
+  const std::vector<std::size_t> depths = engine.shardQueueDepths();
+  for (std::size_t i = 0; i < depths.size(); ++i) {
+    if (i > 0) out += ",";
+    out += util::strFormat("%llu",
+                           static_cast<unsigned long long>(depths[i]));
+  }
+  out += util::strFormat(
+      "],\"localize_in_flight\":%llu,\"localize_threads\":%llu},",
+      static_cast<unsigned long long>(engine.localizeInFlight()),
+      static_cast<unsigned long long>(engine.localizeThreads()));
+
+  out += util::strFormat(
+      "\"config\":{\"shards\":%d,\"queue_capacity\":%llu,"
+      "\"backpressure\":\"%s\",\"window_width\":%lld,"
+      "\"allowed_lateness\":%lld,\"trigger\":\"%s\","
+      "\"detect_threshold\":%.9g,\"detect_two_sided\":%s,"
+      "\"top_k\":%d,\"localize_threads\":%llu,"
+      "\"localize_deadline_seconds\":%.9g,\"quarantine_capacity\":%llu,"
+      "\"lag_sample_interval_seconds\":%.9g}",
+      config.shards,
+      static_cast<unsigned long long>(config.queue_capacity),
+      backpressureName(config.backpressure),
+      static_cast<long long>(config.window_width),
+      static_cast<long long>(config.allowed_lateness),
+      triggerName(config.trigger), config.detect_threshold,
+      config.detect_two_sided ? "true" : "false", config.top_k,
+      static_cast<unsigned long long>(config.localize_threads),
+      config.localize_deadline_seconds,
+      static_cast<unsigned long long>(config.quarantine_capacity),
+      config.lag_sample_interval_seconds);
+
+  if (server != nullptr) {
+    out += util::strFormat(
+        ",\"admin\":{\"requests_served\":%llu}",
+        static_cast<unsigned long long>(server->requestsServed()));
+  }
+  out += "}";
+  return out;
+}
+
+void installEngineAdminEndpoints(obs::AdminServer& server,
+                                 const StreamEngine& engine) {
+  server.handle("/healthz", [&engine](const obs::HttpRequest&) {
+    obs::HttpResponse response;
+    if (engine.running()) {
+      response.body = "ok\n";
+    } else {
+      response.status = 503;
+      response.body = "stream engine stopped\n";
+    }
+    return response;
+  });
+  server.handle("/statusz", [&engine, &server](const obs::HttpRequest&) {
+    obs::HttpResponse response;
+    response.content_type = "application/json; charset=utf-8";
+    response.body = renderStatusz(engine, &server) + "\n";
+    return response;
+  });
+}
+
+}  // namespace rap::stream

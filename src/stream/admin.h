@@ -1,0 +1,36 @@
+// Engine-aware admin endpoints.
+//
+// The obs layer serves process-wide surfaces (/metrics, /tracez); this
+// glue upgrades two of them with live StreamEngine state:
+//
+//   /healthz  200 "ok" while the engine is running, 503 after stop()
+//             — a real readiness probe instead of bare liveness.
+//   /statusz  one JSON document an operator can curl mid-incident:
+//             build identity, uptime, the full StreamStats snapshot,
+//             the config the engine actually runs with, and the
+//             pipeline probes (frontiers, queue depths, pool load).
+//
+// Lives in src/stream (not obs) because obs must not depend on the
+// engine.  Install before server.start(); the handlers only touch the
+// engine's thread-safe accessors, so they are scrape-safe under load.
+#pragma once
+
+#include <string>
+
+#include "obs/admin_server.h"
+#include "stream/engine.h"
+
+namespace rap::stream {
+
+/// Installs /healthz and /statusz for `engine` on `server` (replacing
+/// the generic /healthz from registerObsEndpoints).  The engine must
+/// outlive the server.
+void installEngineAdminEndpoints(obs::AdminServer& server,
+                                 const StreamEngine& engine);
+
+/// The /statusz document; exposed for tests.  `server` may be null
+/// (the admin block is then omitted).
+std::string renderStatusz(const StreamEngine& engine,
+                          const obs::AdminServer* server);
+
+}  // namespace rap::stream

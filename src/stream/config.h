@@ -72,6 +72,13 @@ struct StreamConfig {
   /// Capacity of the dead-letter buffer holding events that fail
   /// validation at ingest (see stream/quarantine.h).
   std::size_t quarantine_capacity = 1024;
+
+  /// Sampling period of the background PipelineLagCollector publishing
+  /// watermark lag, per-shard queue depths, and localize-pool
+  /// utilization gauges (see stream/lag_collector.h).  0 disables the
+  /// sampler thread entirely — the default, so batch-style embeddings
+  /// pay nothing.
+  double lag_sample_interval_seconds = 0.0;
 };
 
 }  // namespace rap::stream

@@ -7,6 +7,7 @@
 #include "fault/fault.h"
 #include "io/checkpoint.h"
 #include "obs/trace.h"
+#include "stream/lag_collector.h"
 #include "util/logging.h"
 #include "util/status.h"
 #include "util/strings.h"
@@ -78,6 +79,8 @@ StreamEngine::StreamEngine(dataset::Schema schema, StreamConfig config)
       "rap_stream_window_seal_seconds", obs::exponentialBuckets(1e-5, 4.0, 10));
   metrics_.localize_seconds = &reg.histogram(
       "rap_stream_localize_seconds", obs::exponentialBuckets(1e-4, 4.0, 10));
+  metrics_.window_e2e_seconds = &reg.histogram(
+      "rap_stream_window_e2e_seconds", obs::exponentialBuckets(1e-3, 4.0, 10));
   metrics_.shard.late_admitted = &reg.counter("rap_stream_late_admitted_total");
   metrics_.shard.late_dropped = &reg.counter("rap_stream_late_dropped_total");
   metrics_.shard.queue_depth = metrics_.queue_depth;
@@ -124,7 +127,14 @@ void StreamEngine::start() {
   pool_ = std::make_unique<util::ThreadPool>(config_.localize_threads);
   for (auto& shard : shards_) shard->start();
   sealer_ = std::thread([this] { sealerLoop(); });
+  start_time_ = std::chrono::steady_clock::now();
   started_.store(true, std::memory_order_release);
+  if (config_.lag_sample_interval_seconds > 0.0) {
+    PipelineLagCollector::Options options;
+    options.interval_seconds = config_.lag_sample_interval_seconds;
+    lag_collector_ = std::make_unique<PipelineLagCollector>(*this, options);
+    lag_collector_->start();
+  }
 }
 
 const char* StreamEngine::invalidReason(
@@ -309,6 +319,17 @@ void StreamEngine::processWindow(SealedWindow window) {
   RAP_TRACE_SPAN("stream/seal_window",
                  {{"epoch", window.epoch},
                   {"rows", static_cast<std::int64_t>(window.rows.size())}});
+  if (obs::tracingEnabled()) {
+    // Terminate each contributing shard's seal -> sealer flow inside
+    // this span, so Perfetto draws one arrow per fragment converging on
+    // the seal slice.  Checkpoint-restored fragments (-1) have no
+    // originating span to link from.
+    for (const std::int32_t shard : window.contributors) {
+      if (shard < 0) continue;
+      obs::traceFlow('f', kWindowFlowName, windowFlowId(window.epoch, shard + 1),
+                     {{"epoch", window.epoch}, {"shard", shard}});
+    }
+  }
   std::sort(window.rows.begin(), window.rows.end(), rowLess);
 
   dataset::LeafTable table(schema_);
@@ -355,10 +376,18 @@ void StreamEngine::processWindow(SealedWindow window) {
   // validated at ingest, so the only throw paths left are injected
   // faults (and whatever a chaotic deployment surprises us with), which
   // are contained here as counted failures.
+  // Start the sealer -> localize-pool flow while still inside the seal
+  // span: the arrow leaves this slice and lands on the pool worker's
+  // localize slice, completing the window's cross-thread lane.
+  obs::traceFlow('s', kWindowFlowName, windowFlowId(window.epoch, 0),
+                 {{"epoch", window.epoch}});
   pool_->submit([this, epoch = window.epoch, start = window.start_ts,
                  end = window.end_ts, flagged, alarmed,
+                 first_seen = window.first_seen,
                  table = std::move(table)]() mutable {
     RAP_TRACE_SPAN("stream/localize", {{"epoch", epoch}});
+    obs::traceFlow('f', kWindowFlowName, windowFlowId(epoch, 0),
+                   {{"epoch", epoch}});
     util::WallTimer localize_timer;
     Localization out;
     out.epoch = epoch;
@@ -395,6 +424,13 @@ void StreamEngine::processWindow(SealedWindow window) {
       metrics_.localizations->increment();
       if (out.result.degraded) metrics_.localizations_degraded->increment();
       metrics_.localize_seconds->observe(localize_timer.elapsedSeconds());
+      if (first_seen != std::chrono::steady_clock::time_point{}) {
+        // Whole-pipeline latency: first fragment contribution (wall
+        // clock, stamped by the assembler) to localization done.
+        const std::chrono::duration<double> e2e =
+            std::chrono::steady_clock::now() - first_seen;
+        metrics_.window_e2e_seconds->observe(e2e.count());
+      }
     }
     if (localize_cb_) localize_cb_(out);
     std::lock_guard<std::mutex> lock(results_mutex_);
@@ -471,8 +507,9 @@ void StreamEngine::installCheckpoint(const io::StreamCheckpoint& checkpoint) {
   for (const auto& fragment : checkpoint.fragments) {
     if (fragment.shard < 0) {
       // Already past the shards when checkpointed: contribute straight
-      // to the assembler, pending the remaining shards' seals.
-      assembler_.contribute(fragment.epoch, fragment.rows);
+      // to the assembler, pending the remaining shards' seals.  The
+      // originating shard is gone, so the fragment carries no flow lane.
+      assembler_.contribute(-1, fragment.epoch, fragment.rows);
     } else {
       auto& open = states[static_cast<std::size_t>(fragment.shard)]
                        .open[fragment.epoch];
@@ -524,10 +561,19 @@ void StreamEngine::drain() {
     drain_cv_.wait(lock, [this, token] { return sealer_acked_drain_ >= token; });
   }
   pool_->wait();
+  // The hot path only touches these gauges when events move; refresh
+  // them here so a scrape right after a drain sees the settled state
+  // (depth 0, final watermark) instead of the last in-flight sample.
+  if (obs::metricsEnabled()) {
+    metrics_.queue_depth->set(static_cast<double>(
+        counters_.queued.load(std::memory_order_relaxed)));
+    metrics_.watermark->set(static_cast<double>(watermark_.watermark()));
+  }
 }
 
 void StreamEngine::stop() {
   if (!started_.load() || stopped_.load()) return;
+  if (lag_collector_) lag_collector_->stop();
   drain();
   stopped_.store(true, std::memory_order_release);
   for (auto& shard : shards_) shard->close();
@@ -568,6 +614,19 @@ StreamStats StreamEngine::stats() const {
   stats.queue_depth = counters_.queued.load(std::memory_order_relaxed);
   stats.watermark = watermark_.watermark();
   return stats;
+}
+
+std::vector<std::size_t> StreamEngine::shardQueueDepths() const {
+  std::vector<std::size_t> depths;
+  depths.reserve(shards_.size());
+  for (const auto& shard : shards_) depths.push_back(shard->queueDepth());
+  return depths;
+}
+
+std::size_t StreamEngine::localizeInFlight() const {
+  // pool_ exists from start() on and outlives stop(); before start()
+  // nothing can be in flight.
+  return pool_ ? pool_->inFlight() : 0;
 }
 
 std::vector<QuarantinedEvent> StreamEngine::takeQuarantined() {

@@ -27,6 +27,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -55,6 +56,8 @@ struct StreamCheckpoint;
 }  // namespace rap::io
 
 namespace rap::stream {
+
+class PipelineLagCollector;
 
 /// Point-in-time snapshot of the engine's counters.
 struct StreamStats {
@@ -174,6 +177,36 @@ class StreamEngine {
   const dataset::Schema& schema() const noexcept { return schema_; }
   const StreamConfig& config() const noexcept { return config_; }
 
+  // Read-only probes sampled by the PipelineLagCollector and the admin
+  // /statusz endpoint; all safe to call concurrently with full ingest
+  // load.
+
+  /// Ingest frontier: maximum event timestamp accepted so far
+  /// (WatermarkTracker::kNone before the first event).
+  std::int64_t maxEventTimestamp() const noexcept {
+    return watermark_.maxTimestamp();
+  }
+
+  /// Sealed frontier: highest epoch EVERY shard has sealed past
+  /// (WatermarkTracker::kNone until all shards have sealed something).
+  std::int64_t sealedFrontierEpoch() const { return assembler_.sealedUpTo(); }
+
+  /// Per-shard producer-queue depths, indexed by shard id.
+  std::vector<std::size_t> shardQueueDepths() const;
+
+  /// Localizations queued or running on the localization pool.
+  std::size_t localizeInFlight() const;
+
+  std::size_t localizeThreads() const noexcept {
+    return config_.localize_threads;
+  }
+
+  /// steady_clock point of start(); epoch value before the engine starts.
+  /// The admin /statusz endpoint derives uptime from it.
+  std::chrono::steady_clock::time_point startTime() const noexcept {
+    return start_time_;
+  }
+
  private:
   struct EngineMetrics {
     obs::Counter* ingested = nullptr;
@@ -191,6 +224,9 @@ class StreamEngine {
     obs::Gauge* watermark = nullptr;
     obs::Histogram* seal_seconds = nullptr;
     obs::Histogram* localize_seconds = nullptr;
+    /// Wall time from a window's first fragment contribution to its
+    /// localization completing — the whole-pipeline latency signal.
+    obs::Histogram* window_e2e_seconds = nullptr;
     ShardMetrics shard;
   };
 
@@ -228,6 +264,10 @@ class StreamEngine {
   /// borrow it.
   std::unique_ptr<util::ThreadPool> search_pool_;
   std::unique_ptr<util::ThreadPool> pool_;
+  /// Background gauge sampler, owned iff
+  /// config.lag_sample_interval_seconds > 0 (see stream/lag_collector.h).
+  std::unique_ptr<PipelineLagCollector> lag_collector_;
+  std::chrono::steady_clock::time_point start_time_{};
 
   std::atomic<std::uint64_t> windows_sealed_{0};
   std::atomic<std::uint64_t> windows_dropped_{0};

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "obs/trace.h"
 #include "util/status.h"
 
 namespace rap::stream {
@@ -112,7 +113,20 @@ void Shard::bucketEvents(std::vector<StreamEvent>& batch) {
 
 void Shard::sealUpTo(std::int64_t epoch) {
   for (auto it = open_.begin(); it != open_.end() && it->first <= epoch;) {
-    assembler_.contribute(it->first, std::move(it->second));
+    if (obs::tracingEnabled()) {
+      // The ingest-side stage of the window's trace lane: a span over
+      // this shard's fragment hand-off, starting the flow the sealer
+      // terminates in processWindow.
+      RAP_TRACE_SPAN("stream/shard_seal",
+                     {{"epoch", it->first},
+                      {"shard", id_},
+                      {"rows", static_cast<std::int64_t>(it->second.size())}});
+      obs::traceFlow('s', kWindowFlowName, windowFlowId(it->first, id_ + 1),
+                     {{"epoch", it->first}, {"shard", id_}});
+      assembler_.contribute(id_, it->first, std::move(it->second));
+    } else {
+      assembler_.contribute(id_, it->first, std::move(it->second));
+    }
     it = open_.erase(it);
   }
   assembler_.sealShardUpTo(id_, epoch);

@@ -16,17 +16,20 @@ WindowAssembler::WindowAssembler(std::int32_t shard_count,
   RAP_CHECK(window_width >= 1);
 }
 
-void WindowAssembler::contribute(std::int64_t epoch,
+void WindowAssembler::contribute(std::int32_t shard, std::int64_t epoch,
                                  std::vector<dataset::LeafRow> rows) {
   if (rows.empty()) return;
   std::lock_guard<std::mutex> lock(mutex_);
-  auto& slot = pending_[epoch];
-  if (slot.empty()) {
-    slot = std::move(rows);
+  auto [it, inserted] = pending_.try_emplace(epoch);
+  Pending& slot = it->second;
+  if (inserted) slot.first_seen = std::chrono::steady_clock::now();
+  if (slot.rows.empty()) {
+    slot.rows = std::move(rows);
   } else {
-    slot.insert(slot.end(), std::make_move_iterator(rows.begin()),
-                std::make_move_iterator(rows.end()));
+    slot.rows.insert(slot.rows.end(), std::make_move_iterator(rows.begin()),
+                     std::make_move_iterator(rows.end()));
   }
+  slot.contributors.push_back(shard);
 }
 
 void WindowAssembler::sealShardUpTo(std::int32_t shard, std::int64_t epoch) {
@@ -43,7 +46,9 @@ std::int64_t WindowAssembler::sealedUpTo() const {
 std::map<std::int64_t, std::vector<dataset::LeafRow>>
 WindowAssembler::snapshotPending() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return pending_;
+  std::map<std::int64_t, std::vector<dataset::LeafRow>> out;
+  for (const auto& [epoch, pending] : pending_) out[epoch] = pending.rows;
+  return out;
 }
 
 std::optional<SealedWindow> WindowAssembler::popReadyLocked() {
@@ -58,7 +63,10 @@ std::optional<SealedWindow> WindowAssembler::popReadyLocked() {
   window.epoch = first->first;
   window.start_ts = first->first * window_width_;
   window.end_ts = window.start_ts + window_width_;
-  window.rows = std::move(first->second);
+  window.rows = std::move(first->second.rows);
+  window.contributors = std::move(first->second.contributors);
+  window.first_seen = first->second.first_seen;
+  std::sort(window.contributors.begin(), window.contributors.end());
   pending_.erase(first);
   return window;
 }

@@ -10,6 +10,7 @@
 // aggregate-KPI alarm's seasonal phase arithmetic honest downstream.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -27,7 +28,28 @@ struct SealedWindow {
   std::int64_t start_ts = 0;  ///< inclusive
   std::int64_t end_ts = 0;    ///< exclusive
   std::vector<dataset::LeafRow> rows;  ///< concatenated shard fragments
+  /// Shard ids that contributed fragments, ascending; -1 entries come
+  /// from checkpoint-restored fragments whose origin is gone.  The
+  /// sealer terminates each shard's trace flow against this list.
+  std::vector<std::int32_t> contributors;
+  /// Wall clock of the first fragment contribution for this epoch — the
+  /// start of the rap_stream_window_e2e_seconds pipeline-latency clock.
+  std::chrono::steady_clock::time_point first_seen{};
 };
+
+/// Trace-flow id for one window's hop between pipeline stages.  Lane 0
+/// is the sealer -> localize-pool hop; lane (shard + 1) is shard
+/// `shard`'s seal -> sealer hop.  Flow events sharing (name, id) chain
+/// into one Perfetto arrow sequence, so every id folds in the epoch.
+constexpr std::uint64_t windowFlowId(std::int64_t epoch,
+                                     std::int32_t lane) noexcept {
+  return (static_cast<std::uint64_t>(epoch) << 9) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(lane)) &
+          0x1ffu);
+}
+
+/// The flow name every window hop is emitted under (see windowFlowId).
+inline constexpr const char* kWindowFlowName = "stream/window";
 
 /// Thread-safe collector of shard fragments.  Epochs with no rows are
 /// skipped entirely (a sparse stream produces no empty windows, matching
@@ -40,8 +62,11 @@ class WindowAssembler {
   WindowAssembler& operator=(const WindowAssembler&) = delete;
 
   /// Appends one shard's fragment for `epoch`.  Must happen before that
-  /// shard seals past the epoch.
-  void contribute(std::int64_t epoch, std::vector<dataset::LeafRow> rows);
+  /// shard seals past the epoch.  `shard` identifies the contributor
+  /// for trace correlation; pass -1 for fragments restored from a
+  /// checkpoint (their producing shard no longer exists).
+  void contribute(std::int32_t shard, std::int64_t epoch,
+                  std::vector<dataset::LeafRow> rows);
 
   /// Shard `shard` promises no further contribute() at epoch <= `epoch`.
   /// Monotone per shard (lower values are ignored).
@@ -62,12 +87,18 @@ class WindowAssembler {
       const;
 
  private:
+  struct Pending {
+    std::vector<dataset::LeafRow> rows;
+    std::vector<std::int32_t> contributors;
+    std::chrono::steady_clock::time_point first_seen{};
+  };
+
   std::optional<SealedWindow> popReadyLocked();
 
   const std::int64_t window_width_;
 
   mutable std::mutex mutex_;
-  std::map<std::int64_t, std::vector<dataset::LeafRow>> pending_;
+  std::map<std::int64_t, Pending> pending_;
   std::vector<std::int64_t> shard_sealed_;  ///< per shard, kNone initially
 };
 

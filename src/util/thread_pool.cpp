@@ -41,6 +41,11 @@ void ThreadPool::wait() {
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+std::size_t ThreadPool::inFlight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return in_flight_;
+}
+
 void ThreadPool::workerLoop() {
   for (;;) {
     std::function<void()> task;

@@ -34,12 +34,16 @@ class ThreadPool {
   /// Block until every submitted task has finished.
   void wait();
 
+  /// Tasks submitted but not yet finished (queued + running) — the
+  /// utilization signal the stream lag collector samples.
+  std::size_t inFlight() const;
+
  private:
   void workerLoop();
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable all_done_;
   std::size_t in_flight_ = 0;

@@ -1,0 +1,300 @@
+// Admin HTTP server: socket-level endpoint tests on ephemeral ports,
+// plus the engine-aware /healthz and /statusz glue under concurrent
+// ingest.  Every test binds port 0 so suites can run in parallel.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/admin_server.h"
+#include "obs/build_info.h"
+#include "stream/admin.h"
+#include "stream/engine.h"
+
+namespace rap {
+namespace {
+
+/// Minimal blocking HTTP client: one request, whole response as text.
+std::string httpRequest(std::uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string httpGet(std::uint16_t port, const std::string& target) {
+  return httpRequest(port, "GET " + target +
+                               " HTTP/1.1\r\nHost: localhost\r\n"
+                               "Connection: close\r\n\r\n");
+}
+
+int statusOf(const std::string& response) {
+  // "HTTP/1.1 200 OK\r\n..."
+  const std::size_t sp = response.find(' ');
+  if (sp == std::string::npos) return -1;
+  return std::atoi(response.c_str() + sp + 1);
+}
+
+std::string bodyOf(const std::string& response) {
+  const std::size_t pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? "" : response.substr(pos + 4);
+}
+
+TEST(AdminServer, BindsEphemeralPortAndDispatchesByPath) {
+  obs::AdminServer server;
+  server.handle("/hello", [](const obs::HttpRequest&) {
+    return obs::HttpResponse{200, "text/plain; charset=utf-8", "hi\n"};
+  });
+  ASSERT_TRUE(server.start().isOk());
+  ASSERT_NE(server.port(), 0);
+  EXPECT_TRUE(server.running());
+
+  const std::string ok = httpGet(server.port(), "/hello");
+  EXPECT_EQ(statusOf(ok), 200);
+  EXPECT_EQ(bodyOf(ok), "hi\n");
+
+  EXPECT_EQ(statusOf(httpGet(server.port(), "/nope")), 404);
+
+  server.stop();
+  server.stop();  // idempotent
+  EXPECT_FALSE(server.running());
+  EXPECT_GE(server.requestsServed(), 2u);
+}
+
+TEST(AdminServer, RejectsNonGetAndGarbage) {
+  obs::AdminServer server;
+  server.handle("/x", [](const obs::HttpRequest&) {
+    return obs::HttpResponse{};
+  });
+  ASSERT_TRUE(server.start().isOk());
+  EXPECT_EQ(statusOf(httpRequest(server.port(),
+                                 "POST /x HTTP/1.1\r\n\r\n")),
+            405);
+  EXPECT_EQ(statusOf(httpRequest(server.port(), "garbage\r\n\r\n")), 400);
+  // HEAD is served headers-only.
+  const std::string head =
+      httpRequest(server.port(), "HEAD /x HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(statusOf(head), 200);
+  EXPECT_EQ(bodyOf(head), "");
+}
+
+TEST(AdminServer, HandlerExceptionBecomes500) {
+  obs::AdminServer server;
+  server.handle("/boom", [](const obs::HttpRequest&) -> obs::HttpResponse {
+    throw std::runtime_error("kaput");
+  });
+  ASSERT_TRUE(server.start().isOk());
+  const std::string response = httpGet(server.port(), "/boom");
+  EXPECT_EQ(statusOf(response), 500);
+  EXPECT_NE(bodyOf(response).find("kaput"), std::string::npos);
+}
+
+TEST(AdminServer, SecondBindOnSamePortFailsWithStatus) {
+  obs::AdminServer first;
+  first.handle("/", [](const obs::HttpRequest&) {
+    return obs::HttpResponse{};
+  });
+  ASSERT_TRUE(first.start().isOk());
+  obs::AdminServer::Options options;
+  options.port = first.port();
+  obs::AdminServer second(options);
+  second.handle("/", [](const obs::HttpRequest&) {
+    return obs::HttpResponse{};
+  });
+  EXPECT_FALSE(second.start().isOk());
+  EXPECT_FALSE(second.running());
+}
+
+TEST(AdminServer, ServesObsEndpointsFromIsolatedRegistry) {
+  obs::MetricsRegistry registry;
+  registry.counter("admin_test_total").increment(7);
+  obs::TraceRecorder recorder;
+  obs::TraceEvent span;
+  span.name = "unit/span";
+  span.ts_us = 10;
+  span.dur_us = 5;
+  recorder.record(span);
+
+  obs::AdminServer server;
+  obs::registerObsEndpoints(server, &registry, &recorder);
+  ASSERT_TRUE(server.start().isOk());
+
+  const std::string metrics = httpGet(server.port(), "/metrics");
+  EXPECT_EQ(statusOf(metrics), 200);
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("admin_test_total 7"), std::string::npos);
+  // Every scrape carries the build-identity gauge.
+  EXPECT_NE(metrics.find("rap_build_info{"), std::string::npos);
+
+  const std::string json = httpGet(server.port(), "/metrics.json");
+  EXPECT_EQ(statusOf(json), 200);
+  EXPECT_NE(bodyOf(json).find("\"admin_test_total\""), std::string::npos);
+
+  const std::string tracez = httpGet(server.port(), "/tracez?limit=8");
+  EXPECT_EQ(statusOf(tracez), 200);
+  EXPECT_NE(bodyOf(tracez).find("\"unit/span\""), std::string::npos);
+
+  const std::string health = httpGet(server.port(), "/healthz");
+  EXPECT_EQ(statusOf(health), 200);
+  EXPECT_EQ(bodyOf(health), "ok\n");
+}
+
+TEST(AdminServer, ConcurrentScrapesAllSucceed) {
+  obs::MetricsRegistry registry;
+  registry.counter("spam_total").increment();
+  obs::AdminServer server;
+  obs::registerObsEndpoints(server, &registry);
+  ASSERT_TRUE(server.start().isOk());
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 16;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> scrapers;
+  for (int t = 0; t < kThreads; ++t) {
+    scrapers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        if (statusOf(httpGet(server.port(), "/metrics")) == 200) {
+          ok.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : scrapers) t.join();
+  EXPECT_EQ(ok.load(), kThreads * kPerThread);
+  EXPECT_GE(server.requestsServed(),
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+TEST(RenderTracez, KeepsNewestEventsInTimestampOrder) {
+  obs::TraceRecorder recorder;
+  for (int i = 0; i < 5; ++i) {
+    obs::TraceEvent event;
+    event.name = i % 2 == 0 ? "even" : "odd";
+    event.ts_us = static_cast<std::uint64_t>(100 - i);  // reverse order
+    recorder.record(event);
+  }
+  const std::string doc = obs::renderTracez(recorder, 2);
+  EXPECT_NE(doc.find("\"total\":5"), std::string::npos);
+  // Newest two by timestamp are ts 99 ("odd") then ts 100 ("even").
+  const std::size_t odd = doc.find("\"odd\"");
+  const std::size_t even = doc.find("\"even\"");
+  ASSERT_NE(odd, std::string::npos);
+  ASSERT_NE(even, std::string::npos);
+  EXPECT_LT(odd, even);
+}
+
+// ---------------------------------------------------------------------------
+// Engine-aware endpoints.
+
+dataset::Schema adminSchema() { return dataset::Schema::synthetic({3, 2}); }
+
+stream::StreamEvent eventAt(std::int64_t ts, dataset::ElemId a,
+                            dataset::ElemId b, double v, double f) {
+  stream::StreamEvent event;
+  event.leaf = dataset::AttributeCombination({a, b});
+  event.ts = ts;
+  event.v = v;
+  event.f = f;
+  return event;
+}
+
+TEST(EngineAdmin, HealthzTracksEngineLifecycleAndStatuszIsLive) {
+  stream::StreamConfig config;
+  config.shards = 2;
+  config.window_width = 10;
+  config.trigger = stream::TriggerPolicy::kEveryWindow;
+  stream::StreamEngine engine(adminSchema(), config);
+
+  obs::AdminServer server;
+  obs::registerObsEndpoints(server);
+  stream::installEngineAdminEndpoints(server, engine);
+  ASSERT_TRUE(server.start().isOk());
+
+  // Not started yet: the readiness probe must say so.
+  EXPECT_EQ(statusOf(httpGet(server.port(), "/healthz")), 503);
+
+  engine.start();
+  EXPECT_EQ(statusOf(httpGet(server.port(), "/healthz")), 200);
+
+  // Scrape /statusz concurrently with ingest and a drain — the handler
+  // may only touch thread-safe engine state.
+  std::atomic<bool> scraping{true};
+  std::atomic<int> scrapes_ok{0};
+  std::thread scraper([&] {
+    while (scraping.load()) {
+      const std::string response = httpGet(server.port(), "/statusz");
+      if (statusOf(response) == 200 &&
+          bodyOf(response).find("\"pipeline\"") != std::string::npos) {
+        scrapes_ok.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  for (std::int64_t ts = 0; ts < 300; ++ts) {
+    engine.ingest(eventAt(ts, static_cast<dataset::ElemId>(ts % 3),
+                          static_cast<dataset::ElemId>(ts % 2), 1.0, 1.0));
+  }
+  engine.drain();
+  scraping.store(false);
+  scraper.join();
+  EXPECT_GT(scrapes_ok.load(), 0);
+
+  const std::string statusz = bodyOf(httpGet(server.port(), "/statusz"));
+  EXPECT_NE(statusz.find("\"running\":true"), std::string::npos);
+  EXPECT_NE(statusz.find("\"ingested\":300"), std::string::npos);
+  EXPECT_NE(statusz.find("\"shards\":2"), std::string::npos);
+  EXPECT_NE(statusz.find("\"build\":{"), std::string::npos);
+  EXPECT_NE(statusz.find("\"shard_queue_depths\":[0,0]"), std::string::npos);
+
+  engine.stop();
+  EXPECT_EQ(statusOf(httpGet(server.port(), "/healthz")), 503);
+  const std::string stopped = bodyOf(httpGet(server.port(), "/statusz"));
+  EXPECT_NE(stopped.find("\"running\":false"), std::string::npos);
+}
+
+TEST(EngineAdmin, RenderStatuszIsWellFormedBeforeStart) {
+  stream::StreamConfig config;
+  config.shards = 1;
+  config.window_width = 5;
+  stream::StreamEngine engine(adminSchema(), config);
+  const std::string doc = stream::renderStatusz(engine, nullptr);
+  // Event-time sentinels render as null, not INT64_MIN.
+  EXPECT_NE(doc.find("\"watermark\":null"), std::string::npos);
+  EXPECT_NE(doc.find("\"max_event_ts\":null"), std::string::npos);
+  EXPECT_NE(doc.find("\"uptime_seconds\":0.000"), std::string::npos);
+  EXPECT_EQ(doc.find("\"admin\""), std::string::npos);
+  EXPECT_EQ(doc.front(), '{');
+  EXPECT_EQ(doc.back(), '}');
+}
+
+}  // namespace
+}  // namespace rap

@@ -176,6 +176,47 @@ TEST(MetricsRegistry, PrometheusExposition) {
   EXPECT_NE(text.find("rap_test_seconds_sum"), std::string::npos);
 }
 
+TEST(MetricsRegistry, PrometheusEscapesHostileLabelValues) {
+  MetricsRegistry registry;
+  // Exposition-spec escapes inside a label value: backslash, double
+  // quote, and line feed.  A raw newline would split the sample line and
+  // corrupt the whole scrape.
+  registry.counter("rap_test_total", {{"path", "C:\\tmp\\\"x\"\nnext"}})
+      .increment();
+  const std::string text = registry.renderPrometheus();
+  EXPECT_NE(
+      text.find("rap_test_total{path=\"C:\\\\tmp\\\\\\\"x\\\"\\nnext\"} 1"),
+      std::string::npos);
+  // No literal newline may survive inside the braces.
+  const std::size_t open = text.find("rap_test_total{");
+  ASSERT_NE(open, std::string::npos);
+  const std::size_t close = text.find('}', open);
+  ASSERT_NE(close, std::string::npos);
+  EXPECT_EQ(text.substr(open, close - open).find('\n'), std::string::npos);
+  // The JSON exposition of the same series must stay valid JSON (its
+  // own escaping, not Prometheus's).
+  const std::string json = registry.renderJson();
+  EXPECT_NE(json.find("C:\\\\tmp\\\\\\\"x\\\"\\nnext"), std::string::npos);
+}
+
+TEST(BuildInfo, GaugeCarriesBinaryIdentity) {
+  MetricsRegistry registry;
+  registerBuildInfo(registry);
+  registerBuildInfo(registry);  // idempotent: still one series
+  EXPECT_EQ(registry.seriesCount(), 1u);
+  const std::string text = registry.renderPrometheus();
+  const BuildInfo& info = buildInfo();
+  EXPECT_NE(text.find("# TYPE rap_build_info gauge"), std::string::npos);
+  EXPECT_NE(text.find(std::string("version=\"") + info.version + "\""),
+            std::string::npos);
+  EXPECT_NE(text.find(std::string("build_type=\"") + info.build_type + "\""),
+            std::string::npos);
+  EXPECT_NE(text.find(std::string("fault_injection=\"") +
+                      (info.fault_injection ? "on" : "off") + "\""),
+            std::string::npos);
+  EXPECT_NE(buildInfoJson().find("\"compiler\":"), std::string::npos);
+}
+
 TEST(MetricsRegistry, JsonExposition) {
   MetricsRegistry registry;
   registry.counter("events_total", {{"kind", "x"}}).increment(7);
@@ -257,6 +298,45 @@ TEST(Trace, ChromeTraceJsonShape) {
   EXPECT_NE(json.find("\"args\":{\"k\":3.5}"), std::string::npos);
   EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
   recorder.clear();
+}
+
+TEST(Trace, FlowEventsRenderWithSharedIdAndEndBinding) {
+  TraceRecorder& recorder = defaultTraceRecorder();
+  recorder.clear();
+  setTracingEnabled(true);
+  {
+    RAP_TRACE_SPAN("producer_side");
+    traceFlow('s', "flow/x", 42, {{"epoch", 7}});
+  }
+  {
+    RAP_TRACE_SPAN("consumer_side");
+    traceFlow('f', "flow/x", 42);
+  }
+  setTracingEnabled(false);
+
+  const std::string json = recorder.renderChromeTrace();
+  // Both points share (name, id), which is what chains them into one
+  // Perfetto arrow.
+  EXPECT_NE(json.find("\"name\":\"flow/x\",\"cat\":\"rap\",\"ph\":\"s\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"flow/x\",\"cat\":\"rap\",\"ph\":\"f\""),
+            std::string::npos);
+  // The terminating point binds to its enclosing slice.
+  const std::size_t f_pos = json.find("\"ph\":\"f\"");
+  ASSERT_NE(f_pos, std::string::npos);
+  EXPECT_NE(json.find("\"bp\":\"e\"", f_pos), std::string::npos);
+  // Flow points carry the id; spans do not.
+  EXPECT_NE(json.find("\"id\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"epoch\":7}"), std::string::npos);
+  recorder.clear();
+}
+
+TEST(Trace, DisabledFlowRecordsNothing) {
+  TraceRecorder& recorder = defaultTraceRecorder();
+  recorder.clear();
+  setTracingEnabled(false);
+  traceFlow('s', "flow/none", 1);
+  EXPECT_EQ(recorder.eventCount(), 0u);
 }
 
 TEST(Trace, SpansFromManyThreadsAllRecorded) {
