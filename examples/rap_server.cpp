@@ -1,0 +1,139 @@
+// rap_server — localization-as-a-service daemon: the full src/svc stack
+// (JobManager + ResultCache + LocalizeService) mounted on the embedded
+// admin HTTP server, plus the obs endpoints, in one process.
+//
+//   $ ./rap_server --schema schema.csv [--port 8080]
+//   $ curl -X POST --data-binary @snapshot.csv \
+//         'http://127.0.0.1:8080/api/v1/localize?k=5'
+//   $ curl 'http://127.0.0.1:8080/api/v1/jobs'
+//   $ curl 'http://127.0.0.1:8080/metrics'
+//
+// Without --schema the daemon serves the built-in demo schema
+// (dataset::Schema::tiny()), which is what the CI smoke test posts
+// against.  The bound port is printed on stdout ("listening on ...") so
+// scripts can scrape it when --port 0 picks an ephemeral port.
+//
+// The daemon runs until SIGINT/SIGTERM, then stops the server
+// gracefully (in-flight requests finish, queued jobs drain on
+// JobManager shutdown).
+#include <csignal>
+#include <cstdio>
+#include <thread>
+
+#include "core/rapminer.h"
+#include "dataset/schema.h"
+#include "io/dataset_io.h"
+#include "obs/admin_server.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "svc/service.h"
+#include "util/flags.h"
+
+using namespace rap;
+
+namespace {
+
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void onSignal(int) { g_shutdown = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::FlagParser flags;
+  flags.addString("schema", "",
+                  "schema sidecar CSV; empty serves the built-in demo schema");
+  flags.addString("bind", "127.0.0.1", "listen address");
+  flags.addInt("port", 8080, "listen port (0 = ephemeral, printed on stdout)");
+  flags.addInt("http-workers", 2, "HTTP worker threads");
+  flags.addInt("job-workers", 2, "localization worker threads");
+  flags.addInt("queue-capacity", 64,
+               "queued jobs beyond which POSTs are shed with 429");
+  flags.addInt("cache-capacity", 128, "result cache entries (0 disables)");
+  flags.addDouble("cache-ttl", 300.0,
+                  "result cache TTL in seconds (0 = never expires)");
+  flags.addInt("sync-row-limit", 4096,
+               "auto mode: snapshots up to this many rows run synchronously");
+  flags.addInt("k", 5, "default top-k patterns per request");
+  flags.addDouble("t-cp", 0.0005, "default classification-power threshold");
+  flags.addDouble("t-conf", 0.8, "default anomaly-confidence threshold");
+  flags.addDouble("detect-threshold", 0.095,
+                  "relative-deviation threshold for unlabeled snapshots");
+  flags.addDouble("read-timeout", 10.0,
+                  "per-connection socket read timeout in seconds");
+  flags.addBool("trace", false, "record trace spans (serve via /tracez)");
+  if (auto status = flags.parse(argc, argv); !status.isOk()) {
+    std::fprintf(stderr, "%s\n%s", status.toString().c_str(),
+                 flags.helpText(argv[0]).c_str());
+    return 2;
+  }
+
+  // A serving daemon always publishes its metrics; tracing is opt-in
+  // (span buffers grow until scraped, wrong default for a long run).
+  obs::setMetricsEnabled(true);
+  obs::setTracingEnabled(flags.getBool("trace"));
+
+  dataset::Schema schema = dataset::Schema::tiny();
+  const std::string schema_path = flags.getString("schema");
+  if (!schema_path.empty()) {
+    auto loaded = io::loadSchema(schema_path);
+    if (!loaded.isOk()) {
+      std::fprintf(stderr, "schema: %s\n",
+                   loaded.status().toString().c_str());
+      return 1;
+    }
+    schema = std::move(loaded.value());
+  } else {
+    std::printf("no --schema given; serving the built-in demo schema\n");
+  }
+
+  const auto base = core::RapMiner::Builder()
+                        .tCp(flags.getDouble("t-cp"))
+                        .tConf(flags.getDouble("t-conf"))
+                        .build();
+  if (!base.isOk()) {
+    std::fprintf(stderr, "config: %s\n", base.status().toString().c_str());
+    return 2;
+  }
+
+  svc::LocalizeService::Options options;
+  options.default_k = static_cast<std::int32_t>(flags.getInt("k"));
+  options.default_detect_threshold = flags.getDouble("detect-threshold");
+  options.sync_row_limit =
+      static_cast<std::size_t>(flags.getInt("sync-row-limit"));
+  options.jobs.workers = static_cast<std::size_t>(flags.getInt("job-workers"));
+  options.jobs.queue_capacity =
+      static_cast<std::size_t>(flags.getInt("queue-capacity"));
+  options.cache.capacity =
+      static_cast<std::size_t>(flags.getInt("cache-capacity"));
+  options.cache.ttl_seconds = flags.getDouble("cache-ttl");
+  svc::LocalizeService service(schema, base->config(), options);
+
+  obs::AdminServer::Options server_options;
+  server_options.bind_address = flags.getString("bind");
+  server_options.port = static_cast<std::uint16_t>(flags.getInt("port"));
+  server_options.workers =
+      static_cast<std::size_t>(flags.getInt("http-workers"));
+  server_options.read_timeout_seconds = flags.getDouble("read-timeout");
+  obs::AdminServer server(server_options);
+  obs::registerObsEndpoints(server);
+  service.installEndpoints(server);
+
+  if (auto status = server.start(); !status.isOk()) {
+    std::fprintf(stderr, "start: %s\n", status.toString().c_str());
+    return 1;
+  }
+  std::printf("listening on http://%s:%u/\n",
+              server_options.bind_address.c_str(), server.port());
+  std::printf("POST /api/v1/localize | GET /api/v1/jobs | GET /metrics\n");
+  std::fflush(stdout);
+
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+  while (g_shutdown == 0 && server.running()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("shutting down\n");
+  server.stop();
+  return 0;
+}

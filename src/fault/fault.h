@@ -8,6 +8,8 @@
 //   stream.localize — localization pool, before RapMiner::localize
 //   io.csv_chunk    — streamCsvFile, before each chunk is fed
 //   search.layer    — Algorithm 2, at the top of each cuboid layer
+//   svc.submit      — svc::JobManager::submit, before admission
+//   svc.execute     — service worker, before cache lookup and search
 //
 // Compile gating: every site goes through RAP_FAULT_HIT(point).  Unless
 // the build defines RAP_FAULT_INJECTION (CMake -DRAP_FAULT_INJECTION=ON)

@@ -43,28 +43,34 @@ util::Result<LeafTable> loadLeafTable(const Schema& schema,
                                       const std::string& path) {
   auto parsed = readCsvFile(path);
   if (!parsed) return parsed.status();
-  const auto& rows = parsed.value();
+  return leafTableFromCsvRows(schema, parsed.value(), path);
+}
+
+util::Result<LeafTable> leafTableFromCsvRows(const Schema& schema,
+                                             const std::vector<CsvRow>& rows,
+                                             const std::string& source) {
   if (rows.empty()) {
-    return util::Status::invalidArgument("'" + path + "' is empty");
+    return util::Status::invalidArgument("'" + source + "' is empty");
   }
 
   const auto n_attrs = static_cast<std::size_t>(schema.attributeCount());
   const std::size_t min_cols = n_attrs + 2;  // + real + predict
   LeafTable table(schema);
+  table.reserve(rows.size() - 1);
 
   for (std::size_t r = 1; r < rows.size(); ++r) {
     const CsvRow& row = rows[r];
     if (row.size() < min_cols) {
       return util::Status::invalidArgument(
           util::strFormat("%s:%zu: expected >= %zu columns, got %zu",
-                          path.c_str(), r + 1, min_cols, row.size()));
+                          source.c_str(), r + 1, min_cols, row.size()));
     }
     std::vector<dataset::ElemId> slots(n_attrs, dataset::kWildcard);
     for (std::size_t a = 0; a < n_attrs; ++a) {
       auto elem = schema.attribute(static_cast<AttrId>(a)).elementId(row[a]);
       if (!elem) {
         return util::Status::invalidArgument(
-            util::strFormat("%s:%zu: %s", path.c_str(), r + 1,
+            util::strFormat("%s:%zu: %s", source.c_str(), r + 1,
                             elem.status().message().c_str()));
       }
       slots[a] = elem.value();
@@ -78,7 +84,7 @@ util::Result<LeafTable> loadLeafTable(const Schema& schema,
     if (!std::isfinite(v.value()) || !std::isfinite(f.value())) {
       return util::Status::invalidArgument(
           util::strFormat("%s:%zu: non-finite KPI value (real=%s predict=%s)",
-                          path.c_str(), r + 1, row[n_attrs].c_str(),
+                          source.c_str(), r + 1, row[n_attrs].c_str(),
                           row[n_attrs + 1].c_str()));
     }
     bool anomalous = false;

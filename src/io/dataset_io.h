@@ -27,6 +27,16 @@ util::Status saveLeafTable(const dataset::LeafTable& table,
 util::Result<dataset::LeafTable> loadLeafTable(const dataset::Schema& schema,
                                                const std::string& path);
 
+/// Builds a leaf table from already-parsed CSV rows (header row first,
+/// then one leaf per row) — the shared back end of loadLeafTable and
+/// the localization service's POST bodies.  `source` names the origin
+/// in error messages ("<path>" / "request body").  Applies the same
+/// hardening as the file path: element names must exist in the schema
+/// and KPI values must be finite.
+util::Result<dataset::LeafTable> leafTableFromCsvRows(
+    const dataset::Schema& schema, const std::vector<CsvRow>& rows,
+    const std::string& source);
+
 /// Schema sidecar: one row per attribute, "name,elem1,elem2,...".
 util::Status saveSchema(const dataset::Schema& schema, const std::string& path);
 util::Result<dataset::Schema> loadSchema(const std::string& path);

@@ -4,10 +4,13 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 
@@ -20,18 +23,28 @@ namespace rap::obs {
 
 namespace {
 
-constexpr std::size_t kMaxRequestBytes = 8192;
-
 const char* statusText(int status) {
   switch (status) {
     case 200:
       return "OK";
+    case 202:
+      return "Accepted";
     case 400:
       return "Bad Request";
     case 404:
       return "Not Found";
     case 405:
       return "Method Not Allowed";
+    case 408:
+      return "Request Timeout";
+    case 411:
+      return "Length Required";
+    case 413:
+      return "Content Too Large";
+    case 429:
+      return "Too Many Requests";
+    case 431:
+      return "Request Header Fields Too Large";
     case 503:
       return "Service Unavailable";
     default:
@@ -54,10 +67,41 @@ bool writeAll(int fd, const char* data, std::size_t size) {
   return true;
 }
 
+std::string toLower(std::string text) {
+  for (char& c : text) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return text;
+}
+
+/// Receive outcome for the bounded reads below.
+enum class RecvResult { kData, kClosed, kTimeout, kError };
+
+RecvResult recvSome(int fd, std::string& out, char* buf, std::size_t cap) {
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, cap, 0);
+    if (n > 0) {
+      out.append(buf, static_cast<std::size_t>(n));
+      return RecvResult::kData;
+    }
+    if (n == 0) return RecvResult::kClosed;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return RecvResult::kTimeout;
+    return RecvResult::kError;
+  }
+}
+
 }  // namespace
 
-std::int64_t HttpRequest::queryInt(const std::string& key,
-                                   std::int64_t fallback) const {
+const std::string* HttpRequest::header(const std::string& lower_name) const {
+  for (const auto& [name, value] : headers) {
+    if (name == lower_name) return &value;
+  }
+  return nullptr;
+}
+
+std::optional<std::string> HttpRequest::queryParam(
+    const std::string& key) const {
   std::size_t pos = 0;
   while (pos < query.size()) {
     std::size_t end = query.find('&', pos);
@@ -65,18 +109,33 @@ std::int64_t HttpRequest::queryInt(const std::string& key,
     const std::string part = query.substr(pos, end - pos);
     const std::size_t eq = part.find('=');
     if (eq != std::string::npos && part.substr(0, eq) == key) {
-      errno = 0;
-      char* tail = nullptr;
-      const long long v = std::strtoll(part.c_str() + eq + 1, &tail, 10);
-      if (errno == 0 && tail != nullptr && *tail == '\0' &&
-          tail != part.c_str() + eq + 1) {
-        return static_cast<std::int64_t>(v);
-      }
-      return fallback;
+      return part.substr(eq + 1);
     }
+    if (eq == std::string::npos && part == key) return std::string();
     pos = end + 1;
   }
-  return fallback;
+  return std::nullopt;
+}
+
+std::int64_t HttpRequest::queryInt(const std::string& key,
+                                   std::int64_t fallback) const {
+  std::int64_t value = 0;
+  return queryIntStrict(key, &value) == QueryIntResult::kValid ? value
+                                                               : fallback;
+}
+
+HttpRequest::QueryIntResult HttpRequest::queryIntStrict(
+    const std::string& key, std::int64_t* out) const {
+  const auto raw = queryParam(key);
+  if (!raw.has_value()) return QueryIntResult::kAbsent;
+  errno = 0;
+  char* tail = nullptr;
+  const long long v = std::strtoll(raw->c_str(), &tail, 10);
+  if (errno != 0 || tail == raw->c_str() || *tail != '\0') {
+    return QueryIntResult::kInvalid;
+  }
+  *out = static_cast<std::int64_t>(v);
+  return QueryIntResult::kValid;
 }
 
 AdminServer::AdminServer() : AdminServer(Options{}) {}
@@ -84,20 +143,57 @@ AdminServer::AdminServer() : AdminServer(Options{}) {}
 AdminServer::AdminServer(Options options) : options_(std::move(options)) {
   if (options_.workers == 0) options_.workers = 1;
   if (options_.backlog == 0) options_.backlog = 1;
+  if (options_.max_header_bytes == 0) options_.max_header_bytes = 1024;
 }
 
 AdminServer::~AdminServer() { stop(); }
 
-void AdminServer::handle(std::string path, Handler handler) {
+void AdminServer::installRoute(std::string path, bool prefix, bool post,
+                               Handler handler) {
   RAP_CHECK_MSG(!started_.load(), "install handlers before start()");
   RAP_CHECK(handler != nullptr);
-  for (auto& [existing, fn] : routes_) {
-    if (existing == path) {
-      fn = std::move(handler);
+  for (auto& route : routes_) {
+    if (route.path == path && route.prefix == prefix && route.post == post) {
+      route.fn = std::move(handler);
       return;
     }
   }
-  routes_.emplace_back(std::move(path), std::move(handler));
+  routes_.push_back(Route{std::move(path), prefix, post, std::move(handler)});
+}
+
+void AdminServer::handle(std::string path, Handler handler) {
+  installRoute(std::move(path), /*prefix=*/false, /*post=*/false,
+               std::move(handler));
+}
+
+void AdminServer::handlePost(std::string path, Handler handler) {
+  installRoute(std::move(path), /*prefix=*/false, /*post=*/true,
+               std::move(handler));
+}
+
+void AdminServer::handlePrefix(std::string prefix, Handler handler) {
+  installRoute(std::move(prefix), /*prefix=*/true, /*post=*/false,
+               std::move(handler));
+}
+
+const AdminServer::Route* AdminServer::findRoute(const std::string& path,
+                                                 bool post,
+                                                 bool* path_known) const {
+  const Route* best = nullptr;
+  for (const auto& route : routes_) {
+    const bool matches =
+        route.prefix ? path.compare(0, route.path.size(), route.path) == 0
+                     : path == route.path;
+    if (!matches) continue;
+    *path_known = true;
+    if (route.post != post) continue;
+    if (!route.prefix) return &route;  // exact routes always win
+    // Longest matching prefix wins among prefix routes.
+    if (best == nullptr || route.path.size() > best->path.size()) {
+      best = &route;
+    }
+  }
+  return best;
 }
 
 util::Status AdminServer::start() {
@@ -229,23 +325,48 @@ void AdminServer::workerLoop() {
 }
 
 void AdminServer::serveConnection(int fd) {
-  // One request per connection: read until the header terminator (the
-  // body, if any, is ignored), dispatch, respond, close.
+  // One request per connection: read the header section, then (for POST
+  // routes) the declared body, dispatch, respond, close.
+  if (options_.read_timeout_seconds > 0.0) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(options_.read_timeout_seconds);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (options_.read_timeout_seconds - static_cast<double>(tv.tv_sec)) *
+        1e6);
+    if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+
   std::string raw;
-  char buf[2048];
-  while (raw.size() < kMaxRequestBytes &&
-         raw.find("\r\n\r\n") == std::string::npos) {
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;
-    raw.append(buf, static_cast<std::size_t>(n));
+  char buf[4096];
+  std::size_t header_end = std::string::npos;
+  bool timed_out = false;
+  bool header_overflow = false;
+  while ((header_end = raw.find("\r\n\r\n")) == std::string::npos) {
+    if (raw.size() > options_.max_header_bytes) {
+      header_overflow = true;
+      break;
+    }
+    const RecvResult r = recvSome(fd, raw, buf, sizeof(buf));
+    if (r == RecvResult::kTimeout) {
+      timed_out = true;
+      break;
+    }
+    if (r != RecvResult::kData) break;
+  }
+  // The cap applies even when the whole oversized section arrives in one
+  // read — the in-loop check only sees unterminated prefixes.
+  if (header_end != std::string::npos &&
+      header_end > options_.max_header_bytes) {
+    header_overflow = true;
+    header_end = std::string::npos;  // skip parsing what we refused
   }
 
   HttpRequest request;
   HttpResponse response;
-  const std::size_t line_end = raw.find("\r\n");
   bool parsed = false;
-  if (line_end != std::string::npos) {
+  if (header_end != std::string::npos) {
+    const std::size_t line_end = raw.find("\r\n");
     const std::string line = raw.substr(0, line_end);
     const std::size_t sp1 = line.find(' ');
     const std::size_t sp2 =
@@ -262,38 +383,125 @@ void AdminServer::serveConnection(int fd) {
       parsed = !request.method.empty() && !request.path.empty() &&
                request.path.front() == '/';
     }
+    // Header fields: "Name: value" lines between the request line and
+    // the blank line.
+    std::size_t pos = line_end + 2;
+    while (parsed && pos < header_end) {
+      std::size_t eol = raw.find("\r\n", pos);
+      if (eol == std::string::npos || eol > header_end) eol = header_end;
+      const std::string field = raw.substr(pos, eol - pos);
+      const std::size_t colon = field.find(':');
+      if (colon != std::string::npos) {
+        request.headers.emplace_back(
+            toLower(field.substr(0, colon)),
+            std::string(util::trim(field.substr(colon + 1))));
+      }
+      pos = eol + 2;
+    }
   }
 
-  if (!parsed) {
-    response = {400, "text/plain; charset=utf-8", "bad request\n"};
-  } else if (request.method != "GET" && request.method != "HEAD") {
-    response = {405, "text/plain; charset=utf-8", "method not allowed\n"};
+  bool dispatch = false;
+  if (timed_out && header_end == std::string::npos) {
+    response = {408, "text/plain; charset=utf-8", "request timed out\n", {}};
+  } else if (header_overflow) {
+    response = {431, "text/plain; charset=utf-8",
+                "request header section too large\n", {}};
+  } else if (!parsed) {
+    response = {400, "text/plain; charset=utf-8", "bad request\n", {}};
+  } else if (request.method != "GET" && request.method != "HEAD" &&
+             request.method != "POST") {
+    response = {405, "text/plain; charset=utf-8", "method not allowed\n", {}};
   } else {
-    const Handler* handler = nullptr;
-    for (const auto& [path, fn] : routes_) {
-      if (path == request.path) {
-        handler = &fn;
-        break;
+    dispatch = true;
+  }
+
+  const Route* route = nullptr;
+  if (dispatch) {
+    const bool is_post = request.method == "POST";
+    bool path_known = false;
+    route = findRoute(request.path, is_post, &path_known);
+    if (route == nullptr) {
+      response = path_known ? HttpResponse{405, "text/plain; charset=utf-8",
+                                           "method not allowed\n",
+                                           {}}
+                            : HttpResponse{404, "text/plain; charset=utf-8",
+                                           "not found\n",
+                                           {}};
+      dispatch = false;
+    } else if (is_post) {
+      // Bounded body read: Content-Length is mandatory (no chunked
+      // decoding on this plane) and capped before a byte is read.
+      const std::string* declared = request.header("content-length");
+      std::uint64_t content_length = 0;
+      if (declared == nullptr) {
+        response = {411, "text/plain; charset=utf-8",
+                    "Content-Length required\n", {}};
+        dispatch = false;
+      } else {
+        errno = 0;
+        char* tail = nullptr;
+        const unsigned long long v =
+            std::strtoull(declared->c_str(), &tail, 10);
+        if (errno != 0 || tail == declared->c_str() || *tail != '\0') {
+          response = {400, "text/plain; charset=utf-8",
+                      "bad Content-Length\n", {}};
+          dispatch = false;
+        } else if (v > options_.max_body_bytes) {
+          response = {413, "text/plain; charset=utf-8",
+                      "request body too large\n", {}};
+          dispatch = false;
+        } else {
+          content_length = v;
+        }
+      }
+      if (dispatch) {
+        request.body = raw.substr(header_end + 4);
+        bool body_timeout = false;
+        while (request.body.size() < content_length) {
+          const RecvResult r = recvSome(fd, request.body, buf, sizeof(buf));
+          if (r == RecvResult::kTimeout) {
+            body_timeout = true;
+            break;
+          }
+          if (r != RecvResult::kData) break;
+        }
+        if (request.body.size() < content_length) {
+          response = body_timeout
+                         ? HttpResponse{408, "text/plain; charset=utf-8",
+                                        "request timed out\n",
+                                        {}}
+                         : HttpResponse{400, "text/plain; charset=utf-8",
+                                        "truncated request body\n",
+                                        {}};
+          dispatch = false;
+        } else {
+          request.body.resize(content_length);
+        }
       }
     }
-    if (handler == nullptr) {
-      response = {404, "text/plain; charset=utf-8", "not found\n"};
-    } else {
-      try {
-        response = (*handler)(request);
-      } catch (const std::exception& e) {
-        // An endpoint bug must not take down the serving plane.
-        response = {500, "text/plain; charset=utf-8",
-                    std::string("handler error: ") + e.what() + "\n"};
-      }
+  }
+
+  if (dispatch) {
+    try {
+      response = (route->fn)(request);
+    } catch (const std::exception& e) {
+      // An endpoint bug must not take down the serving plane.
+      response = {500, "text/plain; charset=utf-8",
+                  std::string("handler error: ") + e.what() + "\n", {}};
     }
   }
 
   std::string head = util::strFormat(
-      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
-      "Connection: close\r\n\r\n",
+      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n",
       response.status, statusText(response.status),
       response.content_type.c_str(), response.body.size());
+  for (const auto& [name, value] : response.headers) {
+    head += name;
+    head += ": ";
+    head += value;
+    head += "\r\n";
+  }
+  head += "Connection: close\r\n\r\n";
   requests_.fetch_add(1, std::memory_order_relaxed);
   if (!writeAll(fd, head.data(), head.size())) return;
   if (request.method != "HEAD") {
@@ -340,20 +548,29 @@ void registerObsEndpoints(AdminServer& server, MetricsRegistry* registry,
 
   server.handle("/metrics", [metrics](const HttpRequest&) {
     return HttpResponse{200, "text/plain; version=0.0.4; charset=utf-8",
-                        metrics->renderPrometheus()};
+                        metrics->renderPrometheus(),
+                        {}};
   });
   server.handle("/metrics.json", [metrics](const HttpRequest&) {
-    return HttpResponse{200, "application/json", metrics->renderJson()};
+    return HttpResponse{200, "application/json", metrics->renderJson(), {}};
   });
   server.handle("/tracez", [traces](const HttpRequest& request) {
-    const std::int64_t limit = request.queryInt("limit", 64);
+    std::int64_t limit = 64;
+    const auto parse = request.queryIntStrict("limit", &limit);
+    if (parse == HttpRequest::QueryIntResult::kInvalid || limit < 0) {
+      // A garbled limit must not silently serve the default — the
+      // operator asked for something specific and typo'd it.
+      return HttpResponse{400, "text/plain; charset=utf-8",
+                          "bad limit parameter\n",
+                          {}};
+    }
     return HttpResponse{
         200, "application/json",
-        renderTracez(*traces,
-                     limit > 0 ? static_cast<std::size_t>(limit) : 0)};
+        renderTracez(*traces, static_cast<std::size_t>(limit)),
+        {}};
   });
   server.handle("/healthz", [](const HttpRequest&) {
-    return HttpResponse{200, "text/plain; charset=utf-8", "ok\n"};
+    return HttpResponse{200, "text/plain; charset=utf-8", "ok\n", {}};
   });
 }
 

@@ -1,12 +1,12 @@
-// Embedded admin HTTP server — the live scrape surface of the obs
-// subsystem.
+// Embedded admin + service HTTP server — the live network surface of
+// the process.
 //
 // A dependency-free HTTP/1.1 server on POSIX sockets: one blocking
-// accept loop plus a small worker set serving GET requests against a
-// path -> handler table.  Built for operational scraping of a running
-// daemon (Prometheus, curl, health probes), not for general traffic:
-// request bodies are ignored, responses always close the connection,
-// and the whole exchange is one read / one write per connection.
+// accept loop plus a small worker set serving requests against a route
+// table.  Built for operational scraping (Prometheus, curl, health
+// probes) and for the bounded request/response API of the localization
+// service (src/svc), not for general traffic: responses always close
+// the connection and the whole exchange is one request per connection.
 //
 //   obs::AdminServer server({.port = 0});         // 0 = ephemeral
 //   obs::registerObsEndpoints(server);            // /metrics, /tracez, ...
@@ -14,11 +14,21 @@
 //   ... server.port() is the bound port ...
 //   server.stop();                                // graceful, idempotent
 //
+// Hostile-client hardening (every limit maps to an HTTP status instead
+// of a hung or memory-exhausted worker):
+//   * per-connection read timeout (SO_RCVTIMEO) — a client that stops
+//     sending mid-request gets 408 and the worker moves on;
+//   * max_header_bytes — an unterminated header section gets 431;
+//   * max_body_bytes — an oversized declared body gets 413 before the
+//     body is read;
+//   * POST without Content-Length gets 411 (chunked uploads are not
+//     accepted on this plane).
+//
 // Threading: handlers run on worker threads, concurrently with each
 // other and with the rest of the process — they must only touch
-// thread-safe state (the metrics registry, the trace recorder, and the
-// StreamEngine accessors all qualify).  start()/stop() are control-
-// plane calls from one thread.
+// thread-safe state (the metrics registry, the trace recorder, the
+// StreamEngine accessors and the svc::JobManager all qualify).
+// start()/stop() are control-plane calls from one thread.
 #pragma once
 
 #include <atomic>
@@ -27,6 +37,7 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <utility>
@@ -38,21 +49,41 @@
 
 namespace rap::obs {
 
-/// One parsed request line.  Headers and bodies are intentionally not
-/// surfaced — admin endpoints key off method + path (+ query) only.
+/// One parsed request.  Header names are lowercased at parse time;
+/// bodies are only read for routes registered via handlePost.
 struct HttpRequest {
   std::string method;  ///< "GET", uppercased as received
   std::string path;    ///< "/metrics" — target with the query stripped
   std::string query;   ///< "limit=32" — text after '?', possibly empty
+  /// Header fields in arrival order, names lowercased, values trimmed.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;  ///< POST payload (empty for GET/HEAD)
+
+  /// First header with the given lowercase name, or nullptr.
+  const std::string* header(const std::string& lower_name) const;
+
+  /// Raw (undecoded) value of query parameter `key`; nullopt when the
+  /// key is absent.  Admin parameters are numbers and short tokens, so
+  /// percent-decoding is intentionally not performed.
+  std::optional<std::string> queryParam(const std::string& key) const;
 
   /// Integer query parameter `key`, or `fallback` when absent/garbled.
   std::int64_t queryInt(const std::string& key, std::int64_t fallback) const;
+
+  /// Strict integer parse for endpoints that must reject garbage with
+  /// 400 instead of silently falling back (the /tracez contract).
+  enum class QueryIntResult { kAbsent, kValid, kInvalid };
+  QueryIntResult queryIntStrict(const std::string& key,
+                                std::int64_t* out) const;
 };
 
 struct HttpResponse {
   int status = 200;
   std::string content_type = "text/plain; charset=utf-8";
   std::string body;
+  /// Extra response headers (e.g. {"Retry-After", "1"}); Content-Type,
+  /// Content-Length and Connection are always emitted by the server.
+  std::vector<std::pair<std::string, std::string>> headers;
 };
 
 class AdminServer {
@@ -71,6 +102,13 @@ class AdminServer {
     /// Accepted connections waiting for a worker before new arrivals
     /// are turned away with 503.
     std::size_t backlog = 64;
+    /// Per-connection socket read timeout in seconds (SO_RCVTIMEO); a
+    /// stalled client gets 408 instead of pinning a worker.  0 disables.
+    double read_timeout_seconds = 10.0;
+    /// Upper bound on the request line + header section -> 431.
+    std::size_t max_header_bytes = 8192;
+    /// Upper bound on a declared POST body -> 413.
+    std::size_t max_body_bytes = 8u << 20;
   };
 
   /// Default options: loopback, ephemeral port.  (Separate constructor
@@ -83,9 +121,19 @@ class AdminServer {
   AdminServer(const AdminServer&) = delete;
   AdminServer& operator=(const AdminServer&) = delete;
 
-  /// Installs (or replaces) the handler for an exact path.  Handlers
-  /// must be installed before start().
+  /// Installs (or replaces) the GET/HEAD handler for an exact path.
+  /// Handlers must be installed before start().
   void handle(std::string path, Handler handler);
+
+  /// Installs (or replaces) the POST handler for an exact path.  The
+  /// body is read (subject to max_body_bytes) before dispatch.  A path
+  /// may carry both a GET and a POST handler.
+  void handlePost(std::string path, Handler handler);
+
+  /// Installs a GET/HEAD handler for every path starting with `prefix`
+  /// (e.g. "/api/v1/jobs/").  Exact routes win over prefix routes; the
+  /// longest matching prefix wins among prefix routes.
+  void handlePrefix(std::string prefix, Handler handler);
 
   /// Binds, listens, and spawns the accept loop + workers.  Fails with
   /// a Status (never a crash) when the address or port is unavailable.
@@ -112,12 +160,25 @@ class AdminServer {
   }
 
  private:
+  struct Route {
+    std::string path;
+    bool prefix = false;  ///< prefix match instead of exact
+    bool post = false;    ///< POST instead of GET/HEAD
+    Handler fn;
+  };
+
   void acceptLoop();
   void workerLoop();
   void serveConnection(int fd);
+  void installRoute(std::string path, bool prefix, bool post,
+                    Handler handler);
+  /// Longest match for (path, post); sets `path_known` when the path
+  /// matches a route of the other method class (405 material).
+  const Route* findRoute(const std::string& path, bool post,
+                         bool* path_known) const;
 
   Options options_;
-  std::vector<std::pair<std::string, Handler>> routes_;
+  std::vector<Route> routes_;
 
   int listen_fd_ = -1;
   std::atomic<std::uint16_t> port_{0};
@@ -136,7 +197,8 @@ class AdminServer {
 /// Installs the obs-backed endpoints on `server`:
 ///   /metrics       Prometheus text exposition of `registry`
 ///   /metrics.json  the same snapshot as JSON
-///   /tracez        recent trace events as JSON (?limit=N, default 64)
+///   /tracez        recent trace events as JSON (?limit=N, default 64;
+///                  a non-numeric or negative limit is a 400)
 ///   /healthz       plain "ok" liveness (override with a richer probe)
 /// Also registers the rap_build_info gauge so every scrape identifies
 /// the binary.  Defaults target the process-wide registry/recorder.

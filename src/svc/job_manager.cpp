@@ -1,0 +1,294 @@
+#include "svc/job_manager.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "detect/detector.h"
+#include "fault/fault.h"
+#include "io/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace rap::svc {
+
+namespace {
+
+double secondsBetween(std::chrono::steady_clock::time_point a,
+                      std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+const char* jobStateName(JobState state) noexcept {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+JobManager::JobManager(Options options, ResultCache* cache)
+    : options_(options), cache_(cache) {
+  if (options_.workers == 0) options_.workers = 1;
+  if (obs::metricsEnabled()) {
+    auto& reg = obs::defaultRegistry();
+    jobs_submitted_ = &reg.counter("rap_svc_jobs_submitted_total");
+    jobs_done_ = &reg.counter("rap_svc_jobs_total", {{"state", "done"}});
+    jobs_failed_ = &reg.counter("rap_svc_jobs_total", {{"state", "failed"}});
+    admission_rejected_ = &reg.counter("rap_svc_admission_rejected_total");
+    cache_hits_ = &reg.counter("rap_svc_cache_hits_total");
+    cache_misses_ = &reg.counter("rap_svc_cache_misses_total");
+    queue_depth_ = &reg.gauge("rap_svc_queue_depth");
+    jobs_running_ = &reg.gauge("rap_svc_jobs_running");
+    job_seconds_ = &reg.histogram("rap_svc_job_seconds",
+                                  obs::exponentialBuckets(0.001, 2.0, 16));
+  }
+  pool_ = std::make_unique<util::ThreadPool>(options_.workers);
+}
+
+JobManager::~JobManager() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  // Joins the workers; queued drainOne tasks see stopping_ and return.
+  pool_.reset();
+}
+
+util::Result<std::uint64_t> JobManager::submit(JobRequest request) {
+  {
+    const util::Status injected = RAP_FAULT_STATUS("svc.submit");
+    if (!injected.isOk()) {
+      if (admission_rejected_ != nullptr) admission_rejected_->increment();
+      return injected;
+    }
+  }
+  std::uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      return util::Status::failedPrecondition("job manager is shut down");
+    }
+    if (pending_.size() >= options_.queue_capacity) {
+      if (admission_rejected_ != nullptr) admission_rejected_->increment();
+      return util::Status::outOfRange("job queue full");
+    }
+    id = next_id_++;
+    auto job = std::make_shared<Job>(id, std::move(request));
+    job->admitted = std::chrono::steady_clock::now();
+    pending_.emplace(
+        std::make_pair(-static_cast<std::int64_t>(job->request.priority),
+                       next_seq_++),
+        job);
+    jobs_.emplace(id, std::move(job));
+    if (jobs_submitted_ != nullptr) jobs_submitted_->increment();
+    if (queue_depth_ != nullptr) {
+      queue_depth_->set(static_cast<double>(pending_.size()));
+    }
+  }
+  obs::traceFlow('s', "svc/job", id);
+  pool_->submit([this] { drainOne(); });
+  work_ready_.notify_one();
+  return id;
+}
+
+util::Result<std::string> JobManager::executeInline(JobRequest request) {
+  const auto start = std::chrono::steady_clock::now();
+  ExecOutcome outcome = execute(request, 0);
+  if (job_seconds_ != nullptr) {
+    job_seconds_->observe(
+        secondsBetween(start, std::chrono::steady_clock::now()));
+  }
+  if (jobs_done_ != nullptr && outcome.ok) jobs_done_->increment();
+  if (jobs_failed_ != nullptr && !outcome.ok) jobs_failed_->increment();
+  if (!outcome.ok) return util::Status::internal(outcome.error);
+  return std::move(outcome.result_json);
+}
+
+void JobManager::pause() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  paused_ = true;
+}
+
+void JobManager::resume() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = false;
+  }
+  work_ready_.notify_all();
+}
+
+bool JobManager::paused() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return paused_;
+}
+
+std::optional<JobStatus> JobManager::status(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  return snapshotLocked(*it->second);
+}
+
+std::vector<JobStatus> JobManager::list() const {
+  std::vector<JobStatus> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.reserve(jobs_.size());
+    for (const auto& [id, job] : jobs_) out.push_back(snapshotLocked(*job));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const JobStatus& a, const JobStatus& b) { return a.id > b.id; });
+  return out;
+}
+
+std::size_t JobManager::queueDepth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_.size();
+}
+
+void JobManager::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [&] { return pending_.empty() && active_ == 0; });
+}
+
+void JobManager::drainOne() {
+  std::shared_ptr<Job> job;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    work_ready_.wait(lock, [&] {
+      return stopping_ || (!paused_ && !pending_.empty());
+    });
+    if (stopping_) return;
+    job = pending_.begin()->second;
+    pending_.erase(pending_.begin());
+    job->state = JobState::kRunning;
+    job->started = std::chrono::steady_clock::now();
+    ++active_;
+    if (queue_depth_ != nullptr) {
+      queue_depth_->set(static_cast<double>(pending_.size()));
+    }
+    if (jobs_running_ != nullptr) {
+      jobs_running_->set(static_cast<double>(active_));
+    }
+  }
+  ExecOutcome outcome = execute(job->request, job->id);
+  finishJob(std::move(job), std::move(outcome));
+}
+
+void JobManager::finishJob(std::shared_ptr<Job> job, ExecOutcome outcome) {
+  const std::uint64_t id = job->id;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job->state = outcome.ok ? JobState::kDone : JobState::kFailed;
+    job->cache_hit = outcome.cache_hit;
+    job->result_json = std::move(outcome.result_json);
+    job->error = std::move(outcome.error);
+    job->finished = std::chrono::steady_clock::now();
+    --active_;
+    if (jobs_running_ != nullptr) {
+      jobs_running_->set(static_cast<double>(active_));
+    }
+    if (job_seconds_ != nullptr) {
+      job_seconds_->observe(secondsBetween(job->admitted, job->finished));
+    }
+    if (jobs_done_ != nullptr && outcome.ok) jobs_done_->increment();
+    if (jobs_failed_ != nullptr && !outcome.ok) jobs_failed_->increment();
+    finished_order_.push_back(id);
+    while (finished_order_.size() > options_.max_finished_jobs) {
+      jobs_.erase(finished_order_.front());
+      finished_order_.pop_front();
+    }
+  }
+  obs::traceFlow('f', "svc/job", id);
+  idle_.notify_all();
+}
+
+JobManager::ExecOutcome JobManager::execute(const JobRequest& request,
+                                            std::uint64_t id) {
+  RAP_TRACE_SPAN("svc/execute", {{"job", id}, {"rows", request.table.size()}});
+  if (id != 0) obs::traceFlow('t', "svc/job", id);
+  ExecOutcome outcome;
+
+  try {
+    const util::Status injected = RAP_FAULT_STATUS("svc.execute");
+    if (!injected.isOk()) {
+      outcome.error = injected.message();
+      return outcome;
+    }
+  } catch (const fault::InjectedFault& fault) {
+    // Pool tasks must not throw; a kThrow fault becomes a failed job.
+    outcome.error = fault.what();
+    return outcome;
+  }
+
+  if (cache_ != nullptr && request.cache_key != 0) {
+    if (auto hit = cache_->get(request.cache_key)) {
+      if (cache_hits_ != nullptr) cache_hits_->increment();
+      outcome.ok = true;
+      outcome.cache_hit = true;
+      outcome.result_json = std::move(*hit);
+      return outcome;
+    }
+    if (cache_misses_ != nullptr) cache_misses_->increment();
+  }
+
+  auto miner =
+      core::RapMiner::Builder().config(request.miner).build();
+  if (!miner.isOk()) {
+    outcome.error = miner.status().toString();
+    return outcome;
+  }
+
+  // A raw real/predict upload carries no verdicts; run the default
+  // leaf-level detector so the pipeline is end-to-end, like csv_localize.
+  dataset::LeafTable table = request.table;
+  if (table.anomalousCount() == 0) {
+    detect::RelativeDeviationDetector(request.detect_threshold).run(table);
+  }
+
+  const core::LocalizationResult result =
+      miner.value().localize(table, request.k);
+  outcome.ok = true;
+  outcome.result_json = io::resultToJson(table.schema(), result);
+  if (cache_ != nullptr && request.cache_key != 0) {
+    cache_->put(request.cache_key, outcome.result_json);
+  }
+  return outcome;
+}
+
+JobStatus JobManager::snapshotLocked(const Job& job) const {
+  const auto now = std::chrono::steady_clock::now();
+  JobStatus out;
+  out.id = job.id;
+  out.state = job.state;
+  out.priority = job.request.priority;
+  out.cache_hit = job.cache_hit;
+  switch (job.state) {
+    case JobState::kQueued:
+      out.queued_seconds = secondsBetween(job.admitted, now);
+      break;
+    case JobState::kRunning:
+      out.queued_seconds = secondsBetween(job.admitted, job.started);
+      out.run_seconds = secondsBetween(job.started, now);
+      break;
+    case JobState::kDone:
+    case JobState::kFailed:
+      out.queued_seconds = secondsBetween(job.admitted, job.started);
+      out.run_seconds = secondsBetween(job.started, job.finished);
+      break;
+  }
+  out.result_json = job.result_json;
+  out.error = job.error;
+  return out;
+}
+
+}  // namespace rap::svc

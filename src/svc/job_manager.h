@@ -1,0 +1,206 @@
+// Localization job manager (src/svc) — a bounded priority queue of
+// localization requests feeding a util::ThreadPool, with admission
+// control, per-job config overrides, and a shared ResultCache.
+//
+// Why a queue in front of the pool: a CDN incident fans the same alarm
+// out to many upstream detectors at once, so the service sees bursts far
+// above its sustainable localization rate.  The pool alone would accept
+// every burst and grow an invisible backlog; the bounded queue instead
+// SHEDS load at admission time (submit() returns kOutOfRange -> HTTP 429
+// with Retry-After) so callers get immediate, honest backpressure —
+// the same philosophy as the stream engine's drop-oldest shard queues,
+// but caller-visible because here the caller is a remote client that can
+// retry.
+//
+// Priorities are small integers (higher = sooner); within a priority,
+// FIFO by submission order.  Workers drain the queue through
+// ThreadPool::submit, executing each job under its own RapMiner built
+// from the job's config (validated at admission — a bad override is a
+// 400 at submit time, never a RAP_CHECK abort in a worker).
+//
+// Every execution consults the ResultCache first (keyed by the request's
+// content hash) and stores its rendered result document on completion,
+// so identical resubmissions — sync or async — are served bit-identical
+// without re-running the search.
+//
+// Observability: rap_svc_* metrics (docs/observability.md), one
+// "svc/execute" span per job, and a "svc/job" trace flow linking
+// admission to execution across threads.  Fault points "svc.submit" and
+// "svc.execute" (docs/robustness.md) let chaos tests fail admission and
+// execution deterministically.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/rapminer.h"
+#include "dataset/leaf_table.h"
+#include "svc/result_cache.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace rap::obs {
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace rap::obs
+
+namespace rap::svc {
+
+enum class JobState : std::uint8_t {
+  kQueued,
+  kRunning,
+  kDone,
+  kFailed,
+};
+
+const char* jobStateName(JobState state) noexcept;
+
+/// One admitted localization request.
+struct JobRequest {
+  explicit JobRequest(dataset::LeafTable snapshot)
+      : table(std::move(snapshot)) {}
+
+  dataset::LeafTable table;
+  core::RapMinerConfig miner;  ///< validated by the caller (Builder)
+  std::int32_t k = 5;
+  /// Applied (relative-deviation detector) when the table carries no
+  /// anomalous verdicts — a raw real/predict upload without labels.
+  double detect_threshold = 0.095;
+  std::int32_t priority = 0;  ///< higher runs sooner
+  /// Content hash of the originating request (cache key); 0 = uncached.
+  std::uint64_t cache_key = 0;
+};
+
+/// Snapshot of one job's lifecycle, safe to serialize.
+struct JobStatus {
+  std::uint64_t id = 0;
+  JobState state = JobState::kQueued;
+  std::int32_t priority = 0;
+  bool cache_hit = false;
+  double queued_seconds = 0.0;  ///< admission -> start (or now)
+  double run_seconds = 0.0;     ///< start -> finish (or now)
+  std::string result_json;      ///< kDone only: rendered result document
+  std::string error;            ///< kFailed only
+};
+
+class JobManager {
+ public:
+  struct Options {
+    /// Queued (not yet running) jobs beyond which submit() sheds load.
+    std::size_t queue_capacity = 64;
+    /// Pool workers executing localizations.
+    std::size_t workers = 2;
+    /// Advisory Retry-After the service returns on shed load.
+    double retry_after_seconds = 1.0;
+    /// Finished jobs retained for GET /api/v1/jobs/<id>; older finished
+    /// jobs are forgotten FIFO.
+    std::size_t max_finished_jobs = 256;
+  };
+
+  /// `cache` may be nullptr (no caching); it must outlive the manager.
+  explicit JobManager(Options options, ResultCache* cache = nullptr);
+  ~JobManager();
+
+  JobManager(const JobManager&) = delete;
+  JobManager& operator=(const JobManager&) = delete;
+
+  /// Admits a job: the id on success, kOutOfRange when the queue is full
+  /// (shed load — the HTTP layer maps this to 429), kFailedPrecondition
+  /// after shutdown began.
+  util::Result<std::uint64_t> submit(JobRequest request);
+
+  /// Runs a request synchronously on the calling thread (the service's
+  /// sync mode) — same cache/execute path as queued jobs, no admission
+  /// control.  Returns the rendered result document.
+  util::Result<std::string> executeInline(JobRequest request);
+
+  /// While paused, admitted jobs stay queued (workers idle); tests use
+  /// this to fill the bounded queue deterministically.
+  void pause();
+  void resume();
+  bool paused() const;
+
+  std::optional<JobStatus> status(std::uint64_t id) const;
+  /// All known jobs (queued, running, retained finished), newest first.
+  std::vector<JobStatus> list() const;
+
+  std::size_t queueDepth() const;
+  const Options& options() const noexcept { return options_; }
+
+  /// Blocks until every admitted job has finished (test helper).
+  void drain();
+
+ private:
+  struct Job {
+    Job(std::uint64_t job_id, JobRequest job_request)
+        : id(job_id), request(std::move(job_request)) {}
+
+    std::uint64_t id = 0;
+    JobRequest request;
+    JobState state = JobState::kQueued;
+    bool cache_hit = false;
+    std::string result_json;
+    std::string error;
+    std::chrono::steady_clock::time_point admitted;
+    std::chrono::steady_clock::time_point started;
+    std::chrono::steady_clock::time_point finished;
+  };
+
+  /// Executes one request outside any lock; fills result/error/cache_hit.
+  struct ExecOutcome {
+    bool ok = false;
+    bool cache_hit = false;
+    std::string result_json;
+    std::string error;
+  };
+  ExecOutcome execute(const JobRequest& request, std::uint64_t id);
+
+  void drainOne();
+  void finishJob(std::shared_ptr<Job> job, ExecOutcome outcome);
+  JobStatus snapshotLocked(const Job& job) const;
+
+  Options options_;
+  ResultCache* cache_;  ///< not owned; may be null
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable idle_;
+  bool paused_ = false;
+  bool stopping_ = false;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+  /// Queued jobs ordered (-priority, admission seq) so begin() is the
+  /// next job to run.
+  std::map<std::pair<std::int64_t, std::uint64_t>, std::shared_ptr<Job>>
+      pending_;
+  std::size_t active_ = 0;  ///< jobs currently executing
+  std::unordered_map<std::uint64_t, std::shared_ptr<Job>> jobs_;
+  std::deque<std::uint64_t> finished_order_;  ///< retention FIFO
+
+  // Metrics (null when the obs gate is off at construction).
+  obs::Counter* jobs_submitted_ = nullptr;
+  obs::Counter* jobs_done_ = nullptr;
+  obs::Counter* jobs_failed_ = nullptr;
+  obs::Counter* admission_rejected_ = nullptr;
+  obs::Counter* cache_hits_ = nullptr;
+  obs::Counter* cache_misses_ = nullptr;
+  obs::Gauge* queue_depth_ = nullptr;
+  obs::Gauge* jobs_running_ = nullptr;
+  obs::Histogram* job_seconds_ = nullptr;
+
+  /// Last member: joins its workers first on destruction, while the
+  /// members above are still alive for in-flight drainOne() calls.
+  std::unique_ptr<util::ThreadPool> pool_;
+};
+
+}  // namespace rap::svc

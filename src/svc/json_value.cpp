@@ -1,0 +1,315 @@
+#include "svc/json_value.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace rap::svc {
+
+namespace {
+
+// Local shorthand: propagate a Status out of the recursive descent.
+#define RAP_JSON_RETURN_IF_ERROR(expr)            \
+  do {                                            \
+    ::rap::util::Status rap_json_s_ = (expr);     \
+    if (!rap_json_s_.isOk()) return rap_json_s_;  \
+  } while (0)
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  util::Result<JsonValue> run() {
+    skipWhitespace();
+    JsonValue value;
+    RAP_JSON_RETURN_IF_ERROR(parseValue(value, 0));
+    skipWhitespace();
+    if (pos_ != text_.size()) {
+      return error("trailing garbage after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  util::Status error(const std::string& what) const {
+    return util::Status::invalidArgument(
+        util::strFormat("JSON parse error at byte %zu: %s", pos_,
+                        what.c_str()));
+  }
+
+  void skipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consumeLiteral(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  util::Status parseValue(JsonValue& out, int depth) {
+    if (depth > JsonValue::kMaxDepth) {
+      return error("nesting too deep");
+    }
+    skipWhitespace();
+    if (pos_ >= text_.size()) return error("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return parseObject(out, depth);
+      case '[':
+        return parseArray(out, depth);
+      case '"':
+        out.kind = JsonValue::Kind::kString;
+        return parseString(out.string_value);
+      case 't':
+        if (consumeLiteral("true")) {
+          out.kind = JsonValue::Kind::kBool;
+          out.bool_value = true;
+          return util::Status::ok();
+        }
+        return error("bad literal");
+      case 'f':
+        if (consumeLiteral("false")) {
+          out.kind = JsonValue::Kind::kBool;
+          out.bool_value = false;
+          return util::Status::ok();
+        }
+        return error("bad literal");
+      case 'n':
+        if (consumeLiteral("null")) {
+          out.kind = JsonValue::Kind::kNull;
+          return util::Status::ok();
+        }
+        return error("bad literal");
+      default:
+        return parseNumber(out);
+    }
+  }
+
+  util::Status parseObject(JsonValue& out, int depth) {
+    ++pos_;  // '{'
+    out.kind = JsonValue::Kind::kObject;
+    skipWhitespace();
+    if (consume('}')) return util::Status::ok();
+    for (;;) {
+      skipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return error("expected object key string");
+      }
+      std::string key;
+      RAP_JSON_RETURN_IF_ERROR(parseString(key));
+      skipWhitespace();
+      if (!consume(':')) return error("expected ':' after object key");
+      JsonValue value;
+      RAP_JSON_RETURN_IF_ERROR(parseValue(value, depth + 1));
+      out.object_value.emplace_back(std::move(key), std::move(value));
+      skipWhitespace();
+      if (consume(',')) continue;
+      if (consume('}')) return util::Status::ok();
+      return error("expected ',' or '}' in object");
+    }
+  }
+
+  util::Status parseArray(JsonValue& out, int depth) {
+    ++pos_;  // '['
+    out.kind = JsonValue::Kind::kArray;
+    skipWhitespace();
+    if (consume(']')) return util::Status::ok();
+    for (;;) {
+      JsonValue value;
+      RAP_JSON_RETURN_IF_ERROR(parseValue(value, depth + 1));
+      out.array_value.push_back(std::move(value));
+      skipWhitespace();
+      if (consume(',')) continue;
+      if (consume(']')) return util::Status::ok();
+      return error("expected ',' or ']' in array");
+    }
+  }
+
+  util::Status parseHex4(std::uint32_t& out) {
+    if (pos_ + 4 > text_.size()) return error("truncated \\u escape");
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<std::size_t>(i)];
+      out <<= 4;
+      if (c >= '0' && c <= '9') {
+        out |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        out |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        out |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        return error("bad \\u escape digit");
+      }
+    }
+    pos_ += 4;
+    return util::Status::ok();
+  }
+
+  static void appendUtf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  util::Status parseString(std::string& out) {
+    ++pos_;  // '"'
+    out.clear();
+    for (;;) {
+      if (pos_ >= text_.size()) return error("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return util::Status::ok();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return error("raw control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return error("truncated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          std::uint32_t cp = 0;
+          RAP_JSON_RETURN_IF_ERROR(parseHex4(cp));
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: a low surrogate must follow.
+            if (!consumeLiteral("\\u")) {
+              return error("unpaired high surrogate");
+            }
+            std::uint32_t low = 0;
+            RAP_JSON_RETURN_IF_ERROR(parseHex4(low));
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return error("bad low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return error("unpaired low surrogate");
+          }
+          appendUtf8(out, cp);
+          break;
+        }
+        default:
+          return error("bad escape character");
+      }
+    }
+  }
+
+  util::Status parseNumber(JsonValue& out) {
+    const std::size_t begin = pos_;
+    if (consume('-')) {
+    }
+    if (pos_ >= text_.size() ||
+        !(text_[pos_] >= '0' && text_[pos_] <= '9')) {
+      return error("bad number");
+    }
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (consume('.')) {
+      if (pos_ >= text_.size() ||
+          !(text_[pos_] >= '0' && text_[pos_] <= '9')) {
+        return error("bad fraction");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          !(text_[pos_] >= '0' && text_[pos_] <= '9')) {
+        return error("bad exponent");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    const std::string token(text_.substr(begin, pos_ - begin));
+    const double value = std::strtod(token.c_str(), nullptr);
+    if (!std::isfinite(value)) return error("number out of range");
+    out.kind = JsonValue::Kind::kNumber;
+    out.number_value = value;
+    return util::Status::ok();
+  }
+
+#undef RAP_JSON_RETURN_IF_ERROR
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : object_value) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+util::Result<JsonValue> JsonValue::parse(std::string_view text) {
+  return Parser(text).run();
+}
+
+}  // namespace rap::svc

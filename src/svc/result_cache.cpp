@@ -1,0 +1,61 @@
+#include "svc/result_cache.h"
+
+#include <utility>
+
+namespace rap::svc {
+
+ResultCache::ResultCache(Options options) : options_(options) {}
+
+std::optional<std::string> ResultCache::getAt(std::uint64_t key,
+                                              Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  if (expired(*it->second, now)) {
+    lru_.erase(it->second);
+    index_.erase(it);
+    ++stats_.expirations;
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  // Refresh recency (TTL stays anchored at insertion time).
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  return lru_.front().value;
+}
+
+void ResultCache::putAt(std::uint64_t key, std::string value,
+                        Clock::time_point now) {
+  if (options_.capacity == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->value = std::move(value);
+    it->second->inserted = now;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, std::move(value), now});
+  index_[key] = lru_.begin();
+  ++stats_.insertions;
+  while (lru_.size() > options_.capacity) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+ResultCache::CacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace rap::svc

@@ -1,0 +1,99 @@
+// Localization result cache (src/svc) — LRU + TTL over rendered result
+// documents, keyed by a snapshot content hash.
+//
+// The CDN deployment shape the service targets makes resubmission the
+// common case: several upstream detectors watch the same KPI window and
+// each asks "what broke?" about the identical snapshot, and operators
+// re-run the same query while an incident is open.  The cache serves
+// those idempotent resubmissions the bit-identical stored document
+// without re-running Algorithm 1/2.
+//
+// Semantics:
+//   * capacity-bounded, least-recently-USED eviction (a get refreshes
+//     recency, so a hot entry survives capacity pressure);
+//   * per-entry TTL from insertion time (a refresh on get does NOT
+//     extend life: localization results describe a time window, and a
+//     stale window must eventually fall out no matter how popular);
+//   * capacity 0 disables the cache entirely; ttl_seconds 0 disables
+//     expiry.
+//
+// Thread-safe (one mutex — entries are small strings and the service's
+// request path hits the cache once per request).  The *At variants take
+// an explicit steady_clock time so tests can drive TTL without
+// sleeping.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace rap::svc {
+
+class ResultCache {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  struct Options {
+    /// Maximum cached entries; 0 disables caching (every get misses).
+    std::size_t capacity = 128;
+    /// Seconds an entry stays valid after insertion; 0 = never expires.
+    double ttl_seconds = 300.0;
+  };
+
+  /// Monotonic counters (all-time, not per-window).
+  struct CacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;    ///< dropped for capacity
+    std::uint64_t expirations = 0;  ///< dropped for age on lookup
+  };
+
+  ResultCache() : ResultCache(Options{}) {}
+  explicit ResultCache(Options options);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Returns the stored document and refreshes recency, or nullopt on
+  /// miss / expiry.
+  std::optional<std::string> get(std::uint64_t key) {
+    return getAt(key, Clock::now());
+  }
+  std::optional<std::string> getAt(std::uint64_t key, Clock::time_point now);
+
+  /// Inserts (or overwrites, resetting the TTL of) `key`.
+  void put(std::uint64_t key, std::string value) {
+    putAt(key, std::move(value), Clock::now());
+  }
+  void putAt(std::uint64_t key, std::string value, Clock::time_point now);
+
+  std::size_t size() const;
+  CacheStats stats() const;
+  const Options& options() const noexcept { return options_; }
+
+ private:
+  struct Entry {
+    std::uint64_t key = 0;
+    std::string value;
+    Clock::time_point inserted;
+  };
+
+  bool expired(const Entry& entry, Clock::time_point now) const {
+    return options_.ttl_seconds > 0.0 &&
+           std::chrono::duration<double>(now - entry.inserted).count() >
+               options_.ttl_seconds;
+  }
+
+  Options options_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  CacheStats stats_;
+};
+
+}  // namespace rap::svc

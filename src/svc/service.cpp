@@ -1,0 +1,302 @@
+#include "svc/service.h"
+
+#include <bit>
+#include <cstdlib>
+
+#include "io/json.h"
+#include "obs/metrics.h"
+#include "svc/snapshot.h"
+#include "util/strings.h"
+
+namespace rap::svc {
+
+namespace {
+
+constexpr const char* kJsonType = "application/json; charset=utf-8";
+constexpr const char* kJobsPrefix = "/api/v1/jobs/";
+
+obs::HttpResponse textResponse(int status, std::string body) {
+  obs::HttpResponse response;
+  response.status = status;
+  response.body = std::move(body);
+  return response;
+}
+
+obs::HttpResponse jsonResponse(int status, std::string body) {
+  obs::HttpResponse response;
+  response.status = status;
+  response.content_type = kJsonType;
+  response.body = std::move(body);
+  return response;
+}
+
+/// Full-consumption double parse; nullopt on garbage or trailing junk.
+std::optional<double> parseDouble(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) return std::nullopt;
+  return value;
+}
+
+std::string formatSeconds(double seconds) {
+  return util::strFormat("%.6f", seconds);
+}
+
+/// The job fields shared by the list and detail documents (no result).
+void appendJobFields(std::string& out, const JobStatus& job) {
+  out += "\"job_id\":";
+  out += std::to_string(job.id);
+  out += ",\"state\":\"";
+  out += jobStateName(job.state);
+  out += "\",\"priority\":";
+  out += std::to_string(job.priority);
+  out += ",\"cache_hit\":";
+  out += job.cache_hit ? "true" : "false";
+  out += ",\"queued_seconds\":";
+  out += formatSeconds(job.queued_seconds);
+  out += ",\"run_seconds\":";
+  out += formatSeconds(job.run_seconds);
+}
+
+}  // namespace
+
+LocalizeService::LocalizeService(dataset::Schema schema,
+                                 core::RapMinerConfig base_config)
+    : LocalizeService(std::move(schema), base_config, Options{}) {}
+
+LocalizeService::LocalizeService(dataset::Schema schema,
+                                 core::RapMinerConfig base_config,
+                                 Options options)
+    : schema_(std::move(schema)),
+      base_config_(base_config),
+      options_(options),
+      cache_(std::make_unique<ResultCache>(options.cache)),
+      jobs_(std::make_unique<JobManager>(options.jobs, cache_.get())) {
+  if (obs::metricsEnabled()) {
+    // Same series the JobManager publishes to — the pre-parse fast path
+    // below must count as a hit just like one inside a worker.
+    cache_hits_ = &obs::defaultRegistry().counter("rap_svc_cache_hits_total");
+  }
+}
+
+void LocalizeService::installEndpoints(obs::AdminServer& server) {
+  server.handlePost("/api/v1/localize", [this](const obs::HttpRequest& req) {
+    return handleLocalize(req);
+  });
+  server.handle("/api/v1/jobs", [this](const obs::HttpRequest& req) {
+    return handleJobsList(req);
+  });
+  server.handlePrefix(kJobsPrefix, [this](const obs::HttpRequest& req) {
+    return handleJobGet(req);
+  });
+}
+
+util::Result<LocalizeService::RequestKnobs> LocalizeService::resolveKnobs(
+    const obs::HttpRequest& request) const {
+  RequestKnobs knobs;
+  knobs.miner = base_config_;
+  knobs.k = options_.default_k;
+  knobs.detect_threshold = options_.default_detect_threshold;
+
+  std::int64_t value = 0;
+  switch (request.queryIntStrict("k", &value)) {
+    case obs::HttpRequest::QueryIntResult::kInvalid:
+      return util::Status::invalidArgument("bad k parameter");
+    case obs::HttpRequest::QueryIntResult::kValid:
+      knobs.k = static_cast<std::int32_t>(value);
+      break;
+    case obs::HttpRequest::QueryIntResult::kAbsent:
+      break;
+  }
+  switch (request.queryIntStrict("priority", &value)) {
+    case obs::HttpRequest::QueryIntResult::kInvalid:
+      return util::Status::invalidArgument("bad priority parameter");
+    case obs::HttpRequest::QueryIntResult::kValid:
+      knobs.priority = static_cast<std::int32_t>(value);
+      break;
+    case obs::HttpRequest::QueryIntResult::kAbsent:
+      break;
+  }
+
+  if (const auto raw = request.queryParam("t_cp")) {
+    const auto parsed = parseDouble(*raw);
+    if (!parsed) return util::Status::invalidArgument("bad t_cp parameter");
+    knobs.miner.cp.t_cp = *parsed;
+  }
+  if (const auto raw = request.queryParam("t_conf")) {
+    const auto parsed = parseDouble(*raw);
+    if (!parsed) return util::Status::invalidArgument("bad t_conf parameter");
+    knobs.miner.search.t_conf = *parsed;
+  }
+  if (const auto raw = request.queryParam("deadline")) {
+    const auto parsed = parseDouble(*raw);
+    if (!parsed) {
+      return util::Status::invalidArgument("bad deadline parameter");
+    }
+    knobs.miner.search.deadline_seconds = *parsed;
+  }
+  if (const auto raw = request.queryParam("detect_threshold")) {
+    const auto parsed = parseDouble(*raw);
+    if (!parsed || !(*parsed >= 0.0) || *parsed > 1e9) {
+      return util::Status::invalidArgument("bad detect_threshold parameter");
+    }
+    knobs.detect_threshold = *parsed;
+  }
+  if (const auto raw = request.queryParam("mode")) {
+    if (*raw == "sync" || *raw == "async") {
+      knobs.mode = *raw;
+    } else if (*raw != "auto") {
+      return util::Status::invalidArgument(
+          "bad mode parameter (sync|async|auto)");
+    }
+  }
+
+  // One validation gate for everything user-supplied: a bad override is
+  // a 400 here, never a RAP_CHECK abort in a worker.
+  RAP_RETURN_IF_ERROR(
+      core::RapMiner::Builder().config(knobs.miner).validate());
+  return knobs;
+}
+
+std::uint64_t LocalizeService::requestKey(const std::string& body,
+                                          const RequestKnobs& knobs) const {
+  // Raw body bytes first — an idempotent resubmission is recognized
+  // without parsing — then every override that changes the result.
+  // (priority only changes scheduling, so it stays out of the key.)
+  std::uint64_t h = contentHash(body);
+  h = hashMix(h, static_cast<std::uint64_t>(
+                     static_cast<std::uint32_t>(knobs.k)));
+  h = hashMix(h, std::bit_cast<std::uint64_t>(knobs.miner.cp.t_cp));
+  h = hashMix(h, std::bit_cast<std::uint64_t>(knobs.miner.search.t_conf));
+  h = hashMix(h,
+              std::bit_cast<std::uint64_t>(knobs.miner.search.deadline_seconds));
+  h = hashMix(h, std::bit_cast<std::uint64_t>(knobs.detect_threshold));
+  // Key 0 means "uncached" to the JobManager; remap the unlucky hash.
+  return h == 0 ? 1 : h;
+}
+
+obs::HttpResponse LocalizeService::handleLocalize(
+    const obs::HttpRequest& request) {
+  auto knobs = resolveKnobs(request);
+  if (!knobs.isOk()) {
+    return textResponse(400, knobs.status().message() + "\n");
+  }
+  const std::uint64_t key = requestKey(request.body, *knobs);
+
+  // Pre-parse fast path: an identical resubmission (unless the caller
+  // insists on a job record with mode=async) skips decoding entirely and
+  // returns the stored document bit-identical.
+  if (knobs->mode != "async") {
+    if (auto hit = cache_->get(key)) {
+      if (cache_hits_ != nullptr) cache_hits_->increment();
+      obs::HttpResponse response = jsonResponse(200, std::move(*hit));
+      response.headers.emplace_back("X-Rap-Cache", "hit");
+      return response;
+    }
+  }
+
+  const std::string* content_type = request.header("content-type");
+  const bool is_json = content_type != nullptr &&
+                       content_type->find("json") != std::string::npos;
+  auto table = is_json ? parseJsonSnapshot(schema_, request.body)
+                       : parseCsvSnapshot(schema_, request.body);
+  if (!table.isOk()) {
+    return textResponse(400, table.status().message() + "\n");
+  }
+
+  const bool sync =
+      knobs->mode == "sync" ||
+      (knobs->mode.empty() && table->size() <= options_.sync_row_limit);
+
+  JobRequest job(std::move(*table));
+  job.miner = knobs->miner;
+  job.k = knobs->k;
+  job.detect_threshold = knobs->detect_threshold;
+  job.priority = knobs->priority;
+  job.cache_key = key;
+
+  if (sync) {
+    auto result = jobs_->executeInline(std::move(job));
+    if (!result.isOk()) {
+      return textResponse(500, result.status().message() + "\n");
+    }
+    obs::HttpResponse response = jsonResponse(200, std::move(*result));
+    response.headers.emplace_back("X-Rap-Cache", "miss");
+    return response;
+  }
+
+  auto id = jobs_->submit(std::move(job));
+  if (!id.isOk()) {
+    switch (id.status().code()) {
+      case util::StatusCode::kOutOfRange: {
+        const std::string retry = util::strFormat(
+            "%.0f", options_.jobs.retry_after_seconds < 1.0
+                        ? 1.0
+                        : options_.jobs.retry_after_seconds);
+        obs::HttpResponse response = jsonResponse(
+            429, util::strFormat(
+                     "{\"error\":\"job queue full\","
+                     "\"retry_after_seconds\":%s}\n",
+                     retry.c_str()));
+        response.headers.emplace_back("Retry-After", retry);
+        return response;
+      }
+      case util::StatusCode::kFailedPrecondition:
+        return textResponse(503, id.status().message() + "\n");
+      default:
+        return textResponse(500, id.status().message() + "\n");
+    }
+  }
+  return jsonResponse(
+      202, util::strFormat("{\"job_id\":%llu,\"status_url\":\"%s%llu\"}\n",
+                           static_cast<unsigned long long>(*id), kJobsPrefix,
+                           static_cast<unsigned long long>(*id)));
+}
+
+obs::HttpResponse LocalizeService::handleJobGet(
+    const obs::HttpRequest& request) {
+  const std::string suffix = request.path.substr(std::string(kJobsPrefix).size());
+  if (suffix.empty() ||
+      suffix.find_first_not_of("0123456789") != std::string::npos) {
+    return textResponse(400, "bad job id\n");
+  }
+  const std::uint64_t id = std::strtoull(suffix.c_str(), nullptr, 10);
+  const auto status = jobs_->status(id);
+  if (!status.has_value()) return textResponse(404, "no such job\n");
+
+  std::string out = "{";
+  appendJobFields(out, *status);
+  if (status->state == JobState::kDone) {
+    out += ",\"result\":";
+    out += status->result_json;
+  } else if (status->state == JobState::kFailed) {
+    out += ",\"error\":\"";
+    out += io::escapeJson(status->error);
+    out += "\"";
+  }
+  out += "}\n";
+  return jsonResponse(200, std::move(out));
+}
+
+obs::HttpResponse LocalizeService::handleJobsList(
+    const obs::HttpRequest& request) {
+  (void)request;
+  std::string out = "{\"jobs\":[";
+  bool first = true;
+  for (const JobStatus& job : jobs_->list()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{";
+    appendJobFields(out, job);
+    out += "}";
+  }
+  out += "],\"queue_depth\":";
+  out += std::to_string(jobs_->queueDepth());
+  out += ",\"paused\":";
+  out += jobs_->paused() ? "true" : "false";
+  out += "}\n";
+  return jsonResponse(200, std::move(out));
+}
+
+}  // namespace rap::svc

@@ -73,7 +73,7 @@ std::string bodyOf(const std::string& response) {
 TEST(AdminServer, BindsEphemeralPortAndDispatchesByPath) {
   obs::AdminServer server;
   server.handle("/hello", [](const obs::HttpRequest&) {
-    return obs::HttpResponse{200, "text/plain; charset=utf-8", "hi\n"};
+    return obs::HttpResponse{200, "text/plain; charset=utf-8", "hi\n", {}};
   });
   ASSERT_TRUE(server.start().isOk());
   ASSERT_NE(server.port(), 0);
@@ -211,6 +211,121 @@ TEST(RenderTracez, KeepsNewestEventsInTimestampOrder) {
   ASSERT_NE(odd, std::string::npos);
   ASSERT_NE(even, std::string::npos);
   EXPECT_LT(odd, even);
+}
+
+// ---------------------------------------------------------------------------
+// POST routes and hostile-client hardening.
+
+TEST(AdminServer, PostRouteReceivesBodyAndHeaders) {
+  obs::AdminServer server;
+  server.handlePost("/echo", [](const obs::HttpRequest& request) {
+    const std::string* type = request.header("content-type");
+    return obs::HttpResponse{200, "text/plain; charset=utf-8",
+                             (type != nullptr ? *type : "none") + "|" +
+                                 request.body,
+                             {}};
+  });
+  ASSERT_TRUE(server.start().isOk());
+
+  const std::string response = httpRequest(
+      server.port(),
+      "POST /echo HTTP/1.1\r\nHost: localhost\r\n"
+      "Content-Type: text/csv\r\nContent-Length: 11\r\n\r\nhello,world");
+  EXPECT_EQ(statusOf(response), 200);
+  EXPECT_EQ(bodyOf(response), "text/csv|hello,world");
+
+  // GET on a POST-only route is a method mismatch.
+  EXPECT_EQ(statusOf(httpGet(server.port(), "/echo")), 405);
+}
+
+TEST(AdminServer, PrefixRoutesMatchLongestRegisteredPrefix) {
+  obs::AdminServer server;
+  server.handlePrefix("/jobs/", [](const obs::HttpRequest& request) {
+    return obs::HttpResponse{200, "text/plain; charset=utf-8",
+                             "job:" + request.path, {}};
+  });
+  ASSERT_TRUE(server.start().isOk());
+  const std::string response = httpGet(server.port(), "/jobs/42");
+  EXPECT_EQ(statusOf(response), 200);
+  EXPECT_EQ(bodyOf(response), "job:/jobs/42");
+  EXPECT_EQ(statusOf(httpGet(server.port(), "/jobs")), 404);
+}
+
+TEST(AdminServer, PostWithoutContentLengthIs411) {
+  obs::AdminServer server;
+  server.handlePost("/p", [](const obs::HttpRequest&) {
+    return obs::HttpResponse{};
+  });
+  ASSERT_TRUE(server.start().isOk());
+  EXPECT_EQ(statusOf(httpRequest(server.port(),
+                                 "POST /p HTTP/1.1\r\nHost: x\r\n\r\n")),
+            411);
+  EXPECT_EQ(statusOf(httpRequest(server.port(),
+                                 "POST /p HTTP/1.1\r\nHost: x\r\n"
+                                 "Content-Length: banana\r\n\r\n")),
+            400);
+}
+
+TEST(AdminServer, OversizedDeclaredBodyIs413) {
+  obs::AdminServer::Options options;
+  options.max_body_bytes = 64;
+  obs::AdminServer server(options);
+  server.handlePost("/p", [](const obs::HttpRequest&) {
+    return obs::HttpResponse{};
+  });
+  ASSERT_TRUE(server.start().isOk());
+  // The body is never sent: the declared length alone must be refused.
+  EXPECT_EQ(statusOf(httpRequest(server.port(),
+                                 "POST /p HTTP/1.1\r\nHost: x\r\n"
+                                 "Content-Length: 65\r\n\r\n")),
+            413);
+  EXPECT_EQ(statusOf(httpRequest(server.port(),
+                                 "POST /p HTTP/1.1\r\nHost: x\r\n"
+                                 "Content-Length: 5\r\n\r\nabcde")),
+            200);
+}
+
+TEST(AdminServer, OversizedHeaderSectionIs431) {
+  obs::AdminServer::Options options;
+  options.max_header_bytes = 256;
+  obs::AdminServer server(options);
+  server.handle("/x", [](const obs::HttpRequest&) {
+    return obs::HttpResponse{};
+  });
+  ASSERT_TRUE(server.start().isOk());
+  const std::string padding(512, 'a');
+  EXPECT_EQ(statusOf(httpRequest(server.port(),
+                                 "GET /x HTTP/1.1\r\nX-Pad: " + padding +
+                                     "\r\n\r\n")),
+            431);
+  EXPECT_EQ(statusOf(httpGet(server.port(), "/x")), 200);
+}
+
+TEST(AdminServer, StalledClientIs408NotAHungWorker) {
+  obs::AdminServer::Options options;
+  options.read_timeout_seconds = 0.2;
+  obs::AdminServer server(options);
+  server.handle("/x", [](const obs::HttpRequest&) {
+    return obs::HttpResponse{};
+  });
+  ASSERT_TRUE(server.start().isOk());
+  // Send half a request line and then stall; the server must time the
+  // read out and answer 408 rather than wait on the socket forever.
+  const std::string response =
+      httpRequest(server.port(), "GET /x HT");  // no terminator, recv blocks
+  EXPECT_EQ(statusOf(response), 408);
+}
+
+TEST(AdminServer, TracezRejectsGarbledLimit) {
+  obs::TraceRecorder recorder;
+  obs::AdminServer server;
+  obs::registerObsEndpoints(server, nullptr, &recorder);
+  ASSERT_TRUE(server.start().isOk());
+  EXPECT_EQ(statusOf(httpGet(server.port(), "/tracez?limit=abc")), 400);
+  EXPECT_EQ(statusOf(httpGet(server.port(), "/tracez?limit=-1")), 400);
+  EXPECT_EQ(statusOf(httpGet(server.port(), "/tracez?limit=12x")), 400);
+  EXPECT_EQ(statusOf(httpGet(server.port(), "/tracez?limit=3")), 200);
+  EXPECT_EQ(statusOf(httpGet(server.port(), "/tracez")), 200);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,525 @@
+// Localization service (src/svc): JSON request parsing, snapshot
+// decoding + hashing, the LRU+TTL result cache, the job manager's
+// admission control, and the HTTP handlers end to end — including the
+// parity contract with the csv_localize pipeline and the bit-identical
+// cached-resubmission guarantee.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/rapminer.h"
+#include "dataset/cuboid.h"
+#include "dataset/schema.h"
+#include "detect/detector.h"
+#include "io/csv.h"
+#include "io/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "svc/job_manager.h"
+#include "svc/json_value.h"
+#include "svc/result_cache.h"
+#include "svc/service.h"
+#include "svc/snapshot.h"
+
+namespace rap {
+namespace {
+
+using Clock = svc::ResultCache::Clock;
+
+// ---------------------------------------------------------------------------
+// Shared fixtures: the csv_localize demo snapshot on Schema::tiny().
+
+dataset::LeafTable demoTable(const dataset::Schema& schema) {
+  dataset::LeafTable table(schema);
+  const auto broken =
+      dataset::AttributeCombination::parse(schema, "(*, b2, *, *)").value();
+  for (std::uint64_t i = 0; i < schema.leafCount(); ++i) {
+    const auto leaf = dataset::leafFromIndex(schema, i);
+    const double f = 50.0 + static_cast<double>(i % 7) * 10.0;
+    const double v = broken.matchesLeaf(leaf) ? f * 0.3 : f;
+    table.addRow(leaf, v, f, /*anomalous=*/false);
+  }
+  return table;
+}
+
+/// The saveLeafTable CSV layout as an in-memory request body.
+std::string csvBodyOf(const dataset::LeafTable& table) {
+  const dataset::Schema& schema = table.schema();
+  std::vector<io::CsvRow> rows;
+  io::CsvRow header;
+  for (dataset::AttrId a = 0; a < schema.attributeCount(); ++a) {
+    header.push_back(schema.attribute(a).name());
+  }
+  header.push_back("real");
+  header.push_back("predict");
+  rows.push_back(std::move(header));
+  for (const auto& row : table.rows()) {
+    io::CsvRow out;
+    for (dataset::AttrId a = 0; a < schema.attributeCount(); ++a) {
+      out.push_back(schema.attribute(a).elementName(row.ac.slot(a)));
+    }
+    out.push_back(std::to_string(row.v));
+    out.push_back(std::to_string(row.f));
+    rows.push_back(std::move(out));
+  }
+  return io::writeCsv(rows);
+}
+
+/// The same snapshot as a {"rows": [[...]]} JSON body.
+std::string jsonBodyOf(const dataset::LeafTable& table) {
+  const dataset::Schema& schema = table.schema();
+  std::string out = "{\"rows\":[";
+  bool first_row = true;
+  for (const auto& row : table.rows()) {
+    if (!first_row) out += ",";
+    first_row = false;
+    out += "[";
+    for (dataset::AttrId a = 0; a < schema.attributeCount(); ++a) {
+      out += "\"" + schema.attribute(a).elementName(row.ac.slot(a)) + "\",";
+    }
+    out += std::to_string(row.v) + "," + std::to_string(row.f) + "]";
+  }
+  out += "]}";
+  return out;
+}
+
+obs::HttpRequest postRequest(std::string body, const std::string& query = "",
+                             const std::string& content_type = "") {
+  obs::HttpRequest request;
+  request.method = "POST";
+  request.path = "/api/v1/localize";
+  request.query = query;
+  request.body = std::move(body);
+  if (!content_type.empty()) {
+    request.headers.emplace_back("content-type", content_type);
+  }
+  return request;
+}
+
+/// The "patterns" portion of a result document — everything before the
+/// "stats" object, whose stage timings differ run to run.
+std::string patternsOf(const std::string& result_json) {
+  const std::size_t pos = result_json.find(",\"stats\"");
+  return pos == std::string::npos ? result_json : result_json.substr(0, pos);
+}
+
+const std::string* headerOf(const obs::HttpResponse& response,
+                            const std::string& name) {
+  for (const auto& [key, value] : response.headers) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// JsonValue.
+
+TEST(JsonValue, ParsesDocumentsAndReportsOffsets) {
+  const auto doc = svc::JsonValue::parse(
+      " {\"a\": [1, -2.5e1, \"x\\u00e9\\n\"], \"b\": {\"c\": true}, "
+      "\"d\": null} ");
+  ASSERT_TRUE(doc.isOk()) << doc.status().toString();
+  const auto* a = doc.value().find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->isArray());
+  ASSERT_EQ(a->array_value.size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array_value[0].number_value, 1.0);
+  EXPECT_DOUBLE_EQ(a->array_value[1].number_value, -25.0);
+  EXPECT_EQ(a->array_value[2].string_value, "x\xC3\xA9\n");
+  const auto* b = doc.value().find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_TRUE(b->find("c")->bool_value);
+  EXPECT_TRUE(doc.value().find("d")->isNull());
+  EXPECT_EQ(doc.value().find("missing"), nullptr);
+}
+
+TEST(JsonValue, RejectsHostileInput) {
+  // Trailing garbage.
+  EXPECT_FALSE(svc::JsonValue::parse("{} x").isOk());
+  // Unterminated / malformed.
+  EXPECT_FALSE(svc::JsonValue::parse("{\"a\":").isOk());
+  EXPECT_FALSE(svc::JsonValue::parse("[1,]").isOk());
+  EXPECT_FALSE(svc::JsonValue::parse("01").isOk());
+  EXPECT_FALSE(svc::JsonValue::parse("\"\x01\"").isOk());
+  // Depth bomb: past the cap must fail, within the cap must pass.
+  std::string deep(svc::JsonValue::kMaxDepth + 2, '[');
+  deep += std::string(svc::JsonValue::kMaxDepth + 2, ']');
+  EXPECT_FALSE(svc::JsonValue::parse(deep).isOk());
+  std::string ok(svc::JsonValue::kMaxDepth, '[');
+  ok += std::string(svc::JsonValue::kMaxDepth, ']');
+  EXPECT_TRUE(svc::JsonValue::parse(ok).isOk());
+  // Errors carry a byte offset.
+  const auto bad = svc::JsonValue::parse("{\"a\" 1}");
+  ASSERT_FALSE(bad.isOk());
+  EXPECT_NE(bad.status().message().find("byte"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot decoding + hashing.
+
+TEST(Snapshot, CsvAndJsonBodiesDecodeToTheSameTable) {
+  const auto schema = dataset::Schema::tiny();
+  const auto table = demoTable(schema);
+
+  const auto from_csv = svc::parseCsvSnapshot(schema, csvBodyOf(table));
+  ASSERT_TRUE(from_csv.isOk()) << from_csv.status().toString();
+  const auto from_json = svc::parseJsonSnapshot(schema, jsonBodyOf(table));
+  ASSERT_TRUE(from_json.isOk()) << from_json.status().toString();
+
+  ASSERT_EQ(from_csv->size(), table.size());
+  ASSERT_EQ(from_json->size(), table.size());
+  // The encoding-independent hash sees one identical snapshot.
+  EXPECT_EQ(svc::snapshotHash(*from_csv), svc::snapshotHash(*from_json));
+  EXPECT_EQ(svc::snapshotHash(*from_csv), svc::snapshotHash(table));
+}
+
+TEST(Snapshot, RejectsMalformedBodies) {
+  const auto schema = dataset::Schema::tiny();
+  // Unknown element name.
+  EXPECT_FALSE(
+      svc::parseCsvSnapshot(schema, "A,B,C,D,real,predict\nzz,b1,c1,d1,1,1\n")
+          .isOk());
+  // Non-finite KPI.
+  EXPECT_FALSE(
+      svc::parseCsvSnapshot(schema,
+                            "A,B,C,D,real,predict\na1,b1,c1,d1,nan,1\n")
+          .isOk());
+  // JSON: not an object with rows.
+  EXPECT_FALSE(svc::parseJsonSnapshot(schema, "[1,2]").isOk());
+  // JSON: wrong arity.
+  EXPECT_FALSE(
+      svc::parseJsonSnapshot(schema, "{\"rows\":[[\"a1\",\"b1\",1.0]]}")
+          .isOk());
+  // JSON: attribute cell must be a string.
+  EXPECT_FALSE(
+      svc::parseJsonSnapshot(
+          schema, "{\"rows\":[[1,\"b1\",\"c1\",\"d1\",1.0,1.0]]}")
+          .isOk());
+}
+
+TEST(Snapshot, ContentHashSeparatesBodies) {
+  EXPECT_EQ(svc::contentHash("abc"), svc::contentHash("abc"));
+  EXPECT_NE(svc::contentHash("abc"), svc::contentHash("abd"));
+  EXPECT_NE(svc::contentHash(""),
+            svc::contentHash(std::string(8, '\0')));
+  // Word-wise and byte-wise hashes are distinct functions by design.
+  const std::string long_body(1 << 16, 'x');
+  EXPECT_EQ(svc::contentHash(long_body), svc::contentHash(long_body));
+  EXPECT_NE(svc::contentHash(long_body + "a"), svc::contentHash(long_body));
+  EXPECT_EQ(svc::fnv1a("abc"), svc::fnv1a("abc"));
+  EXPECT_NE(svc::fnv1a("abc"), svc::fnv1a("abd"));
+}
+
+// ---------------------------------------------------------------------------
+// ResultCache.
+
+TEST(ResultCache, TtlExpiresFromInsertionTime) {
+  svc::ResultCache cache({.capacity = 4, .ttl_seconds = 10.0});
+  const auto t0 = Clock::now();
+  cache.putAt(1, "doc", t0);
+
+  // Just inside the TTL: hit, and the hit refreshes recency only.
+  auto hit = cache.getAt(1, t0 + std::chrono::seconds(9));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "doc");
+
+  // Past the TTL (anchored at insertion, NOT at the last get): gone.
+  EXPECT_FALSE(cache.getAt(1, t0 + std::chrono::seconds(11)).has_value());
+  EXPECT_EQ(cache.stats().expirations, 1u);
+  EXPECT_EQ(cache.size(), 0u);
+
+  // Overwriting re-anchors the TTL.
+  cache.putAt(2, "v1", t0);
+  cache.putAt(2, "v2", t0 + std::chrono::seconds(8));
+  const auto fresh = cache.getAt(2, t0 + std::chrono::seconds(17));
+  ASSERT_TRUE(fresh.has_value());
+  EXPECT_EQ(*fresh, "v2");
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsedAtCapacity) {
+  svc::ResultCache cache({.capacity = 2, .ttl_seconds = 0.0});
+  const auto t0 = Clock::now();
+  cache.putAt(1, "one", t0);
+  cache.putAt(2, "two", t0);
+  // Touch 1 so 2 becomes the LRU entry.
+  ASSERT_TRUE(cache.getAt(1, t0).has_value());
+  cache.putAt(3, "three", t0);
+
+  EXPECT_TRUE(cache.getAt(1, t0).has_value());
+  EXPECT_FALSE(cache.getAt(2, t0).has_value());  // evicted
+  EXPECT_TRUE(cache.getAt(3, t0).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ResultCache, CapacityZeroDisablesCaching) {
+  svc::ResultCache cache({.capacity = 0, .ttl_seconds = 0.0});
+  cache.put(7, "doc");
+  EXPECT_FALSE(cache.get(7).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().insertions, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// JobManager.
+
+svc::JobRequest demoJob(std::uint64_t cache_key = 0) {
+  svc::JobRequest request(demoTable(dataset::Schema::tiny()));
+  request.cache_key = cache_key;
+  return request;
+}
+
+TEST(JobManager, ExecutesQueuedJobsToCompletion) {
+  svc::JobManager manager({.queue_capacity = 8, .workers = 2});
+  const auto id = manager.submit(demoJob());
+  ASSERT_TRUE(id.isOk()) << id.status().toString();
+  manager.drain();
+
+  const auto status = manager.status(*id);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->state, svc::JobState::kDone);
+  EXPECT_FALSE(status->cache_hit);
+  // The demo snapshot's root cause is (*, b2, *, *).
+  EXPECT_NE(status->result_json.find("(*, b2, *, *)"), std::string::npos);
+  EXPECT_TRUE(manager.status(999).has_value() == false);
+}
+
+TEST(JobManager, ShedsLoadWhenTheQueueIsFull) {
+  svc::JobManager manager({.queue_capacity = 2, .workers = 1});
+  manager.pause();  // workers idle: the queue fills deterministically
+  ASSERT_TRUE(manager.submit(demoJob()).isOk());
+  ASSERT_TRUE(manager.submit(demoJob()).isOk());
+  EXPECT_EQ(manager.queueDepth(), 2u);
+
+  const auto rejected = manager.submit(demoJob());
+  ASSERT_FALSE(rejected.isOk());
+  EXPECT_EQ(rejected.status().code(), util::StatusCode::kOutOfRange);
+
+  manager.resume();
+  manager.drain();
+  EXPECT_EQ(manager.queueDepth(), 0u);
+  for (const auto& job : manager.list()) {
+    EXPECT_EQ(job.state, svc::JobState::kDone);
+  }
+}
+
+TEST(JobManager, FailsJobsWithInvalidConfigInsteadOfAborting) {
+  svc::JobManager manager({.queue_capacity = 4, .workers = 1});
+  auto request = demoJob();
+  request.miner.search.t_conf = 42.0;  // out of range: Builder rejects
+  const auto id = manager.submit(std::move(request));
+  ASSERT_TRUE(id.isOk());
+  manager.drain();
+  const auto status = manager.status(*id);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->state, svc::JobState::kFailed);
+  EXPECT_NE(status->error.find("t_conf"), std::string::npos);
+}
+
+TEST(JobManager, ServesIdenticalResubmissionsFromTheCache) {
+  svc::ResultCache cache({.capacity = 8, .ttl_seconds = 0.0});
+  svc::JobManager manager({.queue_capacity = 8, .workers = 1}, &cache);
+
+  const auto first = manager.executeInline(demoJob(/*cache_key=*/77));
+  ASSERT_TRUE(first.isOk()) << first.status().toString();
+  const auto second = manager.executeInline(demoJob(/*cache_key=*/77));
+  ASSERT_TRUE(second.isOk());
+  // Bit-identical replay of the stored document.
+  EXPECT_EQ(*first, *second);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+
+  // Queued path hits the same cache.
+  const auto id = manager.submit(demoJob(/*cache_key=*/77));
+  ASSERT_TRUE(id.isOk());
+  manager.drain();
+  const auto status = manager.status(*id);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->state, svc::JobState::kDone);
+  EXPECT_TRUE(status->cache_hit);
+  EXPECT_EQ(status->result_json, *first);
+}
+
+// ---------------------------------------------------------------------------
+// LocalizeService HTTP handlers.
+
+svc::LocalizeService::Options smallServiceOptions() {
+  svc::LocalizeService::Options options;
+  options.jobs.queue_capacity = 2;
+  options.jobs.workers = 1;
+  options.jobs.retry_after_seconds = 2.0;
+  return options;
+}
+
+TEST(LocalizeService, SyncPostMatchesTheCsvLocalizePipeline) {
+  const auto schema = dataset::Schema::tiny();
+  svc::LocalizeService service(schema, core::RapMinerConfig{},
+                               smallServiceOptions());
+
+  const auto table = demoTable(schema);
+  const auto response = service.handleLocalize(postRequest(csvBodyOf(table)));
+  ASSERT_EQ(response.status, 200) << response.body;
+
+  // Reference pipeline: exactly what examples/csv_localize does with the
+  // same defaults (detect at 0.095, RapMinerConfig{} thresholds, k=5).
+  dataset::LeafTable reference = table;
+  detect::RelativeDeviationDetector(0.095).run(reference);
+  const auto expected =
+      core::RapMiner(core::RapMinerConfig{}).localize(reference, 5);
+  // Root-cause sets must match exactly; the stats tail carries wall-clock
+  // stage timings, so only the patterns portion is comparable.
+  EXPECT_EQ(patternsOf(response.body),
+            patternsOf(io::resultToJson(schema, expected)));
+  EXPECT_NE(response.body.find("(*, b2, *, *)"), std::string::npos);
+
+  const auto* cache_state = headerOf(response, "X-Rap-Cache");
+  ASSERT_NE(cache_state, nullptr);
+  EXPECT_EQ(*cache_state, "miss");
+}
+
+TEST(LocalizeService, IdenticalResubmissionIsABitIdenticalCacheHit) {
+  const auto schema = dataset::Schema::tiny();
+  obs::setMetricsEnabled(true);
+  auto& hits = obs::defaultRegistry().counter("rap_svc_cache_hits_total");
+  const std::uint64_t hits_before = hits.value();
+
+  svc::LocalizeService service(schema, core::RapMinerConfig{},
+                               smallServiceOptions());
+  const std::string body = csvBodyOf(demoTable(schema));
+
+  const auto first = service.handleLocalize(postRequest(body));
+  ASSERT_EQ(first.status, 200);
+
+  // Second identical POST: no parsing, no search — assert via spans.
+  obs::setTracingEnabled(true);
+  obs::defaultTraceRecorder().clear();
+  const auto second = service.handleLocalize(postRequest(body));
+  obs::setTracingEnabled(false);
+
+  ASSERT_EQ(second.status, 200);
+  EXPECT_EQ(second.body, first.body);  // bit-identical
+  const auto* cache_state = headerOf(second, "X-Rap-Cache");
+  ASSERT_NE(cache_state, nullptr);
+  EXPECT_EQ(*cache_state, "hit");
+  EXPECT_EQ(hits.value(), hits_before + 1);
+  for (const auto& event : obs::defaultTraceRecorder().snapshotEvents()) {
+    EXPECT_STRNE(event.name, "svc/execute");
+    EXPECT_STRNE(event.name, "localize");
+    EXPECT_STRNE(event.name, "localize/search");
+  }
+  obs::setMetricsEnabled(false);
+}
+
+TEST(LocalizeService, JsonBodyProducesTheSameResultAsCsv) {
+  const auto schema = dataset::Schema::tiny();
+  svc::LocalizeService service(schema, core::RapMinerConfig{},
+                               smallServiceOptions());
+  const auto table = demoTable(schema);
+
+  const auto from_csv = service.handleLocalize(postRequest(csvBodyOf(table)));
+  const auto from_json = service.handleLocalize(
+      postRequest(jsonBodyOf(table), "", "application/json"));
+  ASSERT_EQ(from_csv.status, 200) << from_csv.body;
+  ASSERT_EQ(from_json.status, 200) << from_json.body;
+  EXPECT_EQ(patternsOf(from_csv.body), patternsOf(from_json.body));
+  EXPECT_NE(from_json.body.find("(*, b2, *, *)"), std::string::npos);
+}
+
+TEST(LocalizeService, AsyncModeRunsThroughTheJobApi) {
+  const auto schema = dataset::Schema::tiny();
+  svc::LocalizeService service(schema, core::RapMinerConfig{},
+                               smallServiceOptions());
+
+  const auto accepted = service.handleLocalize(
+      postRequest(csvBodyOf(demoTable(schema)), "mode=async&priority=3"));
+  ASSERT_EQ(accepted.status, 202) << accepted.body;
+  EXPECT_NE(accepted.body.find("\"job_id\":1"), std::string::npos);
+  EXPECT_NE(accepted.body.find("\"status_url\":\"/api/v1/jobs/1\""),
+            std::string::npos);
+  service.jobs().drain();
+
+  obs::HttpRequest get;
+  get.method = "GET";
+  get.path = "/api/v1/jobs/1";
+  const auto job = service.handleJobGet(get);
+  ASSERT_EQ(job.status, 200) << job.body;
+  EXPECT_NE(job.body.find("\"state\":\"done\""), std::string::npos);
+  EXPECT_NE(job.body.find("\"priority\":3"), std::string::npos);
+  EXPECT_NE(job.body.find("(*, b2, *, *)"), std::string::npos);
+
+  obs::HttpRequest list;
+  list.method = "GET";
+  list.path = "/api/v1/jobs";
+  const auto listing = service.handleJobsList(list);
+  EXPECT_EQ(listing.status, 200);
+  EXPECT_NE(listing.body.find("\"job_id\":1"), std::string::npos);
+  EXPECT_NE(listing.body.find("\"queue_depth\":0"), std::string::npos);
+
+  get.path = "/api/v1/jobs/999";
+  EXPECT_EQ(service.handleJobGet(get).status, 404);
+  get.path = "/api/v1/jobs/abc";
+  EXPECT_EQ(service.handleJobGet(get).status, 400);
+}
+
+TEST(LocalizeService, FullQueueYields429WithRetryAfter) {
+  const auto schema = dataset::Schema::tiny();
+  obs::setMetricsEnabled(true);
+  auto& rejected =
+      obs::defaultRegistry().counter("rap_svc_admission_rejected_total");
+  const std::uint64_t rejected_before = rejected.value();
+
+  svc::LocalizeService service(schema, core::RapMinerConfig{},
+                               smallServiceOptions());
+  service.jobs().pause();
+
+  // Distinct bodies (t_conf varies) so nothing is served from the cache.
+  const std::string body = csvBodyOf(demoTable(schema));
+  ASSERT_EQ(service.handleLocalize(postRequest(body, "mode=async&t_conf=0.7"))
+                .status,
+            202);
+  ASSERT_EQ(service.handleLocalize(postRequest(body, "mode=async&t_conf=0.8"))
+                .status,
+            202);
+
+  const auto shed =
+      service.handleLocalize(postRequest(body, "mode=async&t_conf=0.9"));
+  EXPECT_EQ(shed.status, 429);
+  EXPECT_NE(shed.body.find("job queue full"), std::string::npos);
+  const auto* retry_after = headerOf(shed, "Retry-After");
+  ASSERT_NE(retry_after, nullptr);
+  EXPECT_EQ(*retry_after, "2");
+  EXPECT_EQ(rejected.value(), rejected_before + 1);
+
+  service.jobs().resume();
+  service.jobs().drain();
+  obs::setMetricsEnabled(false);
+}
+
+TEST(LocalizeService, RejectsBadOverridesAndBodiesWith400) {
+  const auto schema = dataset::Schema::tiny();
+  svc::LocalizeService service(schema, core::RapMinerConfig{},
+                               smallServiceOptions());
+  const std::string body = csvBodyOf(demoTable(schema));
+
+  EXPECT_EQ(service.handleLocalize(postRequest(body, "k=abc")).status, 400);
+  EXPECT_EQ(service.handleLocalize(postRequest(body, "t_conf=nope")).status,
+            400);
+  EXPECT_EQ(service.handleLocalize(postRequest(body, "t_conf=1.5")).status,
+            400);
+  EXPECT_EQ(service.handleLocalize(postRequest(body, "t_cp=-1")).status, 400);
+  EXPECT_EQ(service.handleLocalize(postRequest(body, "mode=banana")).status,
+            400);
+  EXPECT_EQ(service.handleLocalize(postRequest(body, "deadline=-3")).status,
+            400);
+
+  EXPECT_EQ(service.handleLocalize(postRequest("not,a,leaf\ntable\n")).status,
+            400);
+  EXPECT_EQ(
+      service.handleLocalize(postRequest("{broken", "", "application/json"))
+          .status,
+      400);
+}
+
+}  // namespace
+}  // namespace rap
