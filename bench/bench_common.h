@@ -7,11 +7,14 @@
 #include <cstdlib>
 #include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "eval/runner.h"
 #include "gen/rapmd.h"
 #include "gen/squeeze_gen.h"
+#include "io/json.h"
+#include "obs/build_info.h"
 #include "obs/export.h"
 #include "util/flags.h"
 #include "util/logging.h"
@@ -92,6 +95,27 @@ inline void printHeader(const char* figure, const char* description,
                         std::uint64_t seed) {
   std::printf("== %s — %s ==\n", figure, description);
   std::printf("seed=%llu\n\n", static_cast<unsigned long long>(seed));
+}
+
+/// Measurement provenance, written as a "provenance" object into every
+/// BENCH_*.json.  A committed baseline from a 1-core CI runner must be
+/// distinguishable from a 16-core dev box, and a Debug build from a
+/// Release one — otherwise a regression gate compares apples to oranges.
+/// `threads` is the worker count the harness actually used (for sweeps,
+/// the largest swept value).
+inline void writeProvenance(io::JsonWriter& json, std::int64_t threads) {
+  const obs::BuildInfo& build = obs::buildInfo();
+  json.key("provenance");
+  json.beginObject();
+  json.key("hardware_concurrency");
+  json.value(static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+  json.key("threads");
+  json.value(threads);
+  json.key("build_type");
+  json.value(build.build_type);
+  json.key("compiler");
+  json.value(build.compiler);
+  json.endObject();
 }
 
 }  // namespace rap::bench

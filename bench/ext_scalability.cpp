@@ -8,6 +8,8 @@
 // dimension fixed at <= 2, and measure RAPMiner with and without the
 // deletion stage.  With deletion, cost should track the RAP dimension
 // (flat-ish); without it, cost should grow with the lattice (2^n - 1).
+#include <fstream>
+
 #include "bench/bench_common.h"
 #include "util/strings.h"
 
@@ -18,6 +20,8 @@ int main(int argc, char** argv) {
     flags.addInt("threads", 1,
                  "also time the no-deletion run with this layer fan-out "
                  "(>1 adds a column; 0 = all cores)");
+    flags.addString("json-out", "BENCH_ext_scalability.json",
+                    "result file ('' = don't write)");
   });
   util::setLogLevel(util::LogLevel::kWarn);
   bench::printHeader("Extension",
@@ -48,6 +52,19 @@ int main(int argc, char** argv) {
         util::strFormat("time (no del, %dt)", fanout_threads));
   }
   table.setHeader(header);
+
+  io::JsonWriter json;
+  json.beginObject();
+  json.key("bench");
+  json.value("ext_scalability");
+  json.key("seed");
+  json.value(static_cast<std::int64_t>(bench::kDefaultSeed));
+  json.key("cases_per_schema");
+  json.value(static_cast<std::int64_t>(15));
+  bench::writeProvenance(json, fanout_threads);
+  json.key("results");
+  json.beginArray();
+
   for (const auto& spec : specs) {
     gen::RapmdConfig config;
     config.num_cases = 15;
@@ -72,6 +89,23 @@ int main(int argc, char** argv) {
         util::TextTable::pct(eval::aggregateRecallAtK(runs_with, cases, 3)),
         util::TextTable::duration(eval::aggregateTiming(runs_with).mean()),
         util::TextTable::duration(eval::aggregateTiming(runs_without).mean())};
+
+    json.beginObject();
+    json.key("schema");
+    json.value(spec.label);
+    json.key("attributes");
+    json.value(static_cast<std::int64_t>(spec.cardinalities.size()));
+    json.key("leaves");
+    json.value(static_cast<std::int64_t>(generator.schema().leafCount()));
+    json.key("cuboids");
+    json.value(static_cast<std::int64_t>(generator.schema().cuboidCount()));
+    json.key("recall_at_3");
+    json.value(eval::aggregateRecallAtK(runs_with, cases, 3));
+    json.key("mean_seconds_deletion");
+    json.value(eval::aggregateTiming(runs_with).mean());
+    json.key("mean_seconds_no_deletion");
+    json.value(eval::aggregateTiming(runs_without).mean());
+
     if (with_fanout) {
       core::RapMinerConfig fanned = without;
       fanned.parallel.threads = fanout_threads;
@@ -79,13 +113,30 @@ int main(int argc, char** argv) {
           eval::rapminerLocalizer(fanned, "RAPMiner-mt"), cases, {.k = 5});
       row.push_back(
           util::TextTable::duration(eval::aggregateTiming(runs_fanned).mean()));
+      json.key("mean_seconds_no_deletion_fanout");
+      json.value(eval::aggregateTiming(runs_fanned).mean());
     }
+    json.endObject();
     table.addRow(row);
   }
+  json.endArray();
+  json.endObject();
+
   std::printf("%s\n", table.render().c_str());
   std::printf(
       "expected: with deletion, time tracks leaves (one CP pass + the\n"
       "RAP-dimension cuboids); without it, time additionally grows with\n"
       "the 2^n - 1 lattice.\n");
+
+  const std::string out_path = obs_session.flags().getString("json-out");
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << std::move(json).str() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", out_path.c_str());
+  }
   return 0;
 }

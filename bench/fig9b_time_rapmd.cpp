@@ -10,6 +10,7 @@
 //   $ ./fig9b_time_rapmd                                  # paper figure
 //   $ ./fig9b_time_rapmd --sweep-threads 1,2,4,8 \
 //       --sweep-cases 20 --json-out BENCH_parallel_search.json
+#include <algorithm>
 #include <fstream>
 #include <thread>
 
@@ -93,6 +94,8 @@ int runThreadSweep(const util::FlagParser& flags) {
   json.value(static_cast<std::int64_t>(8));
   json.key("hardware_concurrency");
   json.value(static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+  bench::writeProvenance(
+      json, *std::max_element(thread_counts.begin(), thread_counts.end()));
   json.key("results");
   json.beginArray();
 

@@ -17,11 +17,13 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "dataset/schema.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
@@ -66,6 +68,8 @@ int main(int argc, char** argv) {
                   "pipeline lag collector sample period in seconds "
                   "(0 = off); compare rows/s against 0 to measure the "
                   "collector's overhead");
+  flags.addString("json-out", "BENCH_stream_ingest.json",
+                  "result file ('' = don't write)");
   obs::addObsFlags(flags);
   if (auto status = flags.parse(argc, argv); !status.isOk()) {
     std::fprintf(stderr, "%s\n%s", status.toString().c_str(),
@@ -202,5 +206,57 @@ int main(int argc, char** argv) {
   std::printf("%s", streamMetricLines().c_str());
   (void)obs::dumpFromFlags(flags);
 
-  return rows_per_s >= 1e6 ? 0 : 1;
+  const bool pass = rows_per_s >= 1e6;
+  const std::string out_path = flags.getString("json-out");
+  if (!out_path.empty()) {
+    io::JsonWriter json;
+    json.beginObject();
+    json.key("bench");
+    json.value("stream_ingest");
+    json.key("rows");
+    json.value(static_cast<std::int64_t>(total));
+    json.key("producers");
+    json.value(static_cast<std::int64_t>(producers));
+    json.key("shards");
+    json.value(static_cast<std::int64_t>(config.shards));
+    json.key("queue_capacity");
+    json.value(static_cast<std::int64_t>(config.queue_capacity));
+    json.key("policy");
+    json.value(flags.getString("policy"));
+    json.key("lag_sample_interval_seconds");
+    json.value(config.lag_sample_interval_seconds);
+    json.key("offered_seconds");
+    json.value(offered_elapsed);
+    json.key("drained_seconds");
+    json.value(drained_elapsed);
+    json.key("rows_per_second");
+    json.value(rows_per_s);
+    json.key("peak_queue_depth");
+    json.value(static_cast<std::int64_t>(peak_depth.load()));
+    json.key("queue_capacity_total");
+    json.value(total_capacity);
+    json.key("ingested");
+    json.value(static_cast<std::int64_t>(stats.ingested));
+    json.key("dropped_oldest");
+    json.value(static_cast<std::int64_t>(stats.dropped_oldest));
+    json.key("dropped_newest");
+    json.value(static_cast<std::int64_t>(stats.dropped_newest));
+    json.key("windows_sealed");
+    json.value(static_cast<std::int64_t>(stats.windows_sealed));
+    json.key("floor_rows_per_second");
+    json.value(1e6);
+    json.key("pass");
+    json.value(pass);
+    bench::writeProvenance(json, static_cast<std::int64_t>(producers));
+    json.endObject();
+    std::ofstream out(out_path);
+    out << std::move(json).str() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+
+  return pass ? 0 : 1;
 }

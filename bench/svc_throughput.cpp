@@ -224,6 +224,7 @@ int main(int argc, char** argv) {
     json.value(kFloorRps);
     json.key("pass");
     json.value(pass);
+    bench::writeProvenance(json, static_cast<std::int64_t>(threads));
     json.endObject();
     std::ofstream out(out_path);
     out << std::move(json).str() << "\n";

@@ -1,21 +1,34 @@
-// rap_server — localization-as-a-service daemon: the full src/svc stack
-// (JobManager + ResultCache + LocalizeService) mounted on the embedded
-// admin HTTP server, plus the obs endpoints, in one process.
+// rap_server — multi-tenant localization-as-a-service daemon: a
+// DatasetCatalog of named tenants (each its own schema, RapMiner
+// config, JobManager quota, result cache, and optionally a
+// StreamEngine) served through the resource-oriented v1 API on the
+// embedded admin HTTP server, in one process.
 //
 //   $ ./rap_server --schema schema.csv [--port 8080]
+//   $ ./rap_server --tenants catalog.json
 //   $ curl -X POST --data-binary @snapshot.csv \
-//         'http://127.0.0.1:8080/api/v1/localize?k=5'
-//   $ curl 'http://127.0.0.1:8080/api/v1/jobs'
+//         'http://127.0.0.1:8080/api/v1/tenants/default/localize?k=5'
+//   $ curl 'http://127.0.0.1:8080/api/v1/tenants'
+//   $ curl -X PUT --data-binary @tenant.json \
+//         'http://127.0.0.1:8080/api/v1/tenants/edge-eu'
 //   $ curl 'http://127.0.0.1:8080/metrics'
 //
-// Without --schema the daemon serves the built-in demo schema
+// The flags configure the "default" tenant, which also answers the
+// legacy un-prefixed endpoints (POST /api/v1/localize, GET
+// /api/v1/jobs) — a single-tenant deployment upgrades unchanged.
+// --tenants loads additional tenants from a sidecar file (see
+// src/svc/tenant_config.h for the JSON dialect); a sidecar entry named
+// "default" replaces the flags-built default tenant entirely.
+//
+// Without --schema the default tenant serves the built-in demo schema
 // (dataset::Schema::tiny()), which is what the CI smoke test posts
 // against.  The bound port is printed on stdout ("listening on ...") so
 // scripts can scrape it when --port 0 picks an ephemeral port.
 //
-// The daemon runs until SIGINT/SIGTERM, then stops the server
-// gracefully (in-flight requests finish, queued jobs drain on
-// JobManager shutdown).
+// The daemon runs until SIGINT/SIGTERM, then shuts down in order: the
+// HTTP server first (in-flight requests finish), then every tenant —
+// stream engines seal and localize what they buffered, job managers
+// run down their queues against the shared pool.
 #include <csignal>
 #include <cstdio>
 #include <thread>
@@ -26,7 +39,9 @@
 #include "obs/admin_server.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "svc/service.h"
+#include "svc/catalog.h"
+#include "svc/router.h"
+#include "svc/tenant_config.h"
 #include "util/flags.h"
 
 using namespace rap;
@@ -42,16 +57,25 @@ void onSignal(int) { g_shutdown = 1; }
 int main(int argc, char** argv) {
   util::FlagParser flags;
   flags.addString("schema", "",
-                  "schema sidecar CSV; empty serves the built-in demo schema");
+                  "default tenant schema sidecar CSV; empty serves the "
+                  "built-in demo schema");
+  flags.addString("tenants", "",
+                  "tenant catalog sidecar JSON ({\"tenants\":[...]})");
   flags.addString("bind", "127.0.0.1", "listen address");
   flags.addInt("port", 8080, "listen port (0 = ephemeral, printed on stdout)");
   flags.addInt("http-workers", 2, "HTTP worker threads");
-  flags.addInt("job-workers", 2, "localization worker threads");
+  flags.addInt("job-workers", 2,
+               "localization workers of the pool shared by all tenants");
   flags.addInt("queue-capacity", 64,
-               "queued jobs beyond which POSTs are shed with 429");
-  flags.addInt("cache-capacity", 128, "result cache entries (0 disables)");
+               "default tenant: queued jobs beyond which POSTs shed with 429");
+  flags.addInt("max-active", 0,
+               "default tenant: concurrent-execution quota on the shared "
+               "pool (0 = bounded only by the pool)");
+  flags.addInt("cache-capacity", 128,
+               "default tenant: result cache entries (0 disables)");
   flags.addDouble("cache-ttl", 300.0,
-                  "result cache TTL in seconds (0 = never expires)");
+                  "default tenant: result cache TTL in seconds (0 = never "
+                  "expires)");
   flags.addInt("sync-row-limit", 4096,
                "auto mode: snapshots up to this many rows run synchronously");
   flags.addInt("k", 5, "default top-k patterns per request");
@@ -73,41 +97,88 @@ int main(int argc, char** argv) {
   obs::setMetricsEnabled(true);
   obs::setTracingEnabled(flags.getBool("trace"));
 
-  dataset::Schema schema = dataset::Schema::tiny();
-  const std::string schema_path = flags.getString("schema");
-  if (!schema_path.empty()) {
-    auto loaded = io::loadSchema(schema_path);
+  // Sidecar tenants first — an entry named "default" overrides the
+  // flags-built one.
+  std::vector<svc::TenantSpec> sidecar;
+  std::string sidecar_dir;
+  const std::string tenants_path = flags.getString("tenants");
+  if (!tenants_path.empty()) {
+    auto loaded = svc::loadTenantSidecar(tenants_path);
     if (!loaded.isOk()) {
-      std::fprintf(stderr, "schema: %s\n",
+      std::fprintf(stderr, "tenants: %s\n",
                    loaded.status().toString().c_str());
       return 1;
     }
-    schema = std::move(loaded.value());
-  } else {
-    std::printf("no --schema given; serving the built-in demo schema\n");
+    sidecar = std::move(loaded.value());
+    const std::size_t slash = tenants_path.find_last_of('/');
+    if (slash != std::string::npos) sidecar_dir = tenants_path.substr(0, slash);
+  }
+  bool sidecar_has_default = false;
+  for (const auto& spec : sidecar) {
+    if (spec.name == "default") sidecar_has_default = true;
   }
 
-  const auto base = core::RapMiner::Builder()
-                        .tCp(flags.getDouble("t-cp"))
-                        .tConf(flags.getDouble("t-conf"))
-                        .build();
-  if (!base.isOk()) {
-    std::fprintf(stderr, "config: %s\n", base.status().toString().c_str());
-    return 2;
+  svc::DatasetCatalog::Options catalog_options;
+  catalog_options.pool_threads =
+      static_cast<std::size_t>(flags.getInt("job-workers"));
+  svc::DatasetCatalog catalog(catalog_options);
+
+  if (!sidecar_has_default) {
+    svc::TenantSpec spec;
+    spec.name = "default";
+    spec.schema = dataset::Schema::tiny();
+    const std::string schema_path = flags.getString("schema");
+    if (!schema_path.empty()) {
+      auto loaded = io::loadSchema(schema_path);
+      if (!loaded.isOk()) {
+        std::fprintf(stderr, "schema: %s\n",
+                     loaded.status().toString().c_str());
+        return 1;
+      }
+      spec.schema = std::move(loaded.value());
+    } else {
+      std::printf("no --schema given; serving the built-in demo schema\n");
+    }
+
+    const auto base = core::RapMiner::Builder()
+                          .tCp(flags.getDouble("t-cp"))
+                          .tConf(flags.getDouble("t-conf"))
+                          .build();
+    if (!base.isOk()) {
+      std::fprintf(stderr, "config: %s\n", base.status().toString().c_str());
+      return 2;
+    }
+    spec.miner = base->config();
+    spec.service.default_k = static_cast<std::int32_t>(flags.getInt("k"));
+    spec.service.default_detect_threshold =
+        flags.getDouble("detect-threshold");
+    spec.service.sync_row_limit =
+        static_cast<std::size_t>(flags.getInt("sync-row-limit"));
+    spec.service.jobs.queue_capacity =
+        static_cast<std::size_t>(flags.getInt("queue-capacity"));
+    spec.service.jobs.max_active =
+        static_cast<std::size_t>(flags.getInt("max-active"));
+    spec.service.cache.capacity =
+        static_cast<std::size_t>(flags.getInt("cache-capacity"));
+    spec.service.cache.ttl_seconds = flags.getDouble("cache-ttl");
+    if (auto status = catalog.put(std::move(spec)); !status.isOk()) {
+      std::fprintf(stderr, "default tenant: %s\n",
+                   status.toString().c_str());
+      return 2;
+    }
+  }
+  for (auto& spec : sidecar) {
+    const std::string name = spec.name;
+    if (auto status = catalog.put(std::move(spec)); !status.isOk()) {
+      std::fprintf(stderr, "tenant '%s': %s\n", name.c_str(),
+                   status.toString().c_str());
+      return 2;
+    }
   }
 
-  svc::LocalizeService::Options options;
-  options.default_k = static_cast<std::int32_t>(flags.getInt("k"));
-  options.default_detect_threshold = flags.getDouble("detect-threshold");
-  options.sync_row_limit =
-      static_cast<std::size_t>(flags.getInt("sync-row-limit"));
-  options.jobs.workers = static_cast<std::size_t>(flags.getInt("job-workers"));
-  options.jobs.queue_capacity =
-      static_cast<std::size_t>(flags.getInt("queue-capacity"));
-  options.cache.capacity =
-      static_cast<std::size_t>(flags.getInt("cache-capacity"));
-  options.cache.ttl_seconds = flags.getDouble("cache-ttl");
-  svc::LocalizeService service(schema, base->config(), options);
+  svc::TenantRouter::Options router_options;
+  router_options.schema_base_dir = sidecar_dir;
+  svc::TenantRouter router(catalog, router_options);
 
   obs::AdminServer::Options server_options;
   server_options.bind_address = flags.getString("bind");
@@ -117,7 +188,7 @@ int main(int argc, char** argv) {
   server_options.read_timeout_seconds = flags.getDouble("read-timeout");
   obs::AdminServer server(server_options);
   obs::registerObsEndpoints(server);
-  service.installEndpoints(server);
+  router.installEndpoints(server);
 
   if (auto status = server.start(); !status.isOk()) {
     std::fprintf(stderr, "start: %s\n", status.toString().c_str());
@@ -125,7 +196,10 @@ int main(int argc, char** argv) {
   }
   std::printf("listening on http://%s:%u/\n",
               server_options.bind_address.c_str(), server.port());
-  std::printf("POST /api/v1/localize | GET /api/v1/jobs | GET /metrics\n");
+  std::printf("serving %zu tenant(s):", catalog.size());
+  for (const auto& name : catalog.names()) std::printf(" %s", name.c_str());
+  std::printf("\nPOST /api/v1/tenants/<t>/localize | GET /api/v1/tenants | "
+              "GET /metrics\n");
   std::fflush(stdout);
 
   std::signal(SIGINT, onSignal);
@@ -134,6 +208,9 @@ int main(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
   std::printf("shutting down\n");
+  // Order matters: no new requests, then drain every tenant (engines
+  // seal + localize buffered windows, job managers run down) via the
+  // catalog's destructor.
   server.stop();
   return 0;
 }

@@ -10,6 +10,7 @@
 //   search.layer    — Algorithm 2, at the top of each cuboid layer
 //   svc.submit      — svc::JobManager::submit, before admission
 //   svc.execute     — service worker, before cache lookup and search
+//   svc.tenant      — svc::TenantRouter, at tenant resolution (-> 503)
 //
 // Compile gating: every site goes through RAP_FAULT_HIT(point).  Unless
 // the build defines RAP_FAULT_INJECTION (CMake -DRAP_FAULT_INJECTION=ON)

@@ -16,6 +16,7 @@
 
 #include "obs/build_info.h"
 #include "obs/obs_internal.h"
+#include "obs/query_params.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -27,12 +28,18 @@ const char* statusText(int status) {
   switch (status) {
     case 200:
       return "OK";
+    case 201:
+      return "Created";
     case 202:
       return "Accepted";
+    case 403:
+      return "Forbidden";
     case 400:
       return "Bad Request";
     case 404:
       return "Not Found";
+    case 409:
+      return "Conflict";
     case 405:
       return "Method Not Allowed";
     case 408:
@@ -91,7 +98,53 @@ RecvResult recvSome(int fd, std::string& out, char* buf, std::size_t cap) {
   }
 }
 
+/// Maps the request-line method token to a route method class;
+/// returns false for methods this plane refuses (405).
+bool methodClass(const std::string& token, HttpMethod* out) {
+  if (token == "GET" || token == "HEAD") {
+    *out = HttpMethod::kGet;
+    return true;
+  }
+  if (token == "POST") {
+    *out = HttpMethod::kPost;
+    return true;
+  }
+  if (token == "PUT") {
+    *out = HttpMethod::kPut;
+    return true;
+  }
+  if (token == "DELETE") {
+    *out = HttpMethod::kDelete;
+    return true;
+  }
+  return false;
+}
+
 }  // namespace
+
+std::string errorEnvelope(int status, std::string_view code,
+                          std::string_view message,
+                          std::string_view extra_fields) {
+  std::string out = "{\"error\":{\"code\":\"";
+  out += internal::jsonEscape(std::string(code));
+  out += "\",\"status\":";
+  out += std::to_string(status);
+  out += ",\"message\":\"";
+  out += internal::jsonEscape(std::string(message));
+  out += "\"";
+  if (!extra_fields.empty()) {
+    out += ",";
+    out += extra_fields;
+  }
+  out += "}}";
+  return out;
+}
+
+HttpResponse errorResponse(int status, std::string_view code,
+                           std::string_view message) {
+  return HttpResponse{status, "application/json",
+                      errorEnvelope(status, code, message), {}};
+}
 
 const std::string* HttpRequest::header(const std::string& lower_name) const {
   for (const auto& [name, value] : headers) {
@@ -148,36 +201,37 @@ AdminServer::AdminServer(Options options) : options_(std::move(options)) {
 
 AdminServer::~AdminServer() { stop(); }
 
-void AdminServer::installRoute(std::string path, bool prefix, bool post,
-                               Handler handler) {
+void AdminServer::handleMethod(HttpMethod method, std::string path,
+                               bool prefix, Handler handler) {
   RAP_CHECK_MSG(!started_.load(), "install handlers before start()");
   RAP_CHECK(handler != nullptr);
   for (auto& route : routes_) {
-    if (route.path == path && route.prefix == prefix && route.post == post) {
+    if (route.path == path && route.prefix == prefix &&
+        route.method == method) {
       route.fn = std::move(handler);
       return;
     }
   }
-  routes_.push_back(Route{std::move(path), prefix, post, std::move(handler)});
+  routes_.push_back(Route{std::move(path), prefix, method, std::move(handler)});
 }
 
 void AdminServer::handle(std::string path, Handler handler) {
-  installRoute(std::move(path), /*prefix=*/false, /*post=*/false,
+  handleMethod(HttpMethod::kGet, std::move(path), /*prefix=*/false,
                std::move(handler));
 }
 
 void AdminServer::handlePost(std::string path, Handler handler) {
-  installRoute(std::move(path), /*prefix=*/false, /*post=*/true,
+  handleMethod(HttpMethod::kPost, std::move(path), /*prefix=*/false,
                std::move(handler));
 }
 
 void AdminServer::handlePrefix(std::string prefix, Handler handler) {
-  installRoute(std::move(prefix), /*prefix=*/true, /*post=*/false,
+  handleMethod(HttpMethod::kGet, std::move(prefix), /*prefix=*/true,
                std::move(handler));
 }
 
 const AdminServer::Route* AdminServer::findRoute(const std::string& path,
-                                                 bool post,
+                                                 HttpMethod method,
                                                  bool* path_known) const {
   const Route* best = nullptr;
   for (const auto& route : routes_) {
@@ -186,7 +240,7 @@ const AdminServer::Route* AdminServer::findRoute(const std::string& path,
                      : path == route.path;
     if (!matches) continue;
     *path_known = true;
-    if (route.post != post) continue;
+    if (route.method != method) continue;
     if (!route.prefix) return &route;  // exact routes always win
     // Longest matching prefix wins among prefix routes.
     if (best == nullptr || route.path.size() > best->path.size()) {
@@ -298,10 +352,15 @@ void AdminServer::acceptLoop() {
     if (enqueued) {
       queue_cv_.notify_one();
     } else {
-      static constexpr char kBusy[] =
-          "HTTP/1.1 503 Service Unavailable\r\nContent-Length: 0\r\n"
-          "Connection: close\r\n\r\n";
-      writeAll(fd, kBusy, sizeof(kBusy) - 1);
+      static const std::string kBusy = [] {
+        const std::string body =
+            errorEnvelope(503, "overloaded", "connection backlog full");
+        return "HTTP/1.1 503 Service Unavailable\r\n"
+               "Content-Type: application/json\r\nContent-Length: " +
+               std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" +
+               body;
+      }();
+      writeAll(fd, kBusy.data(), kBusy.size());
       ::close(fd);
     }
   }
@@ -401,41 +460,38 @@ void AdminServer::serveConnection(int fd) {
   }
 
   bool dispatch = false;
+  HttpMethod method = HttpMethod::kGet;
   if (timed_out && header_end == std::string::npos) {
-    response = {408, "text/plain; charset=utf-8", "request timed out\n", {}};
+    response = errorResponse(408, "timeout", "request timed out");
   } else if (header_overflow) {
-    response = {431, "text/plain; charset=utf-8",
-                "request header section too large\n", {}};
+    response = errorResponse(431, "header_too_large",
+                             "request header section too large");
   } else if (!parsed) {
-    response = {400, "text/plain; charset=utf-8", "bad request\n", {}};
-  } else if (request.method != "GET" && request.method != "HEAD" &&
-             request.method != "POST") {
-    response = {405, "text/plain; charset=utf-8", "method not allowed\n", {}};
+    response = errorResponse(400, "bad_request", "bad request");
+  } else if (!methodClass(request.method, &method)) {
+    response =
+        errorResponse(405, "method_not_allowed", "method not allowed");
   } else {
     dispatch = true;
   }
 
   const Route* route = nullptr;
   if (dispatch) {
-    const bool is_post = request.method == "POST";
     bool path_known = false;
-    route = findRoute(request.path, is_post, &path_known);
+    route = findRoute(request.path, method, &path_known);
     if (route == nullptr) {
-      response = path_known ? HttpResponse{405, "text/plain; charset=utf-8",
-                                           "method not allowed\n",
-                                           {}}
-                            : HttpResponse{404, "text/plain; charset=utf-8",
-                                           "not found\n",
-                                           {}};
+      response = path_known ? errorResponse(405, "method_not_allowed",
+                                            "method not allowed")
+                            : errorResponse(404, "not_found", "not found");
       dispatch = false;
-    } else if (is_post) {
+    } else if (method == HttpMethod::kPost || method == HttpMethod::kPut) {
       // Bounded body read: Content-Length is mandatory (no chunked
       // decoding on this plane) and capped before a byte is read.
       const std::string* declared = request.header("content-length");
       std::uint64_t content_length = 0;
       if (declared == nullptr) {
-        response = {411, "text/plain; charset=utf-8",
-                    "Content-Length required\n", {}};
+        response = errorResponse(411, "length_required",
+                                 "Content-Length required");
         dispatch = false;
       } else {
         errno = 0;
@@ -443,12 +499,12 @@ void AdminServer::serveConnection(int fd) {
         const unsigned long long v =
             std::strtoull(declared->c_str(), &tail, 10);
         if (errno != 0 || tail == declared->c_str() || *tail != '\0') {
-          response = {400, "text/plain; charset=utf-8",
-                      "bad Content-Length\n", {}};
+          response =
+              errorResponse(400, "bad_request", "bad Content-Length");
           dispatch = false;
         } else if (v > options_.max_body_bytes) {
-          response = {413, "text/plain; charset=utf-8",
-                      "request body too large\n", {}};
+          response = errorResponse(413, "body_too_large",
+                                   "request body too large");
           dispatch = false;
         } else {
           content_length = v;
@@ -467,12 +523,9 @@ void AdminServer::serveConnection(int fd) {
         }
         if (request.body.size() < content_length) {
           response = body_timeout
-                         ? HttpResponse{408, "text/plain; charset=utf-8",
-                                        "request timed out\n",
-                                        {}}
-                         : HttpResponse{400, "text/plain; charset=utf-8",
-                                        "truncated request body\n",
-                                        {}};
+                         ? errorResponse(408, "timeout", "request timed out")
+                         : errorResponse(400, "bad_request",
+                                         "truncated request body");
           dispatch = false;
         } else {
           request.body.resize(content_length);
@@ -486,8 +539,8 @@ void AdminServer::serveConnection(int fd) {
       response = (route->fn)(request);
     } catch (const std::exception& e) {
       // An endpoint bug must not take down the serving plane.
-      response = {500, "text/plain; charset=utf-8",
-                  std::string("handler error: ") + e.what() + "\n", {}};
+      response = errorResponse(500, "internal",
+                               std::string("handler error: ") + e.what());
     }
   }
 
@@ -555,15 +608,15 @@ void registerObsEndpoints(AdminServer& server, MetricsRegistry* registry,
     return HttpResponse{200, "application/json", metrics->renderJson(), {}};
   });
   server.handle("/tracez", [traces](const HttpRequest& request) {
-    std::int64_t limit = 64;
-    const auto parse = request.queryIntStrict("limit", &limit);
-    if (parse == HttpRequest::QueryIntResult::kInvalid || limit < 0) {
-      // A garbled limit must not silently serve the default — the
-      // operator asked for something specific and typo'd it.
-      return HttpResponse{400, "text/plain; charset=utf-8",
-                          "bad limit parameter\n",
-                          {}};
+    // A garbled limit must not silently serve the default — the
+    // operator asked for something specific and typo'd it.
+    const auto params = parseParams(
+        request.query,
+        {{"limit", ParamSpec::Kind::kInt, 0.0, 9e18, {}}});
+    if (!params.isOk()) {
+      return errorResponse(400, "bad_parameter", params.status().message());
     }
+    const std::int64_t limit = params.value().intOr("limit", 64);
     return HttpResponse{
         200, "application/json",
         renderTracez(*traces, static_cast<std::size_t>(limit)),

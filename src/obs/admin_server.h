@@ -39,6 +39,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -86,6 +87,23 @@ struct HttpResponse {
   std::vector<std::pair<std::string, std::string>> headers;
 };
 
+/// Method classes routes are registered under.  HEAD dispatches to the
+/// kGet handler (the server suppresses the body).
+enum class HttpMethod : std::uint8_t { kGet, kPost, kPut, kDelete };
+
+/// Canonical JSON error body shared by the server core and every API
+/// handler:
+///   {"error":{"code":"not_found","status":404,"message":"..."}}
+/// `extra_fields` is raw JSON appended inside the error object (e.g.
+/// "\"retry_after_seconds\":1"); empty adds nothing.
+std::string errorEnvelope(int status, std::string_view code,
+                          std::string_view message,
+                          std::string_view extra_fields = {});
+
+/// errorEnvelope wrapped in an application/json HttpResponse.
+HttpResponse errorResponse(int status, std::string_view code,
+                           std::string_view message);
+
 class AdminServer {
  public:
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
@@ -127,13 +145,19 @@ class AdminServer {
 
   /// Installs (or replaces) the POST handler for an exact path.  The
   /// body is read (subject to max_body_bytes) before dispatch.  A path
-  /// may carry both a GET and a POST handler.
+  /// may carry one handler per method class.
   void handlePost(std::string path, Handler handler);
 
   /// Installs a GET/HEAD handler for every path starting with `prefix`
   /// (e.g. "/api/v1/jobs/").  Exact routes win over prefix routes; the
   /// longest matching prefix wins among prefix routes.
   void handlePrefix(std::string prefix, Handler handler);
+
+  /// Fully general registration: exact or prefix route for any method
+  /// class.  PUT routes read a bounded body exactly like POST; DELETE
+  /// requests carry no body on this plane.
+  void handleMethod(HttpMethod method, std::string path, bool prefix,
+                    Handler handler);
 
   /// Binds, listens, and spawns the accept loop + workers.  Fails with
   /// a Status (never a crash) when the address or port is unavailable.
@@ -163,18 +187,16 @@ class AdminServer {
   struct Route {
     std::string path;
     bool prefix = false;  ///< prefix match instead of exact
-    bool post = false;    ///< POST instead of GET/HEAD
+    HttpMethod method = HttpMethod::kGet;
     Handler fn;
   };
 
   void acceptLoop();
   void workerLoop();
   void serveConnection(int fd);
-  void installRoute(std::string path, bool prefix, bool post,
-                    Handler handler);
-  /// Longest match for (path, post); sets `path_known` when the path
-  /// matches a route of the other method class (405 material).
-  const Route* findRoute(const std::string& path, bool post,
+  /// Longest match for (path, method); sets `path_known` when the path
+  /// matches a route of another method class (405 material).
+  const Route* findRoute(const std::string& path, HttpMethod method,
                          bool* path_known) const;
 
   Options options_;

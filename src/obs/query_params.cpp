@@ -1,0 +1,110 @@
+#include "obs/query_params.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace rap::obs {
+
+namespace {
+
+const ParamSpec* findSpec(const std::vector<ParamSpec>& specs,
+                          std::string_view key) {
+  for (const auto& spec : specs) {
+    if (spec.key == key) return &spec;
+  }
+  return nullptr;
+}
+
+util::Status rangeError(const ParamSpec& spec, const std::string& raw) {
+  return util::Status::invalidArgument(
+      util::strFormat("%s out of range: %s not in [%g, %g]", spec.key.c_str(),
+                      raw.c_str(), spec.min_value, spec.max_value));
+}
+
+}  // namespace
+
+util::Result<ParsedParams> parseParams(std::string_view query,
+                                       const std::vector<ParamSpec>& specs) {
+  ParsedParams out;
+  std::size_t pos = 0;
+  while (pos <= query.size()) {
+    std::size_t end = query.find('&', pos);
+    if (end == std::string_view::npos) end = query.size();
+    const std::string_view part = query.substr(pos, end - pos);
+    pos = end + 1;
+    if (part.empty()) {
+      if (end == query.size()) break;
+      continue;
+    }
+    const std::size_t eq = part.find('=');
+    const std::string key(eq == std::string_view::npos ? part
+                                                       : part.substr(0, eq));
+    const std::string raw(eq == std::string_view::npos
+                              ? std::string_view()
+                              : part.substr(eq + 1));
+    const ParamSpec* spec = findSpec(specs, key);
+    if (spec == nullptr) {
+      return util::Status::invalidArgument("unknown query parameter '" + key +
+                                           "'");
+    }
+    switch (spec->kind) {
+      case ParamSpec::Kind::kInt: {
+        errno = 0;
+        char* tail = nullptr;
+        const long long v = std::strtoll(raw.c_str(), &tail, 10);
+        if (raw.empty() || errno != 0 || tail == raw.c_str() ||
+            *tail != '\0') {
+          return util::Status::invalidArgument(util::strFormat(
+              "bad %s parameter: '%s' is not an integer", key.c_str(),
+              raw.c_str()));
+        }
+        const auto value = static_cast<std::int64_t>(v);
+        if (static_cast<double>(value) < spec->min_value ||
+            static_cast<double>(value) > spec->max_value) {
+          return rangeError(*spec, raw);
+        }
+        out.ints_[key] = value;
+        break;
+      }
+      case ParamSpec::Kind::kDouble: {
+        const auto parsed = util::parseDouble(raw);
+        if (!parsed.isOk() || !std::isfinite(parsed.value())) {
+          return util::Status::invalidArgument(
+              util::strFormat("bad %s parameter: '%s' is not a number",
+                              key.c_str(), raw.c_str()));
+        }
+        if (parsed.value() < spec->min_value ||
+            parsed.value() > spec->max_value) {
+          return rangeError(*spec, raw);
+        }
+        out.doubles_[key] = parsed.value();
+        break;
+      }
+      case ParamSpec::Kind::kString:
+        out.strings_[key] = raw;
+        break;
+      case ParamSpec::Kind::kEnum: {
+        bool listed = false;
+        for (const auto& choice : spec->choices) {
+          if (choice == raw) {
+            listed = true;
+            break;
+          }
+        }
+        if (!listed) {
+          return util::Status::invalidArgument(util::strFormat(
+              "bad %s parameter: '%s' is not one of %s", key.c_str(),
+              raw.c_str(), util::join(spec->choices, "|").c_str()));
+        }
+        out.strings_[key] = raw;
+        break;
+      }
+    }
+    if (end == query.size()) break;
+  }
+  return out;
+}
+
+}  // namespace rap::obs

@@ -1,0 +1,83 @@
+// Spec-driven query-string parsing shared by every HTTP handler.
+//
+// PR 6 grew three hand-rolled query parsers (/tracez's strict limit,
+// the localize knob overrides, the jobs listing) with three different
+// failure dialects.  This is the one implementation behind all of
+// them: a handler declares the parameters it accepts — name, type,
+// numeric range, enum choices — and gets back either a typed bag of
+// values or an invalid-argument Status with a uniform diagnostic:
+//
+//   unknown query parameter 'foo'
+//   bad limit parameter: 'abc' is not an integer
+//   limit out of range: -3 not in [0, 100000]
+//   bad mode parameter: 'x' is not one of sync|async|auto
+//
+// Callers turn that Status into a 400 (`obs::errorResponse`), so a
+// typo'd operator request is always told what was wrong instead of
+// silently served a default.
+//
+// Lives in obs (not svc) because /tracez needs it and the CMake layer
+// order is svc -> obs; `svc::parseParams` re-exports it for the
+// service handlers (src/svc/params.h).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rap::obs {
+
+/// One accepted query parameter.
+struct ParamSpec {
+  enum class Kind { kInt, kDouble, kString, kEnum };
+
+  std::string key;
+  Kind kind = Kind::kString;
+  /// Inclusive numeric range for kInt/kDouble (defaults accept any
+  /// finite value); ignored for strings and enums.
+  double min_value = -1.7976931348623157e308;
+  double max_value = 1.7976931348623157e308;
+  /// Accepted tokens for kEnum, e.g. {"sync", "async", "auto"}.
+  std::vector<std::string> choices;
+};
+
+/// Typed values for the parameters that were present.  Lookups take a
+/// fallback so handlers read defaults in one line.
+class ParsedParams {
+ public:
+  bool has(const std::string& key) const {
+    return ints_.count(key) != 0 || doubles_.count(key) != 0 ||
+           strings_.count(key) != 0;
+  }
+  std::int64_t intOr(const std::string& key, std::int64_t fallback) const {
+    const auto it = ints_.find(key);
+    return it == ints_.end() ? fallback : it->second;
+  }
+  double doubleOr(const std::string& key, double fallback) const {
+    const auto it = doubles_.find(key);
+    return it == doubles_.end() ? fallback : it->second;
+  }
+  const std::string& stringOr(const std::string& key,
+                              const std::string& fallback) const {
+    const auto it = strings_.find(key);
+    return it == strings_.end() ? fallback : it->second;
+  }
+
+  std::map<std::string, std::int64_t> ints_;
+  std::map<std::string, double> doubles_;
+  std::map<std::string, std::string> strings_;
+};
+
+/// Parses a raw query string ("k=3&mode=sync") against `specs`.
+/// Unknown keys, unparsable numbers, out-of-range values and unlisted
+/// enum tokens are invalid-argument errors; a repeated key keeps the
+/// last value (curl-override idiom).  Values are not percent-decoded —
+/// admin parameters are numbers and short tokens by contract.
+util::Result<ParsedParams> parseParams(std::string_view query,
+                                       const std::vector<ParamSpec>& specs);
+
+}  // namespace rap::obs

@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "alarm/monitor.h"
 #include "core/rapminer.h"
@@ -79,6 +80,13 @@ struct StreamConfig {
   /// sampler thread entirely — the default, so batch-style embeddings
   /// pay nothing.
   double lag_sample_interval_seconds = 0.0;
+
+  /// Tenant name stamped as a {tenant="..."} label on every
+  /// rap_stream_* series this engine (and its lag collector) creates.
+  /// Empty — the default — keeps the unlabeled legacy series, so a
+  /// single-engine process is unchanged; the multi-tenant catalog sets
+  /// it so per-tenant engines never share a series.
+  std::string metric_tenant;
 };
 
 }  // namespace rap::stream

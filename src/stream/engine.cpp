@@ -60,29 +60,45 @@ StreamEngine::StreamEngine(dataset::Schema schema, StreamConfig config)
             config_.localize_deadline_seconds >= 0.0);
 
   auto& reg = obs::defaultRegistry();
-  metrics_.ingested = &reg.counter("rap_stream_ingested_total");
-  metrics_.rejected = &reg.counter("rap_stream_rejected_total");
-  metrics_.quarantined = &reg.counter("rap_stream_quarantined_total");
-  metrics_.dropped_oldest = &reg.counter("rap_stream_dropped_oldest_total");
-  metrics_.dropped_newest = &reg.counter("rap_stream_dropped_newest_total");
-  metrics_.windows_sealed = &reg.counter("rap_stream_windows_sealed_total");
-  metrics_.windows_dropped = &reg.counter("rap_stream_windows_dropped_total");
-  metrics_.alarms = &reg.counter("rap_stream_alarms_total");
-  metrics_.localizations = &reg.counter("rap_stream_localizations_total");
+  // Empty metric_tenant keeps the unlabeled legacy series; a catalog
+  // tenant gets its own {tenant="..."} series family.
+  const obs::Labels labels =
+      config_.metric_tenant.empty()
+          ? obs::Labels{}
+          : obs::Labels{{"tenant", config_.metric_tenant}};
+  metrics_.ingested = &reg.counter("rap_stream_ingested_total", labels);
+  metrics_.rejected = &reg.counter("rap_stream_rejected_total", labels);
+  metrics_.quarantined = &reg.counter("rap_stream_quarantined_total", labels);
+  metrics_.dropped_oldest =
+      &reg.counter("rap_stream_dropped_oldest_total", labels);
+  metrics_.dropped_newest =
+      &reg.counter("rap_stream_dropped_newest_total", labels);
+  metrics_.windows_sealed =
+      &reg.counter("rap_stream_windows_sealed_total", labels);
+  metrics_.windows_dropped =
+      &reg.counter("rap_stream_windows_dropped_total", labels);
+  metrics_.alarms = &reg.counter("rap_stream_alarms_total", labels);
+  metrics_.localizations =
+      &reg.counter("rap_stream_localizations_total", labels);
   metrics_.localizations_degraded =
-      &reg.counter("rap_stream_localizations_degraded_total");
+      &reg.counter("rap_stream_localizations_degraded_total", labels);
   metrics_.localize_failures =
-      &reg.counter("rap_stream_localize_failures_total");
-  metrics_.queue_depth = &reg.gauge("rap_stream_queue_depth");
-  metrics_.watermark = &reg.gauge("rap_stream_watermark");
-  metrics_.seal_seconds = &reg.histogram(
-      "rap_stream_window_seal_seconds", obs::exponentialBuckets(1e-5, 4.0, 10));
-  metrics_.localize_seconds = &reg.histogram(
-      "rap_stream_localize_seconds", obs::exponentialBuckets(1e-4, 4.0, 10));
-  metrics_.window_e2e_seconds = &reg.histogram(
-      "rap_stream_window_e2e_seconds", obs::exponentialBuckets(1e-3, 4.0, 10));
-  metrics_.shard.late_admitted = &reg.counter("rap_stream_late_admitted_total");
-  metrics_.shard.late_dropped = &reg.counter("rap_stream_late_dropped_total");
+      &reg.counter("rap_stream_localize_failures_total", labels);
+  metrics_.queue_depth = &reg.gauge("rap_stream_queue_depth", labels);
+  metrics_.watermark = &reg.gauge("rap_stream_watermark", labels);
+  metrics_.seal_seconds =
+      &reg.histogram("rap_stream_window_seal_seconds",
+                     obs::exponentialBuckets(1e-5, 4.0, 10), labels);
+  metrics_.localize_seconds =
+      &reg.histogram("rap_stream_localize_seconds",
+                     obs::exponentialBuckets(1e-4, 4.0, 10), labels);
+  metrics_.window_e2e_seconds =
+      &reg.histogram("rap_stream_window_e2e_seconds",
+                     obs::exponentialBuckets(1e-3, 4.0, 10), labels);
+  metrics_.shard.late_admitted =
+      &reg.counter("rap_stream_late_admitted_total", labels);
+  metrics_.shard.late_dropped =
+      &reg.counter("rap_stream_late_dropped_total", labels);
   metrics_.shard.queue_depth = metrics_.queue_depth;
 
   if (config_.trigger == TriggerPolicy::kOnAlarm) {

@@ -19,16 +19,26 @@ PipelineLagCollector::PipelineLagCollector(const StreamEngine& engine,
   RAP_CHECK(options_.interval_seconds > 0.0);
   auto& reg =
       options_.registry ? *options_.registry : obs::defaultRegistry();
-  watermark_lag_ = &reg.gauge("rap_stream_watermark_lag_seconds");
-  pool_in_flight_ = &reg.gauge("rap_stream_localize_pool_in_flight");
-  pool_utilization_ = &reg.gauge("rap_stream_localize_pool_utilization");
-  queue_depth_ = &reg.gauge("rap_stream_queue_depth");
-  watermark_ = &reg.gauge("rap_stream_watermark");
+  // Mirror the engine's tenant labeling so the collector refreshes the
+  // same series family the engine publishes (tenant first, shard after).
+  const obs::Labels labels =
+      engine.config().metric_tenant.empty()
+          ? obs::Labels{}
+          : obs::Labels{{"tenant", engine.config().metric_tenant}};
+  watermark_lag_ = &reg.gauge("rap_stream_watermark_lag_seconds", labels);
+  pool_in_flight_ =
+      &reg.gauge("rap_stream_localize_pool_in_flight", labels);
+  pool_utilization_ =
+      &reg.gauge("rap_stream_localize_pool_utilization", labels);
+  queue_depth_ = &reg.gauge("rap_stream_queue_depth", labels);
+  watermark_ = &reg.gauge("rap_stream_watermark", labels);
   const std::int32_t shards = engine.config().shards;
   shard_depth_.reserve(static_cast<std::size_t>(shards));
   for (std::int32_t i = 0; i < shards; ++i) {
-    shard_depth_.push_back(&reg.gauge("rap_stream_shard_queue_depth",
-                                      {{"shard", std::to_string(i)}}));
+    obs::Labels shard_labels = labels;
+    shard_labels.emplace_back("shard", std::to_string(i));
+    shard_depth_.push_back(
+        &reg.gauge("rap_stream_shard_queue_depth", shard_labels));
   }
 }
 

@@ -1,0 +1,103 @@
+// DatasetCatalog (src/svc) — the tenant registry of the multi-tenant
+// serving plane.
+//
+// One catalog owns:
+//   * a shared util::ThreadPool that every tenant's JobManager draws
+//     workers from (per-tenant `max_active` quotas bound how much of it
+//     one tenant may hold at once), and
+//   * a name -> Tenant map, where each Tenant bundles the
+//     LocalizeService (jobs + result cache, labeled {tenant="<name>"})
+//     and, for streaming tenants, a running StreamEngine fed by
+//     POST /api/v1/tenants/<name>/ingest.
+//
+// Lifecycle: tenants register at startup from a sidecar file
+// (svc::loadTenantSidecar) or dynamically via PUT — put() is
+// create-only (kFailedPrecondition on a live name, -> 409), remove() hands
+// the Tenant back to the caller so the HTTP layer can finish the
+// response before the drain (stop the engine, run down in-flight jobs)
+// happens.  Handlers hold the shared_ptr returned by find() for the
+// duration of a request, so deleting a tenant never invalidates a
+// request already executing against it.
+//
+// The pool is declared before the tenant map and the destructor clears
+// the map first, so tenant teardown (which waits for its outstanding
+// pool closures) always runs against a live pool.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "stream/engine.h"
+#include "svc/service.h"
+#include "svc/tenant_config.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace rap::svc {
+
+class DatasetCatalog {
+ public:
+  struct Options {
+    /// Workers of the shared job pool all tenants draw from.
+    std::size_t pool_threads = 4;
+  };
+
+  /// One live tenant.  Immutable after registration (tenant updates are
+  /// delete + re-put); safe to use from any handler thread.
+  struct Tenant {
+    TenantSpec spec;
+    std::unique_ptr<LocalizeService> service;
+    /// Running engine, or null for batch-only tenants.
+    std::unique_ptr<stream::StreamEngine> engine;
+  };
+
+  DatasetCatalog();
+  explicit DatasetCatalog(Options options);
+
+  DatasetCatalog(const DatasetCatalog&) = delete;
+  DatasetCatalog& operator=(const DatasetCatalog&) = delete;
+
+  /// Drains and destroys every remaining tenant (engines stopped, jobs
+  /// run down), then the shared pool.
+  ~DatasetCatalog();
+
+  /// Registers a tenant: wires the spec's service options to this
+  /// catalog (tenant label, jobs path prefix, shared pool), constructs
+  /// the LocalizeService, and starts the StreamEngine for streaming
+  /// specs.  Create-only: kFailedPrecondition if the name is live.
+  util::Status put(TenantSpec spec);
+
+  /// Unregisters `name` and returns the Tenant so the caller controls
+  /// when the drain runs (destroying the returned pointer stops the
+  /// engine and waits out in-flight jobs).  kNotFound if absent.
+  util::Result<std::shared_ptr<Tenant>> remove(const std::string& name);
+
+  /// The live tenant named `name`, or null.  The returned pointer keeps
+  /// the tenant alive across a concurrent remove().
+  std::shared_ptr<Tenant> find(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+
+  /// Snapshot of every live tenant (for /statusz and tenant listing).
+  std::vector<std::shared_ptr<Tenant>> list() const;
+
+  std::size_t size() const;
+
+  util::ThreadPool& pool() noexcept { return pool_; }
+
+ private:
+  Options options_;
+  /// Shared by every tenant's JobManager; declared before tenants_ so
+  /// it outlives their teardown waits.
+  util::ThreadPool pool_;
+  obs::Gauge* tenants_gauge_ = nullptr;  ///< rap_svc_tenants
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<Tenant>> tenants_;
+};
+
+}  // namespace rap::svc

@@ -34,23 +34,35 @@ const char* jobStateName(JobState state) noexcept {
   return "unknown";
 }
 
+obs::Labels JobManager::labelsWith(const char* key, const char* value) const {
+  obs::Labels labels = options_.metric_labels;
+  if (key != nullptr) labels.emplace_back(key, value);
+  return labels;
+}
+
 JobManager::JobManager(Options options, ResultCache* cache)
-    : options_(options), cache_(cache) {
+    : options_(std::move(options)), cache_(cache) {
   if (options_.workers == 0) options_.workers = 1;
   if (obs::metricsEnabled()) {
     auto& reg = obs::defaultRegistry();
-    jobs_submitted_ = &reg.counter("rap_svc_jobs_submitted_total");
-    jobs_done_ = &reg.counter("rap_svc_jobs_total", {{"state", "done"}});
-    jobs_failed_ = &reg.counter("rap_svc_jobs_total", {{"state", "failed"}});
-    admission_rejected_ = &reg.counter("rap_svc_admission_rejected_total");
-    cache_hits_ = &reg.counter("rap_svc_cache_hits_total");
-    cache_misses_ = &reg.counter("rap_svc_cache_misses_total");
-    queue_depth_ = &reg.gauge("rap_svc_queue_depth");
-    jobs_running_ = &reg.gauge("rap_svc_jobs_running");
-    job_seconds_ = &reg.histogram("rap_svc_job_seconds",
-                                  obs::exponentialBuckets(0.001, 2.0, 16));
+    const obs::Labels base = labelsWith(nullptr, nullptr);
+    jobs_submitted_ = &reg.counter("rap_svc_jobs_submitted_total", base);
+    jobs_done_ =
+        &reg.counter("rap_svc_jobs_total", labelsWith("state", "done"));
+    jobs_failed_ =
+        &reg.counter("rap_svc_jobs_total", labelsWith("state", "failed"));
+    admission_rejected_ =
+        &reg.counter("rap_svc_admission_rejected_total", base);
+    cache_hits_ = &reg.counter("rap_svc_cache_hits_total", base);
+    cache_misses_ = &reg.counter("rap_svc_cache_misses_total", base);
+    queue_depth_ = &reg.gauge("rap_svc_queue_depth", base);
+    jobs_running_ = &reg.gauge("rap_svc_jobs_running", base);
+    job_seconds_ = &reg.histogram(
+        "rap_svc_job_seconds", obs::exponentialBuckets(0.001, 2.0, 16), base);
   }
-  pool_ = std::make_unique<util::ThreadPool>(options_.workers);
+  if (options_.shared_pool == nullptr) {
+    pool_ = std::make_unique<util::ThreadPool>(options_.workers);
+  }
 }
 
 JobManager::~JobManager() {
@@ -58,9 +70,23 @@ JobManager::~JobManager() {
     std::lock_guard<std::mutex> lock(mutex_);
     stopping_ = true;
   }
-  work_ready_.notify_all();
-  // Joins the workers; queued drainOne tasks see stopping_ and return.
+  // Owned pool: workers run every queued drainOne closure (each bounces
+  // off stopping_) and join.
   pool_.reset();
+  // Shared pool: the closures this manager dispatched still reference
+  // `this` — wait until the last one has left the pool before the
+  // members they touch are destroyed.
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [&] { return tasks_outstanding_ == 0 && active_ == 0; });
+}
+
+void JobManager::dispatchLocked(std::size_t n) {
+  util::ThreadPool* pool =
+      options_.shared_pool != nullptr ? options_.shared_pool : pool_.get();
+  for (std::size_t i = 0; i < n; ++i) {
+    ++tasks_outstanding_;
+    pool->submit([this] { drainOne(); });
+  }
 }
 
 util::Result<std::uint64_t> JobManager::submit(JobRequest request) {
@@ -93,10 +119,9 @@ util::Result<std::uint64_t> JobManager::submit(JobRequest request) {
     if (queue_depth_ != nullptr) {
       queue_depth_->set(static_cast<double>(pending_.size()));
     }
+    dispatchLocked(1);
   }
   obs::traceFlow('s', "svc/job", id);
-  pool_->submit([this] { drainOne(); });
-  work_ready_.notify_one();
   return id;
 }
 
@@ -119,11 +144,18 @@ void JobManager::pause() {
 }
 
 void JobManager::resume() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    paused_ = false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  paused_ = false;
+  if (stopping_) return;
+  // Re-dispatch one closure per pending job (bounded by the quota);
+  // the paused-era dispatches already bounced and are gone.
+  std::size_t n = pending_.size();
+  if (options_.max_active != 0) {
+    n = std::min(n, options_.max_active > active_
+                        ? options_.max_active - active_
+                        : std::size_t{0});
   }
-  work_ready_.notify_all();
+  dispatchLocked(n);
 }
 
 bool JobManager::paused() const {
@@ -161,13 +193,21 @@ void JobManager::drain() {
 }
 
 void JobManager::drainOne() {
+  // Non-blocking by design: on a shared pool a parked closure would pin
+  // a worker every other tenant needs.  Not runnable right now (paused,
+  // quota-saturated, stopping, nothing pending) -> bounce; resume() and
+  // finishJob() re-dispatch when the state changes.
   std::shared_ptr<Job> job;
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    work_ready_.wait(lock, [&] {
-      return stopping_ || (!paused_ && !pending_.empty());
-    });
-    if (stopping_) return;
+    const bool runnable =
+        !stopping_ && !paused_ && !pending_.empty() &&
+        (options_.max_active == 0 || active_ < options_.max_active);
+    if (!runnable) {
+      --tasks_outstanding_;
+      idle_.notify_all();
+      return;
+    }
     job = pending_.begin()->second;
     pending_.erase(pending_.begin());
     job->state = JobState::kRunning;
@@ -182,6 +222,9 @@ void JobManager::drainOne() {
   }
   ExecOutcome outcome = execute(job->request, job->id);
   finishJob(std::move(job), std::move(outcome));
+  std::lock_guard<std::mutex> lock(mutex_);
+  --tasks_outstanding_;
+  idle_.notify_all();
 }
 
 void JobManager::finishJob(std::shared_ptr<Job> job, ExecOutcome outcome) {
@@ -206,6 +249,12 @@ void JobManager::finishJob(std::shared_ptr<Job> job, ExecOutcome outcome) {
     while (finished_order_.size() > options_.max_finished_jobs) {
       jobs_.erase(finished_order_.front());
       finished_order_.pop_front();
+    }
+    // A quota-bounced closure may have been the only one watching the
+    // queue — hand the freed slot to the next pending job.
+    if (!stopping_ && !paused_ && !pending_.empty() &&
+        (options_.max_active == 0 || active_ < options_.max_active)) {
+      dispatchLocked(1);
     }
   }
   obs::traceFlow('f', "svc/job", id);

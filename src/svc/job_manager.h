@@ -13,10 +13,15 @@
 // retry.
 //
 // Priorities are small integers (higher = sooner); within a priority,
-// FIFO by submission order.  Workers drain the queue through
-// ThreadPool::submit, executing each job under its own RapMiner built
-// from the job's config (validated at admission — a bad override is a
-// 400 at submit time, never a RAP_CHECK abort in a worker).
+// FIFO by submission order.  Each admission dispatches a non-blocking
+// drainOne closure through ThreadPool::submit; the closure pops and
+// executes at most one job (bouncing off pause/quota/shutdown instead
+// of parking a pool thread), so many managers can safely draw from one
+// shared pool — the multi-tenant catalog gives every tenant its own
+// manager, quota (`max_active`), and metric labels over a process-wide
+// pool.  Each job runs under its own RapMiner built from the job's
+// config (validated at admission — a bad override is a 400 at submit
+// time, never a RAP_CHECK abort in a worker).
 //
 // Every execution consults the ResultCache first (keyed by the request's
 // content hash) and stores its rendered result document on completion,
@@ -44,15 +49,10 @@
 
 #include "core/rapminer.h"
 #include "dataset/leaf_table.h"
+#include "obs/metrics.h"
 #include "svc/result_cache.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
-
-namespace rap::obs {
-class Counter;
-class Gauge;
-class Histogram;
-}  // namespace rap::obs
 
 namespace rap::svc {
 
@@ -105,6 +105,22 @@ class JobManager {
     /// Finished jobs retained for GET /api/v1/jobs/<id>; older finished
     /// jobs are forgotten FIFO.
     std::size_t max_finished_jobs = 256;
+    /// Jobs from this manager allowed to execute concurrently; 0 means
+    /// bounded only by the pool.  This is the per-tenant admission
+    /// quota when many managers draw from one shared pool — a burst on
+    /// one tenant queues behind its own quota instead of starving the
+    /// others' workers.
+    std::size_t max_active = 0;
+    /// Labels stamped on every rap_svc_* series this manager creates
+    /// (the catalog passes {{"tenant", name}}); empty keeps the
+    /// unlabeled legacy series.
+    obs::Labels metric_labels;
+    /// Execute on this externally owned pool instead of spawning
+    /// `workers` dedicated threads.  The pool must outlive the manager;
+    /// the destructor returns only after every closure this manager
+    /// dispatched has left the pool, so tearing down one tenant never
+    /// leaves a dangling task behind.
+    util::ThreadPool* shared_pool = nullptr;
   };
 
   /// `cache` may be nullptr (no caching); it must outlive the manager.
@@ -168,15 +184,23 @@ class JobManager {
   void drainOne();
   void finishJob(std::shared_ptr<Job> job, ExecOutcome outcome);
   JobStatus snapshotLocked(const Job& job) const;
+  /// Submits `n` drainOne closures to the executing pool.  Must run
+  /// under mutex_ with stopping_ false: holding the lock serializes
+  /// dispatch against the destructor's stopping_ flip, so a closure is
+  /// never pushed into a pool that is (or is about to be) torn down.
+  void dispatchLocked(std::size_t n);
+  obs::Labels labelsWith(const char* key, const char* value) const;
 
   Options options_;
   ResultCache* cache_;  ///< not owned; may be null
 
   mutable std::mutex mutex_;
-  std::condition_variable work_ready_;
   std::condition_variable idle_;
   bool paused_ = false;
   bool stopping_ = false;
+  /// drainOne closures dispatched to the pool and not yet returned —
+  /// the destructor's safe-teardown barrier on a shared pool.
+  std::size_t tasks_outstanding_ = 0;
   std::uint64_t next_id_ = 1;
   std::uint64_t next_seq_ = 0;
   /// Queued jobs ordered (-priority, admission seq) so begin() is the
@@ -200,6 +224,7 @@ class JobManager {
 
   /// Last member: joins its workers first on destruction, while the
   /// members above are still alive for in-flight drainOne() calls.
+  /// Null when options_.shared_pool supplies the workers.
   std::unique_ptr<util::ThreadPool> pool_;
 };
 

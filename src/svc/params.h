@@ -1,0 +1,18 @@
+// svc::parseParams — the one query-string parser behind every service
+// handler (localize knob overrides, jobs listing, /tracez).
+//
+// The implementation lives in obs (obs/query_params.h) because /tracez
+// is registered by obs and the CMake layering is svc -> obs; this
+// header re-exports it under the svc namespace so service code reads
+// naturally and there is exactly one parser to maintain.
+#pragma once
+
+#include "obs/query_params.h"
+
+namespace rap::svc {
+
+using ParamSpec = obs::ParamSpec;
+using ParsedParams = obs::ParsedParams;
+using obs::parseParams;
+
+}  // namespace rap::svc

@@ -1,0 +1,82 @@
+// TenantRouter (src/svc) — the resource-oriented v1 HTTP surface over a
+// DatasetCatalog.
+//
+// Resource tree (docs/service.md is the document of record):
+//
+//   GET    /api/v1/tenants                 registered tenants
+//   PUT    /api/v1/tenants/<t>             create (body: tenant spec JSON)
+//   GET    /api/v1/tenants/<t>             tenant detail + live stats
+//   DELETE /api/v1/tenants/<t>             drain + unregister
+//   POST   /api/v1/tenants/<t>/localize    same contract as /api/v1/localize
+//   POST   /api/v1/tenants/<t>/ingest      CSV rows -> the tenant's engine
+//   GET    /api/v1/tenants/<t>/jobs        the tenant's job list
+//   GET    /api/v1/tenants/<t>/jobs/<id>   one job
+//   GET    /statusz                        per-tenant sections + build info
+//
+// The pre-catalog endpoints stay as thin aliases onto the "default"
+// tenant — POST /api/v1/localize and GET /api/v1/jobs[/<id>] resolve
+// "default" at request time and delegate to its LocalizeService, so a
+// single-tenant deployment upgrades without breaking a single client.
+//
+// Tenant names come out of the URL, not the route table: the routes are
+// four method-scoped prefix handlers under /api/v1/tenants/, so tenants
+// created dynamically via PUT are routable immediately (the AdminServer
+// route table is immutable after start()).
+//
+// Every non-2xx body is the obs error envelope
+// {"error":{"code","status","message"}}.  Fault point "svc.tenant"
+// (docs/robustness.md) fails tenant resolution -> 503, exercising
+// client retry paths.
+#pragma once
+
+#include <string>
+
+#include "obs/admin_server.h"
+#include "svc/catalog.h"
+
+namespace rap::svc {
+
+class TenantRouter {
+ public:
+  struct Options {
+    /// Resolves relative schema {"path": ...} in PUT bodies.
+    std::string schema_base_dir;
+  };
+
+  explicit TenantRouter(DatasetCatalog& catalog);
+  TenantRouter(DatasetCatalog& catalog, Options options);
+
+  TenantRouter(const TenantRouter&) = delete;
+  TenantRouter& operator=(const TenantRouter&) = delete;
+
+  /// Registers the resource tree, the legacy aliases, and /statusz on
+  /// `server`.  Call before server.start(); the router (and catalog)
+  /// must outlive the server.
+  void installEndpoints(obs::AdminServer& server);
+
+  // Direct handlers (tests drive these without sockets).
+
+  /// Dispatches one /api/v1/tenants[/...] request by method + path.
+  obs::HttpResponse route(const obs::HttpRequest& request);
+
+  /// GET /api/v1/tenants.
+  obs::HttpResponse handleTenantsList(const obs::HttpRequest& request);
+
+  /// GET /statusz — build identity + one section per tenant.
+  obs::HttpResponse handleStatusz(const obs::HttpRequest& request);
+
+  DatasetCatalog& catalog() noexcept { return catalog_; }
+
+ private:
+  obs::HttpResponse handleTenantGet(const DatasetCatalog::Tenant& tenant);
+  obs::HttpResponse handleTenantPut(const std::string& name,
+                                    const obs::HttpRequest& request);
+  obs::HttpResponse handleTenantDelete(const std::string& name);
+  obs::HttpResponse handleIngest(DatasetCatalog::Tenant& tenant,
+                                 const obs::HttpRequest& request);
+
+  DatasetCatalog& catalog_;
+  Options options_;
+};
+
+}  // namespace rap::svc

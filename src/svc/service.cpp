@@ -2,9 +2,12 @@
 
 #include <bit>
 #include <cstdlib>
+#include <limits>
+#include <vector>
 
 #include "io/json.h"
 #include "obs/metrics.h"
+#include "svc/params.h"
 #include "svc/snapshot.h"
 #include "util/strings.h"
 
@@ -13,14 +16,6 @@ namespace rap::svc {
 namespace {
 
 constexpr const char* kJsonType = "application/json; charset=utf-8";
-constexpr const char* kJobsPrefix = "/api/v1/jobs/";
-
-obs::HttpResponse textResponse(int status, std::string body) {
-  obs::HttpResponse response;
-  response.status = status;
-  response.body = std::move(body);
-  return response;
-}
 
 obs::HttpResponse jsonResponse(int status, std::string body) {
   obs::HttpResponse response;
@@ -30,13 +25,20 @@ obs::HttpResponse jsonResponse(int status, std::string body) {
   return response;
 }
 
-/// Full-consumption double parse; nullopt on garbage or trailing junk.
-std::optional<double> parseDouble(const std::string& text) {
-  if (text.empty()) return std::nullopt;
-  char* end = nullptr;
-  const double value = std::strtod(text.c_str(), &end);
-  if (end != text.c_str() + text.size()) return std::nullopt;
-  return value;
+/// The parameter table for POST .../localize — the single source of
+/// truth the shared parser enforces (unknown key / bad number /
+/// out-of-range all become uniform 400 diagnostics).
+const std::vector<ParamSpec>& localizeParamSpecs() {
+  static const std::vector<ParamSpec> kSpecs = {
+      {"k", ParamSpec::Kind::kInt, -2e9, 2e9, {}},
+      {"priority", ParamSpec::Kind::kInt, -2e9, 2e9, {}},
+      {"t_cp", ParamSpec::Kind::kDouble, -1e300, 1e300, {}},
+      {"t_conf", ParamSpec::Kind::kDouble, -1e300, 1e300, {}},
+      {"deadline", ParamSpec::Kind::kDouble, -1e300, 1e300, {}},
+      {"detect_threshold", ParamSpec::Kind::kDouble, 0.0, 1e9, {}},
+      {"mode", ParamSpec::Kind::kEnum, 0.0, 0.0, {"sync", "async", "auto"}},
+  };
+  return kSpecs;
 }
 
 std::string formatSeconds(double seconds) {
@@ -70,13 +72,17 @@ LocalizeService::LocalizeService(dataset::Schema schema,
                                  Options options)
     : schema_(std::move(schema)),
       base_config_(base_config),
-      options_(options),
-      cache_(std::make_unique<ResultCache>(options.cache)),
-      jobs_(std::make_unique<JobManager>(options.jobs, cache_.get())) {
+      options_(std::move(options)) {
+  if (options_.jobs.metric_labels.empty() && !options_.tenant.empty()) {
+    options_.jobs.metric_labels = {{"tenant", options_.tenant}};
+  }
+  cache_ = std::make_unique<ResultCache>(options_.cache);
+  jobs_ = std::make_unique<JobManager>(options_.jobs, cache_.get());
   if (obs::metricsEnabled()) {
     // Same series the JobManager publishes to — the pre-parse fast path
     // below must count as a hit just like one inside a worker.
-    cache_hits_ = &obs::defaultRegistry().counter("rap_svc_cache_hits_total");
+    cache_hits_ = &obs::defaultRegistry().counter("rap_svc_cache_hits_total",
+                                                  options_.jobs.metric_labels);
   }
 }
 
@@ -84,73 +90,36 @@ void LocalizeService::installEndpoints(obs::AdminServer& server) {
   server.handlePost("/api/v1/localize", [this](const obs::HttpRequest& req) {
     return handleLocalize(req);
   });
-  server.handle("/api/v1/jobs", [this](const obs::HttpRequest& req) {
+  std::string jobs_path = options_.jobs_path_prefix;
+  if (!jobs_path.empty() && jobs_path.back() == '/') jobs_path.pop_back();
+  server.handle(jobs_path, [this](const obs::HttpRequest& req) {
     return handleJobsList(req);
   });
-  server.handlePrefix(kJobsPrefix, [this](const obs::HttpRequest& req) {
-    return handleJobGet(req);
-  });
+  server.handlePrefix(options_.jobs_path_prefix,
+                      [this](const obs::HttpRequest& req) {
+                        return handleJobGet(req);
+                      });
 }
 
 util::Result<LocalizeService::RequestKnobs> LocalizeService::resolveKnobs(
     const obs::HttpRequest& request) const {
+  const auto params = parseParams(request.query, localizeParamSpecs());
+  RAP_RETURN_IF_ERROR(params.status());
+
   RequestKnobs knobs;
   knobs.miner = base_config_;
-  knobs.k = options_.default_k;
-  knobs.detect_threshold = options_.default_detect_threshold;
-
-  std::int64_t value = 0;
-  switch (request.queryIntStrict("k", &value)) {
-    case obs::HttpRequest::QueryIntResult::kInvalid:
-      return util::Status::invalidArgument("bad k parameter");
-    case obs::HttpRequest::QueryIntResult::kValid:
-      knobs.k = static_cast<std::int32_t>(value);
-      break;
-    case obs::HttpRequest::QueryIntResult::kAbsent:
-      break;
-  }
-  switch (request.queryIntStrict("priority", &value)) {
-    case obs::HttpRequest::QueryIntResult::kInvalid:
-      return util::Status::invalidArgument("bad priority parameter");
-    case obs::HttpRequest::QueryIntResult::kValid:
-      knobs.priority = static_cast<std::int32_t>(value);
-      break;
-    case obs::HttpRequest::QueryIntResult::kAbsent:
-      break;
-  }
-
-  if (const auto raw = request.queryParam("t_cp")) {
-    const auto parsed = parseDouble(*raw);
-    if (!parsed) return util::Status::invalidArgument("bad t_cp parameter");
-    knobs.miner.cp.t_cp = *parsed;
-  }
-  if (const auto raw = request.queryParam("t_conf")) {
-    const auto parsed = parseDouble(*raw);
-    if (!parsed) return util::Status::invalidArgument("bad t_conf parameter");
-    knobs.miner.search.t_conf = *parsed;
-  }
-  if (const auto raw = request.queryParam("deadline")) {
-    const auto parsed = parseDouble(*raw);
-    if (!parsed) {
-      return util::Status::invalidArgument("bad deadline parameter");
-    }
-    knobs.miner.search.deadline_seconds = *parsed;
-  }
-  if (const auto raw = request.queryParam("detect_threshold")) {
-    const auto parsed = parseDouble(*raw);
-    if (!parsed || !(*parsed >= 0.0) || *parsed > 1e9) {
-      return util::Status::invalidArgument("bad detect_threshold parameter");
-    }
-    knobs.detect_threshold = *parsed;
-  }
-  if (const auto raw = request.queryParam("mode")) {
-    if (*raw == "sync" || *raw == "async") {
-      knobs.mode = *raw;
-    } else if (*raw != "auto") {
-      return util::Status::invalidArgument(
-          "bad mode parameter (sync|async|auto)");
-    }
-  }
+  knobs.k = static_cast<std::int32_t>(
+      params->intOr("k", options_.default_k));
+  knobs.priority = static_cast<std::int32_t>(params->intOr("priority", 0));
+  knobs.miner.cp.t_cp = params->doubleOr("t_cp", knobs.miner.cp.t_cp);
+  knobs.miner.search.t_conf =
+      params->doubleOr("t_conf", knobs.miner.search.t_conf);
+  knobs.miner.search.deadline_seconds =
+      params->doubleOr("deadline", knobs.miner.search.deadline_seconds);
+  knobs.detect_threshold =
+      params->doubleOr("detect_threshold", options_.default_detect_threshold);
+  knobs.mode = params->stringOr("mode", std::string());
+  if (knobs.mode == "auto") knobs.mode.clear();
 
   // One validation gate for everything user-supplied: a bad override is
   // a 400 here, never a RAP_CHECK abort in a worker.
@@ -180,7 +149,7 @@ obs::HttpResponse LocalizeService::handleLocalize(
     const obs::HttpRequest& request) {
   auto knobs = resolveKnobs(request);
   if (!knobs.isOk()) {
-    return textResponse(400, knobs.status().message() + "\n");
+    return obs::errorResponse(400, "bad_parameter", knobs.status().message());
   }
   const std::uint64_t key = requestKey(request.body, *knobs);
 
@@ -202,7 +171,7 @@ obs::HttpResponse LocalizeService::handleLocalize(
   auto table = is_json ? parseJsonSnapshot(schema_, request.body)
                        : parseCsvSnapshot(schema_, request.body);
   if (!table.isOk()) {
-    return textResponse(400, table.status().message() + "\n");
+    return obs::errorResponse(400, "bad_snapshot", table.status().message());
   }
 
   const bool sync =
@@ -219,7 +188,7 @@ obs::HttpResponse LocalizeService::handleLocalize(
   if (sync) {
     auto result = jobs_->executeInline(std::move(job));
     if (!result.isOk()) {
-      return textResponse(500, result.status().message() + "\n");
+      return obs::errorResponse(500, "internal", result.status().message());
     }
     obs::HttpResponse response = jsonResponse(200, std::move(*result));
     response.headers.emplace_back("X-Rap-Cache", "miss");
@@ -235,35 +204,41 @@ obs::HttpResponse LocalizeService::handleLocalize(
                         ? 1.0
                         : options_.jobs.retry_after_seconds);
         obs::HttpResponse response = jsonResponse(
-            429, util::strFormat(
-                     "{\"error\":\"job queue full\","
-                     "\"retry_after_seconds\":%s}\n",
-                     retry.c_str()));
+            429,
+            obs::errorEnvelope(429, "queue_full", id.status().message(),
+                               "\"retry_after_seconds\":" + retry));
         response.headers.emplace_back("Retry-After", retry);
         return response;
       }
       case util::StatusCode::kFailedPrecondition:
-        return textResponse(503, id.status().message() + "\n");
+        return obs::errorResponse(503, "shutting_down",
+                                  id.status().message());
       default:
-        return textResponse(500, id.status().message() + "\n");
+        return obs::errorResponse(500, "internal", id.status().message());
     }
   }
   return jsonResponse(
       202, util::strFormat("{\"job_id\":%llu,\"status_url\":\"%s%llu\"}\n",
-                           static_cast<unsigned long long>(*id), kJobsPrefix,
+                           static_cast<unsigned long long>(*id),
+                           options_.jobs_path_prefix.c_str(),
                            static_cast<unsigned long long>(*id)));
 }
 
 obs::HttpResponse LocalizeService::handleJobGet(
     const obs::HttpRequest& request) {
-  const std::string suffix = request.path.substr(std::string(kJobsPrefix).size());
+  const std::size_t prefix_len = options_.jobs_path_prefix.size();
+  const std::string suffix = request.path.size() > prefix_len
+                                 ? request.path.substr(prefix_len)
+                                 : std::string();
   if (suffix.empty() ||
       suffix.find_first_not_of("0123456789") != std::string::npos) {
-    return textResponse(400, "bad job id\n");
+    return obs::errorResponse(400, "bad_parameter", "bad job id");
   }
   const std::uint64_t id = std::strtoull(suffix.c_str(), nullptr, 10);
   const auto status = jobs_->status(id);
-  if (!status.has_value()) return textResponse(404, "no such job\n");
+  if (!status.has_value()) {
+    return obs::errorResponse(404, "not_found", "no such job");
+  }
 
   std::string out = "{";
   appendJobFields(out, *status);
@@ -281,10 +256,21 @@ obs::HttpResponse LocalizeService::handleJobGet(
 
 obs::HttpResponse LocalizeService::handleJobsList(
     const obs::HttpRequest& request) {
-  (void)request;
+  static const std::vector<ParamSpec> kSpecs = {
+      {"limit", ParamSpec::Kind::kInt, 0.0, 9e18, {}},
+  };
+  const auto params = parseParams(request.query, kSpecs);
+  if (!params.isOk()) {
+    return obs::errorResponse(400, "bad_parameter",
+                              params.status().message());
+  }
+  const auto limit = static_cast<std::size_t>(
+      params->intOr("limit", std::numeric_limits<std::int64_t>::max()));
   std::string out = "{\"jobs\":[";
   bool first = true;
+  std::size_t emitted = 0;
   for (const JobStatus& job : jobs_->list()) {
+    if (emitted++ == limit) break;
     if (!first) out += ",";
     first = false;
     out += "{";

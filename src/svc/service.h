@@ -45,6 +45,15 @@ class LocalizeService {
     /// Auto mode: snapshots with at most this many rows run
     /// synchronously; larger ones become queued jobs.
     std::size_t sync_row_limit = 4096;
+    /// Tenant this service instance serves.  Stamped as the
+    /// {tenant="..."} label on every rap_svc_* series (unless
+    /// jobs.metric_labels is set explicitly) — the single-tenant daemon
+    /// is simply the catalog's "default" tenant.
+    std::string tenant = "default";
+    /// Path prefix job detail URLs live under; the catalog rebases it
+    /// to "/api/v1/tenants/<name>/jobs/" per tenant.  Used both to
+    /// render status_url and to parse GET <prefix><id>.
+    std::string jobs_path_prefix = "/api/v1/jobs/";
     JobManager::Options jobs;
     ResultCache::Options cache;
   };
@@ -59,8 +68,10 @@ class LocalizeService {
   LocalizeService(const LocalizeService&) = delete;
   LocalizeService& operator=(const LocalizeService&) = delete;
 
-  /// Registers /api/v1/localize and /api/v1/jobs* on `server`.  Call
-  /// before server.start(); the service must outlive the server.
+  /// Registers /api/v1/localize and <jobs_path_prefix>* on `server`.
+  /// Call before server.start(); the service must outlive the server.
+  /// (The multi-tenant catalog routes through handleLocalize/handleJob*
+  /// directly instead — see svc::TenantRouter.)
   void installEndpoints(obs::AdminServer& server);
 
   // Direct handler access (tests drive these without sockets).

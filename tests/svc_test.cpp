@@ -5,7 +5,9 @@
 // cached-resubmission guarantee.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/rapminer.h"
@@ -16,11 +18,14 @@
 #include "io/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "svc/catalog.h"
 #include "svc/job_manager.h"
 #include "svc/json_value.h"
 #include "svc/result_cache.h"
+#include "svc/router.h"
 #include "svc/service.h"
 #include "svc/snapshot.h"
+#include "svc/tenant_config.h"
 
 namespace rap {
 namespace {
@@ -381,7 +386,9 @@ TEST(LocalizeService, SyncPostMatchesTheCsvLocalizePipeline) {
 TEST(LocalizeService, IdenticalResubmissionIsABitIdenticalCacheHit) {
   const auto schema = dataset::Schema::tiny();
   obs::setMetricsEnabled(true);
-  auto& hits = obs::defaultRegistry().counter("rap_svc_cache_hits_total");
+  // The service labels its series with its tenant ("default" here).
+  auto& hits = obs::defaultRegistry().counter("rap_svc_cache_hits_total",
+                                              {{"tenant", "default"}});
   const std::uint64_t hits_before = hits.value();
 
   svc::LocalizeService service(schema, core::RapMinerConfig{},
@@ -465,8 +472,8 @@ TEST(LocalizeService, AsyncModeRunsThroughTheJobApi) {
 TEST(LocalizeService, FullQueueYields429WithRetryAfter) {
   const auto schema = dataset::Schema::tiny();
   obs::setMetricsEnabled(true);
-  auto& rejected =
-      obs::defaultRegistry().counter("rap_svc_admission_rejected_total");
+  auto& rejected = obs::defaultRegistry().counter(
+      "rap_svc_admission_rejected_total", {{"tenant", "default"}});
   const std::uint64_t rejected_before = rejected.value();
 
   svc::LocalizeService service(schema, core::RapMinerConfig{},
@@ -519,6 +526,311 @@ TEST(LocalizeService, RejectsBadOverridesAndBodiesWith400) {
       service.handleLocalize(postRequest("{broken", "", "application/json"))
           .status,
       400);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-tenant serving plane: DatasetCatalog + TenantRouter.
+
+/// Degrades every leaf whose first slot is element 0 — a schema-generic
+/// incident so tenants with different schemas get comparable snapshots.
+dataset::LeafTable incidentTable(const dataset::Schema& schema) {
+  dataset::LeafTable table(schema);
+  for (std::uint64_t i = 0; i < schema.leafCount(); ++i) {
+    const auto leaf = dataset::leafFromIndex(schema, i);
+    const double f = 50.0 + static_cast<double>(i % 7) * 10.0;
+    const double v = leaf.slot(0) == 0 ? f * 0.3 : f;
+    table.addRow(leaf, v, f, /*anomalous=*/false);
+  }
+  return table;
+}
+
+obs::HttpRequest routerRequest(const std::string& method,
+                               const std::string& path,
+                               std::string body = "",
+                               const std::string& query = "") {
+  obs::HttpRequest request;
+  request.method = method;
+  request.path = path;
+  request.query = query;
+  request.body = std::move(body);
+  return request;
+}
+
+svc::TenantSpec specOf(const std::string& name, dataset::Schema schema) {
+  svc::TenantSpec spec;
+  spec.name = name;
+  spec.schema = std::move(schema);
+  return spec;
+}
+
+TEST(TenantCatalog, TwoSchemasServeConcurrentlyBitIdenticalToSingleTenant) {
+  const auto tiny = dataset::Schema::tiny();
+  const auto wide = dataset::Schema::synthetic({4, 3, 2});
+
+  // Single-tenant references, computed before the catalog exists.
+  svc::LocalizeService ref_tiny(tiny, core::RapMinerConfig{});
+  svc::LocalizeService ref_wide(wide, core::RapMinerConfig{});
+  const std::string body_tiny = csvBodyOf(incidentTable(tiny));
+  const std::string body_wide = csvBodyOf(incidentTable(wide));
+  const auto ref_response_tiny =
+      ref_tiny.handleLocalize(postRequest(body_tiny, "mode=sync"));
+  const auto ref_response_wide =
+      ref_wide.handleLocalize(postRequest(body_wide, "mode=sync"));
+  ASSERT_EQ(ref_response_tiny.status, 200);
+  ASSERT_EQ(ref_response_wide.status, 200);
+
+  svc::DatasetCatalog catalog({.pool_threads = 4});
+  svc::TenantRouter router(catalog);
+  ASSERT_TRUE(catalog.put(specOf("alpha", tiny)).isOk());
+  ASSERT_TRUE(catalog.put(specOf("beta", wide)).isOk());
+
+  // Hammer both tenants from concurrent clients; every response must be
+  // bit-identical (modulo timing stats) to its single-tenant reference.
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&, t] {
+      const bool use_tiny = t % 2 == 0;
+      const std::string& body = use_tiny ? body_tiny : body_wide;
+      const std::string& want =
+          use_tiny ? ref_response_tiny.body : ref_response_wide.body;
+      const std::string path = use_tiny ? "/api/v1/tenants/alpha/localize"
+                                        : "/api/v1/tenants/beta/localize";
+      for (int i = 0; i < 8; ++i) {
+        const auto response =
+            router.route(routerRequest("POST", path, body, "mode=sync"));
+        if (response.status != 200 ||
+            patternsOf(response.body) != patternsOf(want)) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(TenantCatalog, CachesJobsAndMetricsNeverLeakAcrossTenants) {
+  obs::setMetricsEnabled(true);
+  const auto tiny = dataset::Schema::tiny();
+  auto& alpha_hits = obs::defaultRegistry().counter(
+      "rap_svc_cache_hits_total", {{"tenant", "alpha"}});
+  auto& beta_hits = obs::defaultRegistry().counter(
+      "rap_svc_cache_hits_total", {{"tenant", "beta"}});
+  const std::uint64_t alpha_before = alpha_hits.value();
+  const std::uint64_t beta_before = beta_hits.value();
+
+  svc::DatasetCatalog catalog({.pool_threads = 2});
+  svc::TenantRouter router(catalog);
+  ASSERT_TRUE(catalog.put(specOf("alpha", tiny)).isOk());
+  ASSERT_TRUE(catalog.put(specOf("beta", tiny)).isOk());
+
+  const std::string body = csvBodyOf(incidentTable(tiny));
+  const auto first = router.route(routerRequest(
+      "POST", "/api/v1/tenants/alpha/localize", body, "mode=sync"));
+  const auto second = router.route(routerRequest(
+      "POST", "/api/v1/tenants/alpha/localize", body, "mode=sync"));
+  ASSERT_EQ(first.status, 200);
+  ASSERT_EQ(second.status, 200);
+  EXPECT_EQ(*headerOf(first, "X-Rap-Cache"), "miss");
+  EXPECT_EQ(*headerOf(second, "X-Rap-Cache"), "hit");
+
+  // Identical body on the OTHER tenant: its own cache, so a miss.
+  const auto other = router.route(routerRequest(
+      "POST", "/api/v1/tenants/beta/localize", body, "mode=sync"));
+  ASSERT_EQ(other.status, 200);
+  EXPECT_EQ(*headerOf(other, "X-Rap-Cache"), "miss");
+
+  EXPECT_EQ(alpha_hits.value(), alpha_before + 1);
+  EXPECT_EQ(beta_hits.value(), beta_before);
+
+  // Async jobs: per-tenant id spaces and listings.
+  const auto alpha_job = router.route(routerRequest(
+      "POST", "/api/v1/tenants/alpha/localize", body, "mode=async"));
+  ASSERT_EQ(alpha_job.status, 202);
+  EXPECT_NE(alpha_job.body.find(
+                "\"status_url\":\"/api/v1/tenants/alpha/jobs/"),
+            std::string::npos);
+  catalog.find("alpha")->service->jobs().drain();
+
+  const auto alpha_list =
+      router.route(routerRequest("GET", "/api/v1/tenants/alpha/jobs"));
+  const auto beta_list =
+      router.route(routerRequest("GET", "/api/v1/tenants/beta/jobs"));
+  ASSERT_EQ(alpha_list.status, 200);
+  ASSERT_EQ(beta_list.status, 200);
+  EXPECT_NE(alpha_list.body.find("\"job_id\":"), std::string::npos);
+  EXPECT_EQ(beta_list.body.find("\"job_id\":"), std::string::npos);
+
+  // Alpha's job is reachable under alpha only.
+  const auto hit =
+      router.route(routerRequest("GET", "/api/v1/tenants/alpha/jobs/1"));
+  const auto cross =
+      router.route(routerRequest("GET", "/api/v1/tenants/beta/jobs/1"));
+  EXPECT_EQ(hit.status, 200);
+  EXPECT_EQ(cross.status, 404);
+  EXPECT_NE(cross.body.find("\"error\":{\"code\":\"not_found\""),
+            std::string::npos);
+}
+
+TEST(TenantCatalog, AdmissionQuotaShedsPerTenant) {
+  const auto tiny = dataset::Schema::tiny();
+  svc::DatasetCatalog catalog({.pool_threads = 2});
+  svc::TenantRouter router(catalog);
+
+  auto small = specOf("small", tiny);
+  small.service.jobs.queue_capacity = 1;
+  ASSERT_TRUE(catalog.put(std::move(small)).isOk());
+  ASSERT_TRUE(catalog.put(specOf("big", tiny)).isOk());
+
+  // Freeze small's manager so its one queue slot fills deterministically.
+  catalog.find("small")->service->jobs().pause();
+  const std::string body = csvBodyOf(incidentTable(tiny));
+  const auto admitted = router.route(routerRequest(
+      "POST", "/api/v1/tenants/small/localize", body, "mode=async"));
+  ASSERT_EQ(admitted.status, 202);
+  const auto shed = router.route(routerRequest(
+      "POST", "/api/v1/tenants/small/localize", body,
+      "mode=async&priority=1"));
+  EXPECT_EQ(shed.status, 429);
+  EXPECT_NE(shed.body.find("\"error\":{\"code\":\"queue_full\""),
+            std::string::npos);
+
+  // The sibling tenant is untouched by small's full queue.
+  const auto sibling = router.route(routerRequest(
+      "POST", "/api/v1/tenants/big/localize", body, "mode=async"));
+  EXPECT_EQ(sibling.status, 202);
+
+  catalog.find("small")->service->jobs().resume();
+  catalog.find("small")->service->jobs().drain();
+  catalog.find("big")->service->jobs().drain();
+}
+
+TEST(TenantCatalog, DeleteDrainsInFlightJobsAndUnregisters) {
+  const auto tiny = dataset::Schema::tiny();
+  svc::DatasetCatalog catalog({.pool_threads = 2});
+  svc::TenantRouter router(catalog);
+  ASSERT_TRUE(catalog.put(specOf("default", tiny)).isOk());
+  ASSERT_TRUE(catalog.put(specOf("doomed", tiny)).isOk());
+
+  // Leave jobs in flight, then delete: the DELETE must drain them
+  // before answering, and the name must be gone afterwards.
+  const std::string body = csvBodyOf(incidentTable(tiny));
+  for (int i = 0; i < 3; ++i) {
+    const auto admitted = router.route(routerRequest(
+        "POST", "/api/v1/tenants/doomed/localize", body, "mode=async"));
+    ASSERT_EQ(admitted.status, 202);
+  }
+  const auto deleted =
+      router.route(routerRequest("DELETE", "/api/v1/tenants/doomed"));
+  EXPECT_EQ(deleted.status, 200);
+  EXPECT_EQ(catalog.find("doomed"), nullptr);
+  EXPECT_EQ(
+      router.route(routerRequest("GET", "/api/v1/tenants/doomed")).status,
+      404);
+
+  // The protected default tenant stays.
+  const auto forbidden =
+      router.route(routerRequest("DELETE", "/api/v1/tenants/default"));
+  EXPECT_EQ(forbidden.status, 403);
+  EXPECT_NE(catalog.find("default"), nullptr);
+}
+
+TEST(TenantCatalog, RouterContractAndErrorEnvelopes) {
+  const auto tiny = dataset::Schema::tiny();
+  svc::DatasetCatalog catalog({.pool_threads = 2});
+  svc::TenantRouter router(catalog);
+  ASSERT_TRUE(catalog.put(specOf("default", tiny)).isOk());
+
+  // Dynamic PUT, then duplicate -> 409 in the envelope shape.
+  const std::string spec_json = "{\"schema\":{\"builtin\":\"tiny\"}}";
+  const auto created = router.route(
+      routerRequest("PUT", "/api/v1/tenants/edge-eu", spec_json));
+  EXPECT_EQ(created.status, 201);
+  const auto duplicate = router.route(
+      routerRequest("PUT", "/api/v1/tenants/edge-eu", spec_json));
+  EXPECT_EQ(duplicate.status, 409);
+  EXPECT_NE(duplicate.body.find("\"error\":{\"code\":\"already_exists\""),
+            std::string::npos);
+
+  // Unknown tenant / bad name / unknown sub-resource / bad spec.
+  EXPECT_EQ(router.route(routerRequest("GET", "/api/v1/tenants/ghost"))
+                .status,
+            404);
+  EXPECT_EQ(router.route(routerRequest("GET", "/api/v1/tenants/bad!name"))
+                .status,
+            400);
+  EXPECT_EQ(router
+                .route(routerRequest("GET",
+                                     "/api/v1/tenants/edge-eu/wat"))
+                .status,
+            404);
+  const auto bad_spec = router.route(routerRequest(
+      "PUT", "/api/v1/tenants/typo", "{\"schema\":{\"builtin\":\"tiny\"},"
+                                     "\"t_pc\":0.1}"));
+  EXPECT_EQ(bad_spec.status, 400);
+  EXPECT_NE(bad_spec.body.find("unknown field"), std::string::npos);
+
+  // Ingest needs a streaming tenant.
+  const auto not_streaming = router.route(routerRequest(
+      "POST", "/api/v1/tenants/edge-eu/ingest", "ts,a\n"));
+  EXPECT_EQ(not_streaming.status, 409);
+  EXPECT_NE(not_streaming.body.find("\"code\":\"not_streaming\""),
+            std::string::npos);
+
+  // Listing includes both tenants.
+  const auto listing =
+      router.handleTenantsList(routerRequest("GET", "/api/v1/tenants"));
+  EXPECT_EQ(listing.status, 200);
+  EXPECT_NE(listing.body.find("\"name\":\"default\""), std::string::npos);
+  EXPECT_NE(listing.body.find("\"name\":\"edge-eu\""), std::string::npos);
+
+  // /statusz carries a section per tenant.
+  const auto statusz = router.handleStatusz(routerRequest("GET", "/statusz"));
+  EXPECT_EQ(statusz.status, 200);
+  EXPECT_NE(statusz.body.find("\"tenant_count\":2"), std::string::npos);
+  EXPECT_NE(statusz.body.find("\"name\":\"edge-eu\""), std::string::npos);
+}
+
+TEST(TenantCatalog, StreamingTenantIngestsThroughTheRouter) {
+  svc::DatasetCatalog catalog({.pool_threads = 2});
+  svc::TenantRouter router(catalog);
+
+  const std::string spec_json =
+      "{\"schema\":{\"builtin\":\"tiny\"},"
+      "\"streaming\":{\"shards\":1,\"window_width\":60,"
+      "\"trigger\":\"every-window\",\"localize_threads\":1}}";
+  const auto doc = svc::JsonValue::parse(spec_json);
+  ASSERT_TRUE(doc.isOk());
+  auto spec = svc::parseTenantSpec(*doc, "edge");
+  ASSERT_TRUE(spec.isOk()) << spec.status().toString();
+  ASSERT_TRUE(catalog.put(std::move(spec.value())).isOk());
+
+  const auto tenant = catalog.find("edge");
+  ASSERT_NE(tenant, nullptr);
+  ASSERT_NE(tenant->engine, nullptr);
+  EXPECT_TRUE(tenant->engine->running());
+
+  // Two windows of leaf rows for (a1, b1, c1, d1) and (a2, b1, c1, d1).
+  const std::string rows =
+      "ts,A,B,C,D,real,predict\n"
+      "10,a1,b1,c1,d1,30,100\n"
+      "10,a2,b1,c1,d1,95,100\n"
+      "70,a1,b1,c1,d1,31,100\n";
+  const auto accepted = router.route(routerRequest(
+      "POST", "/api/v1/tenants/edge/ingest", rows));
+  ASSERT_EQ(accepted.status, 200);
+  EXPECT_NE(accepted.body.find("\"accepted\":3"), std::string::npos);
+
+  // Malformed rows are a 400 with the line number, nothing ingested.
+  const auto rejected = router.route(routerRequest(
+      "POST", "/api/v1/tenants/edge/ingest", "10,a1,b1,c1,nope,1,2\n"));
+  EXPECT_EQ(rejected.status, 400);
+  EXPECT_NE(rejected.body.find("row 1"), std::string::npos);
+
+  tenant->engine->drain();
+  EXPECT_EQ(tenant->engine->stats().ingested, 3u);
+  EXPECT_GE(tenant->engine->stats().windows_sealed, 1u);
 }
 
 }  // namespace
