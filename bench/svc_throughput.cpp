@@ -12,8 +12,12 @@
 // dominated by hashing ~megabytes per request — the cost the cache-first
 // design bounds the hot path to.
 //
-//   $ ./svc_throughput [--threads 4] [--requests 250]
+//   $ ./svc_throughput [--threads 4] [--requests 250] [--journal PATH]
 //                      [--json-out BENCH_svc_throughput.json]
+//
+// --journal wires a durable job journal (RAPJRNL-1, fsync'd) into the
+// service, proving the crash-safety layer stays off the sync fast path:
+// the floor must hold unchanged, because only async admissions append.
 //
 // Acceptance floor for the default shape: >= 200 req/s steady state;
 // p99 lands in the JSON report for CI trending.
@@ -98,6 +102,9 @@ int main(int argc, char** argv) {
     flags.addInt("requests", 250, "requests per thread (steady state)");
     flags.addString("json-out", "BENCH_svc_throughput.json",
                     "result file ('' = don't write)");
+    flags.addString("journal", "",
+                    "wire a durable job journal at this path ('' = off); "
+                    "the floor must hold either way");
   });
   util::setLogLevel(util::LogLevel::kWarn);
   const auto& flags = obs_session.flags();
@@ -115,8 +122,22 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(schema.leafCount()),
               static_cast<double>(body.size()) / (1 << 20));
 
+  std::unique_ptr<svc::JobJournal> journal;
+  const std::string journal_path = flags.getString("journal");
+  if (!journal_path.empty()) {
+    auto opened = svc::JobJournal::open({.path = journal_path});
+    if (!opened.isOk()) {
+      std::fprintf(stderr, "journal: %s\n",
+                   opened.status().toString().c_str());
+      return 1;
+    }
+    journal = std::move(opened.value());
+    std::printf("journal: ON (%s)\n", journal_path.c_str());
+  }
+
   svc::LocalizeService::Options options;
   options.sync_row_limit = static_cast<std::size_t>(schema.leafCount());
+  options.journal = journal.get();
   svc::LocalizeService service(schema, core::RapMinerConfig{}, options);
 
   // Warm-up: the one request that pays parse + search and fills the
@@ -220,6 +241,8 @@ int main(int argc, char** argv) {
     json.value(static_cast<std::int64_t>(stats.hits));
     json.key("cache_misses");
     json.value(static_cast<std::int64_t>(stats.misses));
+    json.key("journal");
+    json.value(!journal_path.empty());
     json.key("floor_rps");
     json.value(kFloorRps);
     json.key("pass");

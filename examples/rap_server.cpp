@@ -31,16 +31,21 @@
 // run down their queues against the shared pool.
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <thread>
 
 #include "core/rapminer.h"
 #include "dataset/schema.h"
+#include "fault/fault.h"
 #include "io/dataset_io.h"
 #include "obs/admin_server.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "svc/catalog.h"
+#include "svc/job_journal.h"
 #include "svc/router.h"
+#include "svc/supervisor.h"
 #include "svc/tenant_config.h"
 #include "util/flags.h"
 
@@ -86,6 +91,34 @@ int main(int argc, char** argv) {
   flags.addDouble("read-timeout", 10.0,
                   "per-connection socket read timeout in seconds");
   flags.addBool("trace", false, "record trace spans (serve via /tracez)");
+  flags.addString("journal", "",
+                  "durable job journal file (RAPJRNL-1); accepted async "
+                  "jobs survive kill -9 and replay on startup.  Empty "
+                  "disables journaling");
+  flags.addDouble("max-deadline", 0.0,
+                  "default tenant: cap on the per-request deadline "
+                  "override in seconds (0 = uncapped)");
+  flags.addDouble("overload-target", 0.0,
+                  "default tenant: CoDel-style queue-delay target in "
+                  "seconds; sheds with 429 `overloaded` when exceeded for "
+                  "a full interval (0 disables)");
+  flags.addDouble("overload-interval", 1.0,
+                  "default tenant: how long the queue delay must stay "
+                  "above target before shedding starts");
+  flags.addInt("breaker-threshold", 0,
+               "default tenant: consecutive localize failures that open "
+               "the circuit breaker (0 disables)");
+  flags.addDouble("breaker-open", 5.0,
+                  "default tenant: seconds the breaker stays open before "
+                  "half-open probes");
+  flags.addBool("supervise", true,
+                "restart crashed tenant stream engines (checkpoint "
+                "restore + exponential backoff + quarantine)");
+  flags.addDouble("supervise-interval", 0.5,
+                  "supervisor poll interval in seconds");
+  flags.addInt("supervise-max-restarts", 5,
+               "consecutive failed restarts before a tenant is "
+               "quarantined");
   if (auto status = flags.parse(argc, argv); !status.isOk()) {
     std::fprintf(stderr, "%s\n%s", status.toString().c_str(),
                  flags.helpText(argv[0]).c_str());
@@ -96,6 +129,26 @@ int main(int argc, char** argv) {
   // (span buffers grow until scraped, wrong default for a long run).
   obs::setMetricsEnabled(true);
   obs::setTracingEnabled(flags.getBool("trace"));
+
+  // Chaos harness: arm fault points from the environment on a build
+  // with -DRAP_FAULT_INJECTION=ON (no-op otherwise).  Spec grammar in
+  // fault/fault.h; e.g. RAP_FAULT_ARM="svc.tenant=error:0.5".
+  if (const char* arm = std::getenv("RAP_FAULT_ARM");
+      arm != nullptr && *arm != '\0') {
+    auto armed = fault::armFromSpec(arm);
+    if (!armed.isOk()) {
+      std::fprintf(stderr, "RAP_FAULT_ARM: %s\n",
+                   armed.status().toString().c_str());
+      return 2;
+    }
+    if (fault::kCompiledIn) {
+      std::printf("fault injection: %d point(s) armed\n", armed.value());
+    } else {
+      std::fprintf(stderr,
+                   "RAP_FAULT_ARM set but fault injection is compiled "
+                   "out (-DRAP_FAULT_INJECTION=ON)\n");
+    }
+  }
 
   // Sidecar tenants first — an entry named "default" overrides the
   // flags-built one.
@@ -118,9 +171,24 @@ int main(int argc, char** argv) {
     if (spec.name == "default") sidecar_has_default = true;
   }
 
+  // The journal outlives the catalog (services hold a raw pointer and
+  // write completion markers from their teardown drains).
+  std::unique_ptr<svc::JobJournal> journal;
+  const std::string journal_path = flags.getString("journal");
+  if (!journal_path.empty()) {
+    auto opened = svc::JobJournal::open({.path = journal_path});
+    if (!opened.isOk()) {
+      std::fprintf(stderr, "journal: %s\n",
+                   opened.status().toString().c_str());
+      return 1;
+    }
+    journal = std::move(opened.value());
+  }
+
   svc::DatasetCatalog::Options catalog_options;
   catalog_options.pool_threads =
       static_cast<std::size_t>(flags.getInt("job-workers"));
+  catalog_options.journal = journal.get();
   svc::DatasetCatalog catalog(catalog_options);
 
   if (!sidecar_has_default) {
@@ -161,6 +229,14 @@ int main(int argc, char** argv) {
     spec.service.cache.capacity =
         static_cast<std::size_t>(flags.getInt("cache-capacity"));
     spec.service.cache.ttl_seconds = flags.getDouble("cache-ttl");
+    spec.service.max_deadline_seconds = flags.getDouble("max-deadline");
+    spec.service.jobs.overload.target_delay_seconds =
+        flags.getDouble("overload-target");
+    spec.service.jobs.overload.interval_seconds =
+        flags.getDouble("overload-interval");
+    spec.service.breaker.failure_threshold =
+        static_cast<std::size_t>(flags.getInt("breaker-threshold"));
+    spec.service.breaker.open_seconds = flags.getDouble("breaker-open");
     if (auto status = catalog.put(std::move(spec)); !status.isOk()) {
       std::fprintf(stderr, "default tenant: %s\n",
                    status.toString().c_str());
@@ -175,6 +251,22 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+
+  // Replay journaled work accepted before the last crash, before the
+  // listener opens — replayed jobs queue ahead of new traffic.
+  if (journal != nullptr && journal->liveCount() > 0) {
+    const svc::ReplaySummary replay = svc::replayJournal(*journal, catalog);
+    std::printf("journal: replayed %zu job(s), dropped %zu\n",
+                replay.replayed, replay.dropped);
+  }
+
+  svc::EngineSupervisor::Options supervisor_options;
+  supervisor_options.poll_interval_seconds =
+      flags.getDouble("supervise-interval");
+  supervisor_options.max_restarts =
+      static_cast<std::size_t>(flags.getInt("supervise-max-restarts"));
+  svc::EngineSupervisor supervisor(catalog, supervisor_options);
+  if (flags.getBool("supervise")) supervisor.start();
 
   svc::TenantRouter::Options router_options;
   router_options.schema_base_dir = sidecar_dir;
@@ -208,9 +300,12 @@ int main(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
   std::printf("shutting down\n");
-  // Order matters: no new requests, then drain every tenant (engines
-  // seal + localize buffered windows, job managers run down) via the
-  // catalog's destructor.
+  // Order matters: no new requests, stop supervising (a draining engine
+  // must not be "restarted"), then drain every tenant (engines seal +
+  // localize buffered windows, job managers run down) via the catalog's
+  // destructor; the journal closes last, after teardown drains wrote
+  // their completion markers.
   server.stop();
+  supervisor.stop();
   return 0;
 }

@@ -6,6 +6,7 @@
 #include "obs/metrics.h"
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/strings.h"
 
 namespace rap::fault {
 
@@ -142,6 +143,61 @@ Action Registry::onHit(const char* point) {
 }
 
 Action inject(const char* point) { return Registry::instance().onHit(point); }
+
+util::Result<int> armFromSpec(const std::string& spec) {
+  if (spec.empty()) return 0;
+  int armed = 0;
+  for (const auto& clause : util::split(spec, ';')) {
+    const std::string_view text = util::trim(clause);
+    if (text.empty()) continue;
+    const auto eq = text.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return util::Status::invalidArgument("fault spec clause missing '=': " +
+                                           std::string(text));
+    }
+    const std::string point(util::trim(text.substr(0, eq)));
+    const auto fields = util::split(text.substr(eq + 1), ':');
+    FaultSpec fault;
+    const std::string action = util::toLower(util::trim(fields[0]));
+    if (action == "throw") {
+      fault.action = Action::kThrow;
+    } else if (action == "error") {
+      fault.action = Action::kError;
+    } else if (action == "delay") {
+      fault.action = Action::kDelay;
+    } else if (action == "drop") {
+      fault.action = Action::kDrop;
+    } else {
+      return util::Status::invalidArgument("unknown fault action: " + action);
+    }
+    if (fields.size() > 1) {
+      auto p = util::parseDouble(util::trim(fields[1]));
+      if (!p || *p < 0.0 || *p > 1.0) {
+        return util::Status::invalidArgument("bad fault probability in: " +
+                                             std::string(text));
+      }
+      fault.probability = *p;
+    }
+    // Remaining fields are non-negative integers in a fixed order:
+    // seed, delay_micros, skip_first, max_fires.
+    for (std::size_t i = 2; i < fields.size() && i < 6; ++i) {
+      auto v = util::parseInt(util::trim(fields[i]));
+      if (!v || *v < 0) {
+        return util::Status::invalidArgument("bad fault field in: " +
+                                             std::string(text));
+      }
+      switch (i) {
+        case 2: fault.seed = static_cast<std::uint64_t>(*v); break;
+        case 3: fault.delay_micros = *v; break;
+        case 4: fault.skip_first = static_cast<std::uint64_t>(*v); break;
+        default: fault.max_fires = static_cast<std::uint64_t>(*v); break;
+      }
+    }
+    Registry::instance().arm(point, fault);
+    ++armed;
+  }
+  return armed;
+}
 
 util::Status injectStatus(const char* point) {
   switch (inject(point)) {

@@ -11,6 +11,9 @@
 //   svc.submit      — svc::JobManager::submit, before admission
 //   svc.execute     — service worker, before cache lookup and search
 //   svc.tenant      — svc::TenantRouter, at tenant resolution (-> 503)
+//   svc.journal.append — svc::JobJournal::append, before the WAL write
+//   svc.journal.replay — svc::JobJournal replay, per recovered record
+//   svc.breaker     — svc::CircuitBreaker::allowAt (kError trips it open)
 //
 // Compile gating: every site goes through RAP_FAULT_HIT(point).  Unless
 // the build defines RAP_FAULT_INJECTION (CMake -DRAP_FAULT_INJECTION=ON)
@@ -160,6 +163,16 @@ Action inject(const char* point);
 /// Status::internal("injected fault at <point>"), kDelay sleeps, kThrow
 /// still throws.
 util::Status injectStatus(const char* point);
+
+/// Arms points from an environment-style spec string, e.g.
+///   "svc.tenant=error;svc.execute=error:0.5:42"
+/// Each clause is `point=action[:probability[:seed[:delay_micros
+/// [:skip_first[:max_fires]]]]]` with action one of
+/// throw|error|delay|drop.  Returns the number of points armed, or an
+/// error naming the malformed clause.  Intended for `RAP_FAULT_ARM` in
+/// chaos CI jobs; a no-op returning 0 when `spec` is empty.  Builds
+/// without RAP_FAULT_INJECTION still parse (the sites just never hit).
+util::Result<int> armFromSpec(const std::string& spec);
 
 }  // namespace rap::fault
 

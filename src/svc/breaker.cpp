@@ -1,0 +1,121 @@
+#include "svc/breaker.h"
+
+#include <utility>
+
+#include "fault/fault.h"
+#include "util/logging.h"
+
+namespace rap::svc {
+
+const char* breakerStateName(BreakerState state) noexcept {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(Options options) : options_(std::move(options)) {
+  if (enabled() && obs::metricsEnabled()) {
+    state_gauge_ = &obs::defaultRegistry().gauge("rap_svc_breaker_state",
+                                                 options_.metric_labels);
+  }
+}
+
+void CircuitBreaker::setStateLocked(BreakerState state) {
+  if (state == state_) return;
+  RAP_LOG_KV(Warn, {"from", breakerStateName(state_)},
+             {"to", breakerStateName(state)})
+      << "circuit breaker transition";
+  state_ = state;
+  if (state_gauge_ != nullptr) {
+    state_gauge_->set(static_cast<double>(state));
+  }
+  if (state == BreakerState::kHalfOpen) {
+    probes_admitted_ = 0;
+    probes_succeeded_ = 0;
+  }
+}
+
+bool CircuitBreaker::allowAt(Clock::time_point now) {
+  if (!enabled()) return true;
+  // Fault point "svc.breaker": a kError/kDrop fire trips the breaker
+  // open, so chaos tests exercise the open/half-open machinery without
+  // needing `failure_threshold` real failures first.
+  if (const util::Status injected = RAP_FAULT_STATUS("svc.breaker");
+      !injected.isOk()) {
+    tripAt(now);
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen: {
+      const double waited =
+          std::chrono::duration<double>(now - opened_at_).count();
+      if (waited < options_.open_seconds) return false;
+      setStateLocked(BreakerState::kHalfOpen);
+      [[fallthrough]];
+    }
+    case BreakerState::kHalfOpen:
+      if (probes_admitted_ >= options_.half_open_probes) return false;
+      ++probes_admitted_;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::recordSuccess() {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  consecutive_failures_ = 0;
+  if (state_ == BreakerState::kHalfOpen) {
+    if (++probes_succeeded_ >= options_.half_open_probes) {
+      setStateLocked(BreakerState::kClosed);
+    }
+  }
+}
+
+void CircuitBreaker::recordFailureAt(Clock::time_point now) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++consecutive_failures_;
+  if (state_ == BreakerState::kHalfOpen ||
+      (state_ == BreakerState::kClosed &&
+       consecutive_failures_ >= options_.failure_threshold)) {
+    opened_at_ = now;
+    setStateLocked(BreakerState::kOpen);
+  }
+}
+
+void CircuitBreaker::tripAt(Clock::time_point now) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  opened_at_ = now;
+  setStateLocked(BreakerState::kOpen);
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+std::uint64_t CircuitBreaker::consecutiveFailures() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return consecutive_failures_;
+}
+
+double CircuitBreaker::secondsUntilProbeAt(Clock::time_point now) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ != BreakerState::kOpen) return 0.0;
+  const double waited = std::chrono::duration<double>(now - opened_at_).count();
+  return waited >= options_.open_seconds ? 0.0
+                                         : options_.open_seconds - waited;
+}
+
+}  // namespace rap::svc

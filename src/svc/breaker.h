@@ -1,0 +1,115 @@
+// Per-tenant circuit breaker (src/svc) — failure containment for the
+// serving plane.
+//
+// A tenant whose localizations fail consecutively (bad data feeding the
+// detector, an injected fault storm, a sick downstream dependency) must
+// stop consuming shared-pool workers and start answering fast: the
+// breaker counts consecutive execute failures and, once the configured
+// budget is exhausted, OPENS — the service answers 503
+// `tenant_unavailable` (or a degraded stale-cache hit, see service.cpp)
+// without admitting work.  After `open_seconds` the breaker turns
+// HALF-OPEN and lets `half_open_probes` requests through; if they all
+// succeed it closes, one failure re-opens it.
+//
+// The classic three-state machine:
+//
+//        failure x threshold            open_seconds elapsed
+//   closed ────────────────────> open ────────────────────> half-open
+//     ^                            ^                            │
+//     │        any probe failure   │                            │
+//     │<───────────────────────────┴──── (from half-open) <─────┤
+//     └──────────── half_open_probes consecutive successes ─────┘
+//
+// `failure_threshold == 0` disables the breaker entirely: allow()
+// returns true without touching any state, so the default config adds
+// zero cost to the sync fast path.
+//
+// Thread-safe (one mutex; transitions are rare and the per-request
+// check is one short critical section).  The *At variants take an
+// explicit steady_clock time so tests drive the state machine without
+// sleeping.  Fault point "svc.breaker" (docs/robustness.md) trips the
+// breaker open deterministically from chaos tests.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+#include "obs/metrics.h"
+
+namespace rap::svc {
+
+enum class BreakerState : std::uint8_t {
+  kClosed = 0,
+  kOpen = 1,
+  kHalfOpen = 2,
+};
+
+const char* breakerStateName(BreakerState state) noexcept;
+
+class CircuitBreaker {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  struct Options {
+    /// Consecutive execute failures that open the breaker; 0 disables
+    /// the breaker (allow() is unconditionally true).
+    std::size_t failure_threshold = 0;
+    /// Seconds the breaker stays open before probing.
+    double open_seconds = 5.0;
+    /// Consecutive half-open successes required to close again.  Also
+    /// bounds how many requests may probe concurrently while half-open.
+    std::size_t half_open_probes = 1;
+    /// Labels stamped on the rap_svc_breaker_state gauge (the catalog
+    /// passes {{"tenant", name}}).
+    obs::Labels metric_labels;
+  };
+
+  explicit CircuitBreaker(Options options);
+
+  CircuitBreaker(const CircuitBreaker&) = delete;
+  CircuitBreaker& operator=(const CircuitBreaker&) = delete;
+
+  bool enabled() const noexcept { return options_.failure_threshold > 0; }
+
+  /// May this request proceed?  Open -> false (until open_seconds
+  /// elapse, which flips to half-open); half-open -> true for at most
+  /// half_open_probes in-flight probes.
+  bool allow() { return allowAt(Clock::now()); }
+  bool allowAt(Clock::time_point now);
+
+  /// Reports one execute outcome.  Successes reset the consecutive
+  /// failure count (and close a half-open breaker once enough probes
+  /// succeed); failures count toward the budget (and re-open a
+  /// half-open breaker immediately).
+  void recordSuccess();
+  void recordFailure() { recordFailureAt(Clock::now()); }
+  void recordFailureAt(Clock::time_point now);
+
+  /// Forces the breaker open (the "svc.breaker" fault point and tests).
+  void trip() { tripAt(Clock::now()); }
+  void tripAt(Clock::time_point now);
+
+  BreakerState state() const;
+  std::uint64_t consecutiveFailures() const;
+  /// Seconds until an open breaker starts probing (0 when not open).
+  double secondsUntilProbeAt(Clock::time_point now) const;
+
+  const Options& options() const noexcept { return options_; }
+
+ private:
+  void setStateLocked(BreakerState state);
+
+  Options options_;
+  mutable std::mutex mutex_;
+  BreakerState state_ = BreakerState::kClosed;
+  std::uint64_t consecutive_failures_ = 0;
+  Clock::time_point opened_at_{};
+  /// Half-open bookkeeping: probes admitted since entering half-open
+  /// and how many of them succeeded.
+  std::size_t probes_admitted_ = 0;
+  std::size_t probes_succeeded_ = 0;
+  obs::Gauge* state_gauge_ = nullptr;  ///< rap_svc_breaker_state
+};
+
+}  // namespace rap::svc

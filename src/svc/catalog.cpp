@@ -41,6 +41,7 @@ util::Status DatasetCatalog::put(TenantSpec spec) {
                              : "/api/v1/tenants/" + spec.name + "/jobs/";
   spec.service.jobs.metric_labels = {{"tenant", spec.name}};
   spec.service.jobs.shared_pool = &pool_;
+  spec.service.journal = options_.journal;
   tenant->service = std::make_unique<LocalizeService>(
       spec.schema, spec.miner, std::move(spec.service));
 
@@ -48,9 +49,10 @@ util::Status DatasetCatalog::put(TenantSpec spec) {
     // parseTenantSpec already mirrored the miner knobs into
     // spec.stream.miner; the catalog only stamps the metric identity.
     spec.stream.metric_tenant = spec.name;
-    tenant->engine = std::make_unique<stream::StreamEngine>(
+    auto engine = std::make_shared<stream::StreamEngine>(
         std::move(spec.schema), std::move(spec.stream));
-    tenant->engine->start();
+    engine->start();
+    tenant->replaceEngine(std::move(engine));
   }
 
   {

@@ -43,15 +43,50 @@ class DatasetCatalog {
   struct Options {
     /// Workers of the shared job pool all tenants draw from.
     std::size_t pool_threads = 4;
+    /// Durable job journal shared by every tenant's service; not owned,
+    /// may be null (async admissions are then memory-only).
+    JobJournal* journal = nullptr;
   };
 
-  /// One live tenant.  Immutable after registration (tenant updates are
-  /// delete + re-put); safe to use from any handler thread.
+  /// One live tenant.  The spec and service are immutable after
+  /// registration (tenant updates are delete + re-put); the engine slot
+  /// is mutable behind a mutex so the supervisor can swap a crashed
+  /// engine for a restored one without re-registering the tenant.
   struct Tenant {
     TenantSpec spec;
     std::unique_ptr<LocalizeService> service;
-    /// Running engine, or null for batch-only tenants.
-    std::unique_ptr<stream::StreamEngine> engine;
+
+    /// Running engine (or null for batch-only tenants).  Handlers take
+    /// the shared_ptr once and use it for the whole request, so a
+    /// supervisor swap mid-request never yanks the engine out from
+    /// under them.
+    std::shared_ptr<stream::StreamEngine> engine() const {
+      std::lock_guard<std::mutex> lock(engine_mutex_);
+      return engine_;
+    }
+    /// Supervisor-only: installs a freshly restored engine (or null).
+    void replaceEngine(std::shared_ptr<stream::StreamEngine> engine) {
+      std::lock_guard<std::mutex> lock(engine_mutex_);
+      engine_ = std::move(engine);
+    }
+
+    /// Quarantined = the supervisor gave up restarting this tenant's
+    /// engine; sub-resources answer 503 tenant_unavailable until a
+    /// delete + re-put.
+    bool quarantined() const {
+      std::lock_guard<std::mutex> lock(engine_mutex_);
+      return quarantined_;
+    }
+    void setQuarantined(bool value) {
+      std::lock_guard<std::mutex> lock(engine_mutex_);
+      quarantined_ = value;
+    }
+
+   private:
+    friend class DatasetCatalog;
+    mutable std::mutex engine_mutex_;
+    std::shared_ptr<stream::StreamEngine> engine_;
+    bool quarantined_ = false;
   };
 
   DatasetCatalog();

@@ -8,6 +8,7 @@
 #include "io/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "svc/breaker.h"
 
 namespace rap::svc {
 
@@ -41,7 +42,9 @@ obs::Labels JobManager::labelsWith(const char* key, const char* value) const {
 }
 
 JobManager::JobManager(Options options, ResultCache* cache)
-    : options_(std::move(options)), cache_(cache) {
+    : options_(std::move(options)),
+      cache_(cache),
+      overload_(options_.overload) {
   if (options_.workers == 0) options_.workers = 1;
   if (obs::metricsEnabled()) {
     auto& reg = obs::defaultRegistry();
@@ -59,6 +62,9 @@ JobManager::JobManager(Options options, ResultCache* cache)
     jobs_running_ = &reg.gauge("rap_svc_jobs_running", base);
     job_seconds_ = &reg.histogram(
         "rap_svc_job_seconds", obs::exponentialBuckets(0.001, 2.0, 16), base);
+    queue_delay_ = &reg.histogram("rap_svc_queue_delay_seconds",
+                                  obs::exponentialBuckets(0.001, 2.0, 16),
+                                  base);
   }
   if (options_.shared_pool == nullptr) {
     pool_ = std::make_unique<util::ThreadPool>(options_.workers);
@@ -97,15 +103,43 @@ util::Result<std::uint64_t> JobManager::submit(JobRequest request) {
       return injected;
     }
   }
+  return admit(std::move(request), /*privileged=*/false);
+}
+
+util::Result<std::uint64_t> JobManager::resubmit(JobRequest request) {
+  return admit(std::move(request), /*privileged=*/true);
+}
+
+util::Result<std::uint64_t> JobManager::admit(JobRequest request,
+                                              bool privileged) {
   std::uint64_t id = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_) {
       return util::Status::failedPrecondition("job manager is shut down");
     }
-    if (pending_.size() >= options_.queue_capacity) {
-      if (admission_rejected_ != nullptr) admission_rejected_->increment();
-      return util::Status::outOfRange("job queue full");
+    if (!privileged) {
+      if (pending_.size() >= options_.queue_capacity) {
+        if (admission_rejected_ != nullptr) admission_rejected_->increment();
+        return util::Status::outOfRange("job queue full");
+      }
+      // CoDel-style delay shedding: the queue may have free slots, but
+      // if the NEXT job to run has already waited past target for a
+      // full interval, admitting more work only deepens the lie.
+      if (overload_.enabled()) {
+        const auto now = std::chrono::steady_clock::now();
+        const double head_delay =
+            pending_.empty()
+                ? 0.0
+                : secondsBetween(pending_.begin()->second->admitted, now);
+        if (overload_.shouldShedAt(head_delay, now)) {
+          if (admission_rejected_ != nullptr) {
+            admission_rejected_->increment();
+          }
+          return util::Status::unavailable(
+              "queue delay above target (overloaded)");
+        }
+      }
     }
     id = next_id_++;
     auto job = std::make_shared<Job>(id, std::move(request));
@@ -213,6 +247,9 @@ void JobManager::drainOne() {
     job->state = JobState::kRunning;
     job->started = std::chrono::steady_clock::now();
     ++active_;
+    if (queue_delay_ != nullptr) {
+      queue_delay_->observe(secondsBetween(job->admitted, job->started));
+    }
     if (queue_depth_ != nullptr) {
       queue_depth_->set(static_cast<double>(pending_.size()));
     }
@@ -229,6 +266,14 @@ void JobManager::drainOne() {
 
 void JobManager::finishJob(std::shared_ptr<Job> job, ExecOutcome outcome) {
   const std::uint64_t id = job->id;
+  // The journal hook runs BEFORE the job turns terminal (and before any
+  // manager lock — it takes its own mutex and fsyncs): the completion
+  // marker must be durable by the time drain()/status() can observe the
+  // terminal state, and a crash in between merely replays a finished
+  // job into a cache hit.
+  if (options_.on_terminal) {
+    options_.on_terminal(id, job->request.journal_record, outcome.ok);
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     job->state = outcome.ok ? JobState::kDone : JobState::kFailed;
@@ -263,6 +308,21 @@ void JobManager::finishJob(std::shared_ptr<Job> job, ExecOutcome outcome) {
 
 JobManager::ExecOutcome JobManager::execute(const JobRequest& request,
                                             std::uint64_t id) {
+  ExecOutcome outcome = executeImpl(request, id);
+  if (options_.breaker != nullptr) {
+    // Every execute outcome — sync or queued, cache hit or full search —
+    // feeds the tenant's failure budget.
+    if (outcome.ok) {
+      options_.breaker->recordSuccess();
+    } else {
+      options_.breaker->recordFailure();
+    }
+  }
+  return outcome;
+}
+
+JobManager::ExecOutcome JobManager::executeImpl(const JobRequest& request,
+                                                std::uint64_t id) {
   RAP_TRACE_SPAN("svc/execute", {{"job", id}, {"rows", request.table.size()}});
   if (id != 0) obs::traceFlow('t', "svc/job", id);
   ExecOutcome outcome;
@@ -321,6 +381,7 @@ JobStatus JobManager::snapshotLocked(const Job& job) const {
   out.state = job.state;
   out.priority = job.request.priority;
   out.cache_hit = job.cache_hit;
+  out.deadline_seconds = job.request.miner.search.deadline_seconds;
   switch (job.state) {
     case JobState::kQueued:
       out.queued_seconds = secondsBetween(job.admitted, now);

@@ -39,6 +39,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -50,11 +51,14 @@
 #include "core/rapminer.h"
 #include "dataset/leaf_table.h"
 #include "obs/metrics.h"
+#include "svc/overload.h"
 #include "svc/result_cache.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace rap::svc {
+
+class CircuitBreaker;
 
 enum class JobState : std::uint8_t {
   kQueued,
@@ -79,6 +83,10 @@ struct JobRequest {
   std::int32_t priority = 0;  ///< higher runs sooner
   /// Content hash of the originating request (cache key); 0 = uncached.
   std::uint64_t cache_key = 0;
+  /// Durable journal record backing this job; 0 = not journaled.  The
+  /// on_terminal callback hands it back so the service can write the
+  /// completion marker.
+  std::uint64_t journal_record = 0;
 };
 
 /// Snapshot of one job's lifecycle, safe to serialize.
@@ -87,6 +95,9 @@ struct JobStatus {
   JobState state = JobState::kQueued;
   std::int32_t priority = 0;
   bool cache_hit = false;
+  /// Effective search deadline after clamping (0 = none) — surfaced in
+  /// the job JSON so callers see the budget their job actually ran with.
+  double deadline_seconds = 0.0;
   double queued_seconds = 0.0;  ///< admission -> start (or now)
   double run_seconds = 0.0;     ///< start -> finish (or now)
   std::string result_json;      ///< kDone only: rendered result document
@@ -121,6 +132,18 @@ class JobManager {
     /// dispatched has left the pool, so tearing down one tenant never
     /// leaves a dangling task behind.
     util::ThreadPool* shared_pool = nullptr;
+    /// CoDel-style queue-delay shedding (svc/overload.h): disabled by
+    /// default (target 0), submit() sheds with Status::unavailable
+    /// (-> 429 `overloaded`) when the head-of-line delay stays above
+    /// target for a full interval.
+    OverloadGuard::Options overload;
+    /// Per-tenant circuit breaker recording execute outcomes; not
+    /// owned, may be null (the LocalizeService wires its own).
+    CircuitBreaker* breaker = nullptr;
+    /// Fired (outside all manager locks) each time a QUEUED job reaches
+    /// a terminal state — the journal's completion-marker hook.
+    /// (id, journal_record, ok); not called for executeInline.
+    std::function<void(std::uint64_t, std::uint64_t, bool)> on_terminal;
   };
 
   /// `cache` may be nullptr (no caching); it must outlive the manager.
@@ -131,9 +154,15 @@ class JobManager {
   JobManager& operator=(const JobManager&) = delete;
 
   /// Admits a job: the id on success, kOutOfRange when the queue is full
-  /// (shed load — the HTTP layer maps this to 429), kFailedPrecondition
-  /// after shutdown began.
+  /// (shed load — the HTTP layer maps this to 429), kUnavailable when
+  /// the overload guard sheds on sustained queue delay (429 with the
+  /// `overloaded` code), kFailedPrecondition after shutdown began.
   util::Result<std::uint64_t> submit(JobRequest request);
+
+  /// The journal-replay admission path: the work was accepted (and
+  /// answered 202) before the crash, so capacity and overload checks do
+  /// not apply — only the shutdown check.  No "svc.submit" fault point.
+  util::Result<std::uint64_t> resubmit(JobRequest request);
 
   /// Runs a request synchronously on the calling thread (the service's
   /// sync mode) — same cache/execute path as queued jobs, no admission
@@ -179,8 +208,13 @@ class JobManager {
     std::string result_json;
     std::string error;
   };
+  /// executeImpl + circuit-breaker outcome recording.
   ExecOutcome execute(const JobRequest& request, std::uint64_t id);
+  ExecOutcome executeImpl(const JobRequest& request, std::uint64_t id);
 
+  /// Shared admission tail of submit()/resubmit(); `privileged` skips
+  /// the capacity and overload gates.
+  util::Result<std::uint64_t> admit(JobRequest request, bool privileged);
   void drainOne();
   void finishJob(std::shared_ptr<Job> job, ExecOutcome outcome);
   JobStatus snapshotLocked(const Job& job) const;
@@ -195,6 +229,7 @@ class JobManager {
   ResultCache* cache_;  ///< not owned; may be null
 
   mutable std::mutex mutex_;
+  OverloadGuard overload_;  ///< guarded by mutex_ (admission path only)
   std::condition_variable idle_;
   bool paused_ = false;
   bool stopping_ = false;
@@ -221,6 +256,7 @@ class JobManager {
   obs::Gauge* queue_depth_ = nullptr;
   obs::Gauge* jobs_running_ = nullptr;
   obs::Histogram* job_seconds_ = nullptr;
+  obs::Histogram* queue_delay_ = nullptr;  ///< rap_svc_queue_delay_seconds
 
   /// Last member: joins its workers first on destruction, while the
   /// members above are still alive for in-flight drainOne() calls.

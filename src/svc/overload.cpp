@@ -1,0 +1,28 @@
+#include "svc/overload.h"
+
+namespace rap::svc {
+
+bool OverloadGuard::shouldShedAt(double head_delay_seconds,
+                                 Clock::time_point now) {
+  if (!enabled()) return false;
+  if (head_delay_seconds < options_.target_delay_seconds) {
+    // The queue drained below target: leave the shedding regime and
+    // forget the interval clock.
+    over_target_ = false;
+    shedding_ = false;
+    return false;
+  }
+  if (!over_target_) {
+    // First over-target observation starts the interval clock; this
+    // admission is still accepted (a single slow job is not overload).
+    over_target_ = true;
+    over_target_since_ = now;
+    return false;
+  }
+  const double over_for =
+      std::chrono::duration<double>(now - over_target_since_).count();
+  shedding_ = over_for >= options_.interval_seconds;
+  return shedding_;
+}
+
+}  // namespace rap::svc

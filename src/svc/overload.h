@@ -1,0 +1,79 @@
+// Adaptive admission control (src/svc) — CoDel-style queue-delay
+// shedding for the JobManager.
+//
+// A bounded queue sheds only when it is FULL, which is the wrong signal
+// under a sustained overload: a queue of 64 slow localizations is
+// "accepting" work it will not finish for minutes, so callers learn the
+// truth only after their job has aged out of usefulness.  Following
+// CoDel's insight, the right signal is sustained queue DELAY: when the
+// job at the head of the queue (the next to run) has already waited
+// longer than `target_delay_seconds`, and that condition has persisted
+// for `interval_seconds`, new admissions are shed with
+// Status::unavailable (-> HTTP 429 `overloaded` + jittered Retry-After)
+// even though slots remain.
+//
+// The guard is deliberately stateless beyond one timestamp: admission
+// calls shouldShedAt() with the current head-of-line delay; the first
+// over-target observation starts the interval clock, an under-target
+// observation resets it, and shedding begins once the clock has run for
+// a full interval.  Sampling happens only at admission time — an idle
+// tenant pays nothing, and a tenant that stops receiving requests
+// cannot shed anybody.
+//
+// Caveat (documented in docs/robustness.md): the head of the queue is
+// the highest-PRIORITY pending job, so a starved low-priority backlog
+// behind a fast high-priority stream does not trip the guard — priority
+// starvation is the operator's policy choice, not an overload.
+//
+// `target_delay_seconds == 0` disables the guard entirely (the default:
+// zero cost on the fast path).  Not thread-safe by itself — the
+// JobManager calls it under its own admission mutex.
+#pragma once
+
+#include <chrono>
+
+namespace rap::svc {
+
+class OverloadGuard {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  struct Options {
+    /// Head-of-line queue delay above which the queue counts as
+    /// overloaded; 0 disables the guard.
+    double target_delay_seconds = 0.0;
+    /// How long the delay must stay above target before shedding.
+    double interval_seconds = 1.0;
+  };
+
+  OverloadGuard() = default;
+  explicit OverloadGuard(Options options) : options_(options) {}
+
+  bool enabled() const noexcept { return options_.target_delay_seconds > 0.0; }
+
+  /// One admission-time sample: `head_delay_seconds` is how long the
+  /// next-to-run job has been queued (0 when the queue is empty).
+  /// Returns true when the admission should be shed.
+  bool shouldShed(double head_delay_seconds) {
+    return shouldShedAt(head_delay_seconds, Clock::now());
+  }
+  bool shouldShedAt(double head_delay_seconds, Clock::time_point now);
+
+  /// True while the guard is currently shedding (for /statusz).
+  bool shedding() const noexcept { return shedding_; }
+
+  void reset() {
+    over_target_ = false;
+    shedding_ = false;
+  }
+
+  const Options& options() const noexcept { return options_; }
+
+ private:
+  Options options_;
+  bool over_target_ = false;
+  bool shedding_ = false;
+  Clock::time_point over_target_since_{};
+};
+
+}  // namespace rap::svc

@@ -27,6 +27,15 @@ std::optional<std::string> ResultCache::getAt(std::uint64_t key,
   return lru_.front().value;
 }
 
+std::optional<std::string> ResultCache::peekStale(std::uint64_t key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) return std::nullopt;
+  // Deliberately no expiry check, no recency refresh, no stat counters:
+  // this is a read-only last-resort peek, not a cache access.
+  return it->second->value;
+}
+
 void ResultCache::putAt(std::uint64_t key, std::string value,
                         Clock::time_point now) {
   if (options_.capacity == 0) return;

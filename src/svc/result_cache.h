@@ -66,6 +66,12 @@ class ResultCache {
   }
   std::optional<std::string> getAt(std::uint64_t key, Clock::time_point now);
 
+  /// Degraded-serving lookup: returns the stored document even past its
+  /// TTL, without refreshing recency or touching hit/miss/expiry stats.
+  /// The circuit-breaker path uses this — a stale localization beats a
+  /// 503 while the tenant engine is down (docs/service.md).
+  std::optional<std::string> peekStale(std::uint64_t key) const;
+
   /// Inserts (or overwrites, resetting the TTL of) `key`.
   void put(std::uint64_t key, std::string value) {
     putAt(key, std::move(value), Clock::now());

@@ -64,15 +64,26 @@ std::string tenantJson(const DatasetCatalog::Tenant& tenant) {
       static_cast<unsigned long long>(cache.hits),
       static_cast<unsigned long long>(cache.misses));
 
+  const CircuitBreaker& breaker = tenant.service->breaker();
+  out += util::strFormat(
+      "\"breaker\":{\"enabled\":%s,\"state\":\"%s\","
+      "\"consecutive_failures\":%llu},",
+      breaker.enabled() ? "true" : "false",
+      breakerStateName(breaker.state()),
+      static_cast<unsigned long long>(breaker.consecutiveFailures()));
+  out += util::strFormat("\"quarantined\":%s,",
+                         tenant.quarantined() ? "true" : "false");
+
+  const auto engine = tenant.engine();
   out += util::strFormat("\"streaming\":%s",
-                         tenant.engine != nullptr ? "true" : "false");
-  if (tenant.engine != nullptr) {
-    const stream::StreamStats stats = tenant.engine->stats();
+                         engine != nullptr ? "true" : "false");
+  if (engine != nullptr) {
+    const stream::StreamStats stats = engine->stats();
     out += util::strFormat(
         ",\"stream\":{\"running\":%s,\"ingested\":%llu,\"rejected\":%llu,"
         "\"windows_sealed\":%llu,\"localizations\":%llu,"
         "\"queue_depth\":%lld}",
-        tenant.engine->running() ? "true" : "false",
+        engine->running() ? "true" : "false",
         static_cast<unsigned long long>(stats.ingested),
         static_cast<unsigned long long>(stats.rejected),
         static_cast<unsigned long long>(stats.windows_sealed),
@@ -216,6 +227,14 @@ obs::HttpResponse TenantRouter::route(const obs::HttpRequest& request) {
     return obs::errorResponse(404, "not_found",
                               "no such tenant '" + name + "'");
   }
+  if (tenant->quarantined()) {
+    // The supervisor gave up restarting this tenant's engine; only
+    // delete + re-put revives it (docs/robustness.md).
+    return obs::errorResponse(503, "tenant_unavailable",
+                              "tenant '" + name +
+                                  "' is quarantined (engine restarts "
+                                  "exhausted)");
+  }
 
   if (sub == "localize") {
     if (request.method != "POST") {
@@ -265,7 +284,7 @@ obs::HttpResponse TenantRouter::handleTenantsList(
     body += util::strFormat(
         "{\"name\":\"%s\",\"streaming\":%s,\"queue_depth\":%llu}",
         tenant->spec.name.c_str(),
-        tenant->engine != nullptr ? "true" : "false",
+        tenant->engine() != nullptr ? "true" : "false",
         static_cast<unsigned long long>(tenant->service->jobs().queueDepth()));
   }
   body += "]}\n";
@@ -312,7 +331,7 @@ obs::HttpResponse TenantRouter::handleTenantDelete(const std::string& name) {
   // Drain before answering: stop the engine (seals + localizes whatever
   // is buffered), then destroy the service, whose JobManager runs down
   // in-flight jobs.  A 200 means the tenant is GONE, not going.
-  if (removed.value()->engine != nullptr) removed.value()->engine->stop();
+  if (auto engine = removed.value()->engine()) engine->stop();
   removed.value().reset();
   return jsonResponse(
       200, "{\"tenant\":\"" + name + "\",\"status\":\"deleted\"}\n");
@@ -320,7 +339,8 @@ obs::HttpResponse TenantRouter::handleTenantDelete(const std::string& name) {
 
 obs::HttpResponse TenantRouter::handleIngest(DatasetCatalog::Tenant& tenant,
                                              const obs::HttpRequest& request) {
-  if (tenant.engine == nullptr) {
+  const auto engine = tenant.engine();
+  if (engine == nullptr) {
     return obs::errorResponse(409, "not_streaming",
                               "tenant '" + tenant.spec.name +
                                   "' has no stream engine (set "
@@ -352,8 +372,7 @@ obs::HttpResponse TenantRouter::handleIngest(DatasetCatalog::Tenant& tenant,
     return obs::errorResponse(400, "bad_request", "no data rows in body");
   }
 
-  const stream::PushResult result =
-      tenant.engine->ingestBatch(std::move(events));
+  const stream::PushResult result = engine->ingestBatch(std::move(events));
   std::string body = util::strFormat(
       "{\"accepted\":%llu,\"dropped_oldest\":%llu,\"dropped_newest\":%llu",
       static_cast<unsigned long long>(result.accepted),

@@ -1,6 +1,8 @@
 #include "svc/service.h"
 
+#include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstdlib>
 #include <limits>
 #include <vector>
@@ -9,6 +11,7 @@
 #include "obs/metrics.h"
 #include "svc/params.h"
 #include "svc/snapshot.h"
+#include "util/rng.h"
 #include "util/strings.h"
 
 namespace rap::svc {
@@ -55,6 +58,8 @@ void appendJobFields(std::string& out, const JobStatus& job) {
   out += std::to_string(job.priority);
   out += ",\"cache_hit\":";
   out += job.cache_hit ? "true" : "false";
+  out += ",\"deadline_seconds\":";
+  out += formatSeconds(job.deadline_seconds);
   out += ",\"queued_seconds\":";
   out += formatSeconds(job.queued_seconds);
   out += ",\"run_seconds\":";
@@ -77,12 +82,30 @@ LocalizeService::LocalizeService(dataset::Schema schema,
     options_.jobs.metric_labels = {{"tenant", options_.tenant}};
   }
   cache_ = std::make_unique<ResultCache>(options_.cache);
+  if (options_.breaker.metric_labels.empty()) {
+    options_.breaker.metric_labels = options_.jobs.metric_labels;
+  }
+  breaker_ = std::make_unique<CircuitBreaker>(options_.breaker);
+  // A disabled breaker stays entirely off the manager's execute path.
+  options_.jobs.breaker = breaker_->enabled() ? breaker_.get() : nullptr;
+  if (options_.journal != nullptr) {
+    JobJournal* journal = options_.journal;
+    options_.jobs.on_terminal = [journal](std::uint64_t /*id*/,
+                                          std::uint64_t record, bool ok) {
+      if (record != 0) journal->complete(record, ok ? "done" : "failed");
+    };
+  }
   jobs_ = std::make_unique<JobManager>(options_.jobs, cache_.get());
+  // Deterministic per-instance jitter stream; only the [base, 2*base)
+  // envelope matters, not the sequence.
+  jitter_state_.store(contentHash(options_.tenant) | 1u);
   if (obs::metricsEnabled()) {
     // Same series the JobManager publishes to — the pre-parse fast path
     // below must count as a hit just like one inside a worker.
     cache_hits_ = &obs::defaultRegistry().counter("rap_svc_cache_hits_total",
                                                   options_.jobs.metric_labels);
+    degraded_served_ = &obs::defaultRegistry().counter(
+        "rap_svc_degraded_served_total", options_.jobs.metric_labels);
   }
 }
 
@@ -114,8 +137,19 @@ util::Result<LocalizeService::RequestKnobs> LocalizeService::resolveKnobs(
   knobs.miner.cp.t_cp = params->doubleOr("t_cp", knobs.miner.cp.t_cp);
   knobs.miner.search.t_conf =
       params->doubleOr("t_conf", knobs.miner.search.t_conf);
-  knobs.miner.search.deadline_seconds =
+  double deadline =
       params->doubleOr("deadline", knobs.miner.search.deadline_seconds);
+  if (!std::isfinite(deadline) || deadline < 0.0) {
+    return util::Status::invalidArgument(
+        "deadline must be a finite, non-negative number of seconds");
+  }
+  if (options_.max_deadline_seconds > 0.0 &&
+      (deadline == 0.0 || deadline > options_.max_deadline_seconds)) {
+    // The tenant budget always applies: deadline=0 ("unbounded") clamps
+    // too, so no request outlives max_deadline_seconds.
+    deadline = options_.max_deadline_seconds;
+  }
+  knobs.miner.search.deadline_seconds = deadline;
   knobs.detect_threshold =
       params->doubleOr("detect_threshold", options_.default_detect_threshold);
   knobs.mode = params->stringOr("mode", std::string());
@@ -145,6 +179,24 @@ std::uint64_t LocalizeService::requestKey(const std::string& body,
   return h == 0 ? 1 : h;
 }
 
+std::string LocalizeService::retryAfterJittered() {
+  const double base = std::max(1.0, options_.jobs.retry_after_seconds);
+  std::uint64_t s = jitter_state_.fetch_add(1, std::memory_order_relaxed);
+  const double u =
+      static_cast<double>(util::splitmix64(s) >> 11) * 0x1.0p-53;  // [0,1)
+  return util::strFormat("%.0f", base * (1.0 + u));
+}
+
+obs::HttpResponse LocalizeService::retryableError(int status, const char* code,
+                                                  const std::string& message) {
+  const std::string retry = retryAfterJittered();
+  obs::HttpResponse response = jsonResponse(
+      status, obs::errorEnvelope(status, code, message,
+                                 "\"retry_after_seconds\":" + retry));
+  response.headers.emplace_back("Retry-After", retry);
+  return response;
+}
+
 obs::HttpResponse LocalizeService::handleLocalize(
     const obs::HttpRequest& request) {
   auto knobs = resolveKnobs(request);
@@ -152,6 +204,24 @@ obs::HttpResponse LocalizeService::handleLocalize(
     return obs::errorResponse(400, "bad_parameter", knobs.status().message());
   }
   const std::uint64_t key = requestKey(request.body, *knobs);
+
+  // Circuit-breaker gate, ahead of even the cache fast path: while the
+  // tenant's breaker is open the service answers from the result cache
+  // (stale entries included — a TTL-expired localization beats a 503
+  // during an incident) with X-Rap-Degraded, or sheds with 503
+  // tenant_unavailable and a jittered Retry-After.  allow() admits the
+  // half-open probes that eventually close the breaker.
+  if (breaker_->enabled() && !breaker_->allow()) {
+    if (auto stale = cache_->peekStale(key)) {
+      if (degraded_served_ != nullptr) degraded_served_->increment();
+      obs::HttpResponse response = jsonResponse(200, std::move(*stale));
+      response.headers.emplace_back("X-Rap-Cache", "hit");
+      response.headers.emplace_back("X-Rap-Degraded", "stale");
+      return response;
+    }
+    return retryableError(503, "tenant_unavailable",
+                          "tenant circuit breaker is open");
+  }
 
   // Pre-parse fast path: an identical resubmission (unless the caller
   // insists on a job record with mode=async) skips decoding entirely and
@@ -195,21 +265,35 @@ obs::HttpResponse LocalizeService::handleLocalize(
     return response;
   }
 
+  // Durability before acknowledgement: the A record is appended (and
+  // fsync'd) BEFORE admission, so every 202 this handler returns
+  // survives kill -9.  An append failure is honest backpressure.
+  if (options_.journal != nullptr) {
+    JobJournal::Record record;
+    record.tenant = options_.tenant;
+    record.priority = knobs->priority;
+    record.content_type = is_json ? "json" : "csv";
+    record.query = request.query;
+    record.body = request.body;
+    auto record_id = options_.journal->append(std::move(record));
+    if (!record_id.isOk()) {
+      return retryableError(503, "journal_unavailable",
+                            record_id.status().message());
+    }
+    job.journal_record = *record_id;
+  }
+  const std::uint64_t journal_record = job.journal_record;
+
   auto id = jobs_->submit(std::move(job));
   if (!id.isOk()) {
+    if (journal_record != 0) {
+      options_.journal->complete(journal_record, "shed");
+    }
     switch (id.status().code()) {
-      case util::StatusCode::kOutOfRange: {
-        const std::string retry = util::strFormat(
-            "%.0f", options_.jobs.retry_after_seconds < 1.0
-                        ? 1.0
-                        : options_.jobs.retry_after_seconds);
-        obs::HttpResponse response = jsonResponse(
-            429,
-            obs::errorEnvelope(429, "queue_full", id.status().message(),
-                               "\"retry_after_seconds\":" + retry));
-        response.headers.emplace_back("Retry-After", retry);
-        return response;
-      }
+      case util::StatusCode::kOutOfRange:
+        return retryableError(429, "queue_full", id.status().message());
+      case util::StatusCode::kUnavailable:
+        return retryableError(429, "overloaded", id.status().message());
       case util::StatusCode::kFailedPrecondition:
         return obs::errorResponse(503, "shutting_down",
                                   id.status().message());
@@ -222,6 +306,39 @@ obs::HttpResponse LocalizeService::handleLocalize(
                            static_cast<unsigned long long>(*id),
                            options_.jobs_path_prefix.c_str(),
                            static_cast<unsigned long long>(*id)));
+}
+
+util::Result<std::uint64_t> LocalizeService::replayJob(
+    const JobJournal::Record& record) {
+  // Rebuild the admission exactly as the HTTP layer saw it, then run
+  // the same decode pipeline — a replayed job carries the same cache
+  // key as the original, so one that completed (C record lost to the
+  // crash) re-renders bit-identical from the cache without a search.
+  obs::HttpRequest request;
+  request.method = "POST";
+  request.path = "/api/v1/localize";
+  request.query = record.query;
+  request.body = record.body;
+  request.headers.emplace_back(
+      "content-type",
+      record.content_type == "json" ? "application/json" : "text/csv");
+
+  auto knobs = resolveKnobs(request);
+  RAP_RETURN_IF_ERROR(knobs.status());
+  const std::uint64_t key = requestKey(record.body, *knobs);
+  auto table = record.content_type == "json"
+                   ? parseJsonSnapshot(schema_, record.body)
+                   : parseCsvSnapshot(schema_, record.body);
+  RAP_RETURN_IF_ERROR(table.status());
+
+  JobRequest job(std::move(*table));
+  job.miner = knobs->miner;
+  job.k = knobs->k;
+  job.detect_threshold = knobs->detect_threshold;
+  job.priority = knobs->priority;
+  job.cache_key = key;
+  job.journal_record = record.id;
+  return jobs_->resubmit(std::move(job));
 }
 
 obs::HttpResponse LocalizeService::handleJobGet(

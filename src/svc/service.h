@@ -23,6 +23,7 @@
 // replies stay bit-identical to the original.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -30,6 +31,8 @@
 #include "core/rapminer.h"
 #include "dataset/schema.h"
 #include "obs/admin_server.h"
+#include "svc/breaker.h"
+#include "svc/job_journal.h"
 #include "svc/job_manager.h"
 #include "svc/result_cache.h"
 
@@ -54,6 +57,18 @@ class LocalizeService {
     /// to "/api/v1/tenants/<name>/jobs/" per tenant.  Used both to
     /// render status_url and to parse GET <prefix><id>.
     std::string jobs_path_prefix = "/api/v1/jobs/";
+    /// Upper bound on the per-request `deadline` override; 0 means no
+    /// cap.  When set, every request (including deadline=0 "no
+    /// deadline") is clamped to it — the tenant's search budget always
+    /// applies.  Negative or non-finite deadlines are a 400 regardless.
+    double max_deadline_seconds = 0.0;
+    /// Per-tenant circuit breaker (svc/breaker.h); failure_threshold 0
+    /// (the default) disables it and keeps the fast path breaker-free.
+    CircuitBreaker::Options breaker;
+    /// Durable job journal (svc/job_journal.h); not owned, may be null
+    /// (async admissions are then memory-only, as before).  Shared by
+    /// every tenant of a catalog.
+    JobJournal* journal = nullptr;
     JobManager::Options jobs;
     ResultCache::Options cache;
   };
@@ -79,8 +94,14 @@ class LocalizeService {
   obs::HttpResponse handleJobGet(const obs::HttpRequest& request);
   obs::HttpResponse handleJobsList(const obs::HttpRequest& request);
 
+  /// Re-derives and resubmits one journaled admission through the
+  /// admission-free replay path (svc/job_journal.h); kInvalidArgument
+  /// when the recorded request no longer parses under the current spec.
+  util::Result<std::uint64_t> replayJob(const JobJournal::Record& record);
+
   JobManager& jobs() noexcept { return *jobs_; }
   ResultCache& cache() noexcept { return *cache_; }
+  CircuitBreaker& breaker() noexcept { return *breaker_; }
   const dataset::Schema& schema() const noexcept { return schema_; }
   const Options& options() const noexcept { return options_; }
 
@@ -103,12 +124,26 @@ class LocalizeService {
   std::uint64_t requestKey(const std::string& body,
                            const RequestKnobs& knobs) const;
 
+  /// Integral Retry-After value, jittered uniformly over
+  /// [base, 2*base) so a synchronized client fleet desynchronizes
+  /// instead of retrying in lockstep (base = jobs.retry_after_seconds,
+  /// floored at 1s).
+  std::string retryAfterJittered();
+  /// 429/503 envelope with the jittered Retry-After header +
+  /// retry_after_seconds field.
+  obs::HttpResponse retryableError(int status, const char* code,
+                                   const std::string& message);
+
   dataset::Schema schema_;
   core::RapMinerConfig base_config_;
   Options options_;
   std::unique_ptr<ResultCache> cache_;
+  /// Declared before jobs_: the manager holds a raw pointer to it.
+  std::unique_ptr<CircuitBreaker> breaker_;
   std::unique_ptr<JobManager> jobs_;
+  std::atomic<std::uint64_t> jitter_state_;
   obs::Counter* cache_hits_ = nullptr;  ///< shared rap_svc_cache_hits_total
+  obs::Counter* degraded_served_ = nullptr;
 };
 
 }  // namespace rap::svc

@@ -1,0 +1,118 @@
+// EngineSupervisor (src/svc) — the restart loop that keeps streaming
+// tenants alive without restarting the process.
+//
+// A tenant's StreamEngine can die without the serving plane dying with
+// it: a poison batch, an injected fault, an operator stop().  The
+// batch/localize surface of that tenant (and every other tenant) keeps
+// working — only ingest is down.  The supervisor turns that partial
+// outage into a self-healing one: a polling thread watches every
+// streaming tenant and, when it finds a non-running engine, builds a
+// replacement and swaps it in via Tenant::replaceEngine().
+//
+// Restart policy:
+//   * The replacement restores from the tenant's RAPCHKPT-1 checkpoint
+//     (spec streaming.checkpoint_path) when the file exists — buffered
+//     fragments and sealed-epoch history survive the crash — and starts
+//     fresh otherwise.
+//   * Attempts back off exponentially (backoff_initial_seconds doubling
+//     up to backoff_max_seconds) so a hard-broken engine does not spin
+//     the supervisor.
+//   * After `max_restarts` consecutive failed attempts the tenant is
+//     QUARANTINED (Tenant::setQuarantined): the router answers 503
+//     tenant_unavailable on its sub-resources until an operator
+//     deletes and re-puts it.  A restart that produces an engine still
+//     running at the next sweep resets the failure budget.
+//   * Healthy engines with a positive streaming.checkpoint_interval_
+//     seconds are checkpointed periodically, bounding how much window
+//     state the next crash can lose.
+//
+// The poll thread calls sweep() on its interval; tests call sweep()
+// directly and never start the thread, so every transition is
+// deterministic under a fake crash (engine->stop()).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "svc/catalog.h"
+
+namespace rap::svc {
+
+class EngineSupervisor {
+ public:
+  struct Options {
+    double poll_interval_seconds = 0.5;
+    /// First-retry delay after a failed restart; doubles per consecutive
+    /// failure up to backoff_max_seconds.
+    double backoff_initial_seconds = 0.5;
+    double backoff_max_seconds = 30.0;
+    /// Consecutive failed restart attempts before quarantine.
+    std::size_t max_restarts = 5;
+  };
+
+  /// Monotonic counters (all tenants).
+  struct SupervisorStats {
+    std::uint64_t restarts = 0;     ///< successful engine swaps
+    std::uint64_t restores = 0;     ///< ...of which seeded from a checkpoint
+    std::uint64_t failures = 0;     ///< failed restart attempts
+    std::uint64_t quarantines = 0;  ///< tenants given up on
+    std::uint64_t checkpoints = 0;  ///< periodic checkpoints written
+  };
+
+  explicit EngineSupervisor(DatasetCatalog& catalog)
+      : EngineSupervisor(catalog, Options{}) {}
+  EngineSupervisor(DatasetCatalog& catalog, Options options);
+
+  EngineSupervisor(const EngineSupervisor&) = delete;
+  EngineSupervisor& operator=(const EngineSupervisor&) = delete;
+
+  /// stop()s (joins the poll thread); never touches engines on the way
+  /// down — shutdown ordering belongs to the catalog.
+  ~EngineSupervisor();
+
+  void start();
+  void stop();
+  bool running() const;
+
+  /// One supervision pass over every tenant.  The poll thread's body;
+  /// tests drive it directly for deterministic transitions.
+  void sweep() { sweepAt(std::chrono::steady_clock::now()); }
+  void sweepAt(std::chrono::steady_clock::time_point now);
+
+  SupervisorStats stats() const;
+
+ private:
+  struct TenantState {
+    std::size_t failed_restarts = 0;
+    /// Set by a successful swap; the next sweep that finds the engine
+    /// running clears failed_restarts (the restart "took").
+    bool awaiting_health = false;
+    std::chrono::steady_clock::time_point next_attempt;
+    std::chrono::steady_clock::time_point last_checkpoint;
+  };
+
+  /// Requires mutex_; engine construction happens under it — restarts
+  /// are rare and the only contenders are stats() and the poll thread.
+  void superviseLocked(DatasetCatalog::Tenant& tenant, TenantState& state,
+                       std::chrono::steady_clock::time_point now);
+  void loop();
+
+  DatasetCatalog& catalog_;
+  Options options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stop_ = false;
+  bool running_ = false;
+  std::map<std::string, TenantState> states_;
+  SupervisorStats stats_;
+  std::thread thread_;
+};
+
+}  // namespace rap::svc

@@ -92,6 +92,53 @@ util::Result<dataset::Schema> parseSchemaField(const JsonValue& value,
                   "expected one of \"builtin\", \"path\", \"attributes\"");
 }
 
+util::Status parseOverloadField(const JsonValue& value, TenantSpec& spec) {
+  if (!value.isObject()) return badField("overload", "expected an object");
+  for (const auto& [key, field] : value.object_value) {
+    const std::string path = "overload." + key;
+    if (key == "target_delay_seconds") {
+      const auto v = numberField(field, path);
+      RAP_RETURN_IF_ERROR(v.status());
+      if (v.value() < 0.0) return badField(path, "must be >= 0");
+      spec.service.jobs.overload.target_delay_seconds = v.value();
+    } else if (key == "interval_seconds") {
+      const auto v = numberField(field, path);
+      RAP_RETURN_IF_ERROR(v.status());
+      if (v.value() <= 0.0) return badField(path, "must be > 0");
+      spec.service.jobs.overload.interval_seconds = v.value();
+    } else {
+      return badField(path, "unknown field");
+    }
+  }
+  return util::Status::ok();
+}
+
+util::Status parseBreakerField(const JsonValue& value, TenantSpec& spec) {
+  if (!value.isObject()) return badField("breaker", "expected an object");
+  for (const auto& [key, field] : value.object_value) {
+    const std::string path = "breaker." + key;
+    if (key == "failure_threshold") {
+      const auto v = intField(field, path, 0, 1 << 20);
+      RAP_RETURN_IF_ERROR(v.status());
+      spec.service.breaker.failure_threshold =
+          static_cast<std::size_t>(v.value());
+    } else if (key == "open_seconds") {
+      const auto v = numberField(field, path);
+      RAP_RETURN_IF_ERROR(v.status());
+      if (v.value() <= 0.0) return badField(path, "must be > 0");
+      spec.service.breaker.open_seconds = v.value();
+    } else if (key == "half_open_probes") {
+      const auto v = intField(field, path, 1, 1 << 20);
+      RAP_RETURN_IF_ERROR(v.status());
+      spec.service.breaker.half_open_probes =
+          static_cast<std::size_t>(v.value());
+    } else {
+      return badField(path, "unknown field");
+    }
+  }
+  return util::Status::ok();
+}
+
 util::Status parseStreamingField(const JsonValue& value,
                                  TenantSpec& spec) {
   if (!value.isObject()) return badField("streaming", "expected an object");
@@ -155,6 +202,14 @@ util::Status parseStreamingField(const JsonValue& value,
       RAP_RETURN_IF_ERROR(v.status());
       if (v.value() < 0.0) return badField(path, "must be >= 0");
       spec.stream.lag_sample_interval_seconds = v.value();
+    } else if (key == "checkpoint_path") {
+      if (!field.isString()) return badField(path, "expected a string");
+      spec.checkpoint_path = field.string_value;
+    } else if (key == "checkpoint_interval_seconds") {
+      const auto v = numberField(field, path);
+      RAP_RETURN_IF_ERROR(v.status());
+      if (v.value() < 0.0) return badField(path, "must be >= 0");
+      spec.checkpoint_interval_seconds = v.value();
     } else {
       return badField(path, "unknown field");
     }
@@ -262,6 +317,15 @@ util::Result<TenantSpec> parseTenantSpec(const JsonValue& doc,
       RAP_RETURN_IF_ERROR(v.status());
       if (v.value() < 0.0) return badField(key, "must be >= 0");
       spec.service.cache.ttl_seconds = v.value();
+    } else if (key == "max_deadline_seconds") {
+      const auto v = numberField(field, key);
+      RAP_RETURN_IF_ERROR(v.status());
+      if (v.value() < 0.0) return badField(key, "must be >= 0");
+      spec.service.max_deadline_seconds = v.value();
+    } else if (key == "overload") {
+      RAP_RETURN_IF_ERROR(parseOverloadField(field, spec));
+    } else if (key == "breaker") {
+      RAP_RETURN_IF_ERROR(parseBreakerField(field, spec));
     } else if (key == "streaming") {
       RAP_RETURN_IF_ERROR(parseStreamingField(field, spec));
     } else {

@@ -11,13 +11,22 @@
 //     "k": 5, "t_cp": 0.0005, "t_conf": 0.8,   // RapMiner knobs
 //     "detect_threshold": 0.095,
 //     "sync_row_limit": 4096,                  // service routing
+//     "max_deadline_seconds": 0,               // per-request deadline cap
 //     "queue_capacity": 64, "workers": 2,      // job manager
 //     "max_active": 0, "retry_after_seconds": 1.0,
 //     "cache_capacity": 128, "cache_ttl_seconds": 300,
+//     "overload": {                            // CoDel-style shedding
+//       "target_delay_seconds": 0, "interval_seconds": 1.0
+//     },
+//     "breaker": {                             // circuit breaker
+//       "failure_threshold": 0, "open_seconds": 5.0, "half_open_probes": 1
+//     },
 //     "streaming": {                           // optional StreamEngine
 //       "shards": 4, "window_width": 60,
 //       "trigger": "on-alarm" | "anomalous-window" | "every-window",
-//       "top_k": 5, "localize_threads": 2, "allowed_lateness": 0
+//       "top_k": 5, "localize_threads": 2, "allowed_lateness": 0,
+//       "checkpoint_path": "",                 // supervisor restore source
+//       "checkpoint_interval_seconds": 0       // periodic checkpoint cadence
 //     }
 //   }
 //
@@ -58,6 +67,11 @@ struct TenantSpec {
   /// POST /api/v1/tenants/<name>/ingest.
   bool streaming = false;
   stream::StreamConfig stream;
+  /// RAPCHKPT-1 file the supervisor restores a crashed engine from (and,
+  /// with a positive interval, periodically checkpoints a healthy one
+  /// to).  Empty disables both — a crashed engine restarts fresh.
+  std::string checkpoint_path;
+  double checkpoint_interval_seconds = 0.0;
 };
 
 /// Valid tenant names: [A-Za-z0-9_-]{1,64} (they appear in URL paths

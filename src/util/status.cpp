@@ -20,6 +20,8 @@ const char* statusCodeName(StatusCode code) noexcept {
       return "INTERNAL";
     case StatusCode::kUnimplemented:
       return "UNIMPLEMENTED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }

@@ -24,6 +24,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kUnimplemented,
+  kUnavailable,
 };
 
 /// Human-readable name for a status code ("OK", "INVALID_ARGUMENT", ...).
@@ -55,6 +56,9 @@ class [[nodiscard]] Status {
   }
   static Status unimplemented(std::string msg) {
     return {StatusCode::kUnimplemented, std::move(msg)};
+  }
+  static Status unavailable(std::string msg) {
+    return {StatusCode::kUnavailable, std::move(msg)};
   }
 
   bool isOk() const noexcept { return code_ == StatusCode::kOk; }
