@@ -7,8 +7,14 @@
 // exactly the patterns of the serial reference before recording its
 // timing.  The sweep writes BENCH_parallel_search.json for CI trending.
 //
+// --reuse appends the workspace-reuse study: the same cases localized
+// cold (a fresh miner per call, the pre-pooling per-request shape) and
+// warm (one retained miner whose WorkspacePool keeps the search
+// buffers), asserting identical patterns and recording both timings in
+// a "reuse" section of the JSON.  On its own it runs a serial sweep.
+//
 //   $ ./fig9b_time_rapmd                                  # paper figure
-//   $ ./fig9b_time_rapmd --sweep-threads 1,2,4,8 \
+//   $ ./fig9b_time_rapmd --sweep-threads 1,2,4,8 --reuse \
 //       --sweep-cases 20 --json-out BENCH_parallel_search.json
 #include <algorithm>
 #include <fstream>
@@ -47,21 +53,63 @@ bool samePatterns(const std::vector<core::ScoredPattern>& a,
   return true;
 }
 
+/// Cold-vs-warm workspace study (--reuse): the same cases localized by
+/// a fresh serial miner per call (cold — every call pays the kernel
+/// transpose and aggregation-scratch allocations, the per-request shape
+/// the svc job path had before workspace pooling) and by one retained
+/// miner (warm — its WorkspacePool keeps the buffers, so steady-state
+/// calls are allocation-free).  The patterns must match exactly.
+struct ReuseStudy {
+  util::TimingStats cold;
+  util::TimingStats warm;
+  bool identical = true;
+};
+
+ReuseStudy runReuseStudy(const std::vector<gen::Case>& cases,
+                         const core::RapMinerConfig& base, int passes) {
+  core::RapMinerConfig config = base;
+  config.parallel.threads = 1;  // isolate allocation cost from fan-out
+  ReuseStudy study;
+  const core::RapMiner warm_miner(config);
+  // Warm pass: sizes the retained workspaces (and the caches, for both
+  // sides — the cold miner touches the same tables).
+  for (const auto& c : cases) warm_miner.localize(c.table, 0);
+  for (int pass = 0; pass < passes; ++pass) {
+    for (const auto& c : cases) {
+      util::WallTimer timer;
+      const core::RapMiner cold_miner(config);
+      const auto cold_result = cold_miner.localize(c.table, 0);
+      study.cold.add(timer.elapsedSeconds());
+      timer.reset();
+      const auto warm_result = warm_miner.localize(c.table, 0);
+      study.warm.add(timer.elapsedSeconds());
+      if (!samePatterns(cold_result.patterns, warm_result.patterns)) {
+        study.identical = false;
+      }
+    }
+  }
+  return study;
+}
+
 int runThreadSweep(const util::FlagParser& flags) {
   const std::uint64_t seed =
       static_cast<std::uint64_t>(flags.getInt("seed"));
   const auto num_cases = static_cast<std::int32_t>(flags.getInt("sweep-cases"));
   std::vector<std::int32_t> thread_counts;
-  for (const auto& field :
-       util::split(flags.getString("sweep-threads"), ',')) {
-    thread_counts.push_back(std::atoi(field.c_str()));
-    if (thread_counts.back() < 1) {
-      std::fprintf(stderr, "bad --sweep-threads entry '%s'\n", field.c_str());
-      return 2;
+  const std::string sweep_spec = flags.getString("sweep-threads");
+  if (!sweep_spec.empty()) {
+    for (const auto& field : util::split(sweep_spec, ',')) {
+      thread_counts.push_back(std::atoi(field.c_str()));
+      if (thread_counts.back() < 1) {
+        std::fprintf(stderr, "bad --sweep-threads entry '%s'\n",
+                     field.c_str());
+        return 2;
+      }
     }
   }
   if (thread_counts.empty() || thread_counts.front() != 1) {
-    // The serial run is the correctness + speedup baseline.
+    // The serial run is the correctness + speedup baseline.  (--reuse
+    // with no --sweep-threads lands here too: a serial-only sweep.)
     thread_counts.insert(thread_counts.begin(), 1);
   }
 
@@ -151,12 +199,57 @@ int runThreadSweep(const util::FlagParser& flags) {
     json.endObject();
   }
   json.endArray();
-  json.endObject();
 
   std::printf("%s\n", table.render().c_str());
   std::printf(
       "speedup is bounded by the machine: hardware_concurrency=%u\n",
       std::thread::hardware_concurrency());
+
+  if (flags.getBool("reuse")) {
+    const auto study = runReuseStudy(cases, base, /*passes=*/3);
+    if (!study.identical) {
+      std::fprintf(stderr,
+                   "FATAL: warm (workspace-reuse) patterns diverged from the "
+                   "cold per-call miner\n");
+      return 1;
+    }
+    const double warm_speedup = study.warm.mean() > 0.0
+                                    ? study.cold.mean() / study.warm.mean()
+                                    : 0.0;
+    util::TextTable reuse_table;
+    reuse_table.setHeader({"workspace", "mean", "p50", "p95", "max"});
+    const auto addTimingRow = [&reuse_table](const char* label,
+                                             const util::TimingStats& timing) {
+      reuse_table.addRow({label, util::TextTable::duration(timing.mean()),
+                          util::TextTable::duration(timing.percentile(0.5)),
+                          util::TextTable::duration(timing.percentile(0.95)),
+                          util::TextTable::duration(timing.max())});
+    };
+    addTimingRow("cold", study.cold);
+    addTimingRow("warm", study.warm);
+    std::printf("\nworkspace reuse (serial, %zu samples each): %.2fx\n%s\n",
+                study.cold.count(), warm_speedup,
+                reuse_table.render().c_str());
+
+    json.key("reuse");
+    json.beginObject();
+    json.key("passes");
+    json.value(static_cast<std::int64_t>(3));
+    json.key("cold_mean_seconds");
+    json.value(study.cold.mean());
+    json.key("cold_p95_seconds");
+    json.value(study.cold.percentile(0.95));
+    json.key("warm_mean_seconds");
+    json.value(study.warm.mean());
+    json.key("warm_p95_seconds");
+    json.value(study.warm.percentile(0.95));
+    json.key("warm_speedup");
+    json.value(warm_speedup);
+    json.key("patterns_match_cold");
+    json.value(true);
+    json.endObject();
+  }
+  json.endObject();
 
   const std::string out_path = flags.getString("json-out");
   if (!out_path.empty()) {
@@ -183,10 +276,14 @@ int main(int argc, char** argv) {
                  "workload seed");
     flags.addString("json-out", "BENCH_parallel_search.json",
                     "sweep result file ('' = don't write)");
+    flags.addBool("reuse", false,
+                  "append the cold-vs-warm workspace-reuse study to the "
+                  "sweep (alone it runs a serial-only sweep)");
   });
   util::setLogLevel(util::LogLevel::kWarn);
 
-  if (!obs_session.flags().getString("sweep-threads").empty()) {
+  if (!obs_session.flags().getString("sweep-threads").empty() ||
+      obs_session.flags().getBool("reuse")) {
     return runThreadSweep(obs_session.flags());
   }
 

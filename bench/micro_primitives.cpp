@@ -1,9 +1,25 @@
 // Micro-benchmarks of the primitives the localization algorithms are
 // built on: group-by aggregation, classification power, the AC search,
 // FP-growth, posting-list intersection and the density clustering.
+//
+// Besides the google-benchmark suite, the binary has a second mode:
+//
+//   micro_primitives --assert-zero-alloc
+//
+// runs the warmed-up workspace group-by over every cuboid of a sparse
+// table with the allocation probe armed and exits non-zero if the
+// steady state performed a single heap allocation — the CI bench-smoke
+// job's enforcement of the allocation-free hot-path contract
+// (docs/algorithms.md, "Workspace reuse").  The probe's replacement
+// operator new/delete are compiled into this binary only (see
+// src/util/alloc_probe.h).
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <vector>
 
 #include "alarm/monitor.h"
 #include "baselines/fp_rap.h"
@@ -11,11 +27,14 @@
 #include "io/json.h"
 #include "core/classification_power.h"
 #include "core/rapminer.h"
+#include "dataset/cuboid.h"
+#include "dataset/groupby_kernel.h"
 #include "dataset/index.h"
 #include "gen/rapmd.h"
 #include "mining/fpgrowth.h"
 #include "obs/metrics.h"
 #include "stats/histogram.h"
+#include "util/alloc_probe.h"
 #include "util/rng.h"
 
 namespace {
@@ -52,6 +71,92 @@ void BM_GroupByLayer1(benchmark::State& state) {
                           static_cast<std::int64_t>(table.size()));
 }
 BENCHMARK(BM_GroupByLayer1);
+
+/// Sparse workload for the workspace-kernel benches: the full cuboid
+/// has 64*64*16 = 65536 cells but only 512 distinct leaves carry rows
+/// (128x cells-to-groups) — the regime where the seed's dense full
+/// sweep spends almost all its time scanning empty cells and the
+/// touched-key pass wins.
+const dataset::LeafTable& sparseTable() {
+  static const dataset::LeafTable kTable = [] {
+    const dataset::Schema schema = dataset::Schema::synthetic({64, 64, 16});
+    util::Rng rng(4242);
+    std::set<std::uint64_t> leaves;
+    while (leaves.size() < 512) {
+      leaves.insert(static_cast<std::uint64_t>(rng.uniformInt(
+          0, static_cast<std::int64_t>(schema.leafCount()) - 1)));
+    }
+    const std::vector<std::uint64_t> picked(leaves.begin(), leaves.end());
+    dataset::LeafTable table(schema);
+    for (int r = 0; r < 2048; ++r) {
+      const bool anomalous = r % 5 == 0;
+      table.addRow(
+          dataset::leafFromIndex(schema, picked[static_cast<std::size_t>(r) %
+                                               picked.size()]),
+          anomalous ? 10.0 : 100.0, 100.0, anomalous);
+    }
+    return table;
+  }();
+  return kTable;
+}
+
+void BM_GroupByKernelDenseSweep(benchmark::State& state) {
+  // The seed baseline: zero-fill all 65536 cells, accumulate, sweep the
+  // whole dense array, allocate a fresh result vector.  O(cuboid_size)
+  // regardless of how few cells are live.
+  const auto& table = sparseTable();
+  const dataset::GroupByKernel kernel(table);
+  const auto mask = dataset::allAttributesMask(table.schema());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel.groupBy(mask));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(table.size()));
+}
+BENCHMARK(BM_GroupByKernelDenseSweep);
+
+void BM_GroupByKernelWorkspace(benchmark::State& state) {
+  // The allocation-free path: touched-key tracking + sort, resetting
+  // only the cells this cuboid dirtied, into retained buffers.
+  // O(rows + groups log groups) per call, zero steady-state allocation.
+  const auto& table = sparseTable();
+  dataset::GroupByKernel kernel(table);
+  dataset::GroupByScratch scratch;
+  std::vector<dataset::GroupAggregate> out;
+  const auto mask = dataset::allAttributesMask(table.schema());
+  kernel.groupByInto(mask, scratch, out);  // size the buffers once
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel.groupByInto(mask, scratch, out));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(table.size()));
+}
+BENCHMARK(BM_GroupByKernelWorkspace);
+
+void BM_GroupByKernelWorkspaceAllCuboids(benchmark::State& state) {
+  // One full Algorithm-2-shaped pass: every cuboid of the lattice
+  // through one retained workspace, the reuse pattern aggregateLayer
+  // actually drives (alternating masks is what stresses the
+  // touched-cell reset and the output-slot rewriting).
+  const auto& table = sparseTable();
+  dataset::GroupByKernel kernel(table);
+  dataset::GroupByScratch scratch;
+  std::vector<dataset::GroupAggregate> out;
+  const auto cuboids = dataset::allCuboidsByLayer(
+      dataset::allAttributesMask(table.schema()));
+  for (const auto mask : cuboids) kernel.groupByInto(mask, scratch, out);
+  for (auto _ : state) {
+    std::size_t groups = 0;
+    for (const auto mask : cuboids) {
+      groups += kernel.groupByInto(mask, scratch, out);
+    }
+    benchmark::DoNotOptimize(groups);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(table.size() * cuboids.size()));
+}
+BENCHMARK(BM_GroupByKernelWorkspaceAllCuboids);
 
 void BM_ClassificationPower(benchmark::State& state) {
   const auto& table = rapmdCase().table;
@@ -226,6 +331,62 @@ void BM_JsonResultSerialization(benchmark::State& state) {
 }
 BENCHMARK(BM_JsonResultSerialization);
 
+/// --assert-zero-alloc: drive the warmed-up workspace group-by over
+/// every cuboid with the allocation probe armed.  Exit 0 iff the steady
+/// state allocated nothing.
+int assertZeroAlloc() {
+  const auto& table = sparseTable();
+  dataset::GroupByKernel kernel(table);
+  dataset::GroupByScratch scratch;
+  std::vector<dataset::GroupAggregate> out;
+  const auto cuboids = dataset::allCuboidsByLayer(
+      dataset::allAttributesMask(table.schema()));
+  // Warm-up: two full passes size every buffer for its worst cuboid.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const auto mask : cuboids) kernel.groupByInto(mask, scratch, out);
+  }
+  util::allocProbeArm();
+  std::uint64_t groups = 0;
+  constexpr int kPasses = 8;
+  for (int pass = 0; pass < kPasses; ++pass) {
+    for (const auto mask : cuboids) {
+      groups += kernel.groupByInto(mask, scratch, out);
+    }
+  }
+  const std::uint64_t allocs = util::allocProbeDisarm();
+  std::printf(
+      "zero-alloc check: %llu heap allocations across %d steady-state "
+      "passes x %zu cuboids (%llu groups aggregated)\n",
+      static_cast<unsigned long long>(allocs), kPasses, cuboids.size(),
+      static_cast<unsigned long long>(groups));
+  if (allocs != 0) {
+    std::fprintf(stderr,
+                 "FAIL: the steady-state group-by hot path allocated\n");
+    return 1;
+  }
+  std::printf("OK: steady-state group-by is allocation-free\n");
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  bool assert_zero_alloc = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--assert-zero-alloc") == 0) {
+      assert_zero_alloc = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  if (assert_zero_alloc) return assertZeroAlloc();
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

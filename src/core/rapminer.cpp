@@ -35,6 +35,7 @@ RapMiner::RapMiner(RapMinerConfig config) : config_(config) {
     pool_ = std::make_shared<util::ThreadPool>(
         static_cast<std::size_t>(effective - 1));
   }
+  workspaces_ = std::make_shared<WorkspacePool>();
 }
 
 RapMiner::Builder& RapMiner::Builder::config(RapMinerConfig config) {
@@ -172,12 +173,18 @@ void publishLocalizeMetrics(const SearchStats& stats, double total_seconds) {
 
 LocalizationResult RapMiner::localize(const dataset::LeafTable& table,
                                       std::int32_t k) const {
-  return localize(table, k, pool_.get());
+  return localize(table, k, pool_.get(), /*workspaces=*/nullptr);
 }
 
 LocalizationResult RapMiner::localize(const dataset::LeafTable& table,
                                       std::int32_t k,
                                       util::ThreadPool* pool) const {
+  return localize(table, k, pool, /*workspaces=*/nullptr);
+}
+
+LocalizationResult RapMiner::localize(const dataset::LeafTable& table,
+                                      std::int32_t k, util::ThreadPool* pool,
+                                      WorkspacePool* workspaces) const {
   RAP_TRACE_SPAN("localize",
                  {{"rows", static_cast<std::int64_t>(table.size())},
                   {"k", k}});
@@ -222,12 +229,17 @@ LocalizationResult RapMiner::localize(const dataset::LeafTable& table,
     RAP_TRACE_SPAN("localize/search",
                    {{"kept_attributes",
                      static_cast<std::int64_t>(kept.size())}});
+    // Check a workspace out of the retained pool (the miner's own, or
+    // the caller's shared one) so repeated localizations of same-shaped
+    // tables reuse the kernel transpose and aggregation scratch.
+    WorkspacePool::Lease lease =
+        (workspaces != nullptr ? *workspaces : *workspaces_).lease();
     if (pool != nullptr && pool->threadCount() > 0) {
-      result.patterns = acGuidedSearchParallel(table, kept, config_.search,
-                                               *pool, result.stats);
+      result.patterns = acGuidedSearchParallel(
+          table, kept, config_.search, *pool, lease.get(), result.stats);
     } else {
-      result.patterns =
-          acGuidedSearch(table, kept, config_.search, result.stats);
+      result.patterns = acGuidedSearch(table, kept, config_.search,
+                                       lease.get(), result.stats);
     }
   }
   result.stats.seconds_search = stage_timer.elapsedSeconds();

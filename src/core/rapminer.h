@@ -140,11 +140,30 @@ class RapMiner {
   LocalizationResult localize(const dataset::LeafTable& table, std::int32_t k,
                               util::ThreadPool* pool) const;
 
+  /// Same, aggregating through workspaces checked out of `workspaces`
+  /// instead of the miner's own retained pool — callers that rebuild a
+  /// miner per request (svc::JobManager) share one WorkspacePool across
+  /// those miners so the serving hot path still reuses the kernel
+  /// transpose and scratch capacity.  nullptr uses the miner's pool.
+  LocalizationResult localize(const dataset::LeafTable& table, std::int32_t k,
+                              util::ThreadPool* pool,
+                              WorkspacePool* workspaces) const;
+
+  /// The miner's own fan-out pool (nullptr when parallel.threads <= 1),
+  /// for callers of the WorkspacePool overload that want the config's
+  /// parallelism rather than an external pool.
+  util::ThreadPool* searchPool() const noexcept { return pool_.get(); }
+
  private:
   RapMinerConfig config_;
   /// Owned fan-out workers (parallel.threads - 1 of them; the calling
   /// thread is the last worker).  Shared so RapMiner stays copyable.
   std::shared_ptr<util::ThreadPool> pool_;
+  /// Retained search workspaces: repeated localize() calls (and
+  /// concurrent ones — each checks out its own workspace) reuse the
+  /// transposed columns and aggregation scratch instead of reallocating
+  /// per call.  Shared so RapMiner stays copyable.
+  std::shared_ptr<WorkspacePool> workspaces_;
 };
 
 /// Eq. 3: RAPScore = Confidence / sqrt(Layer).

@@ -6,9 +6,9 @@
 #include <condition_variable>
 #include <mutex>
 #include <thread>
+#include <utility>
 
 #include "dataset/cuboid.h"
-#include "dataset/groupby_kernel.h"
 #include "fault/fault.h"
 #include "obs/trace.h"
 #include "util/timer.h"
@@ -21,11 +21,6 @@ using dataset::GroupAggregate;
 using dataset::GroupByKernel;
 using dataset::LeafTable;
 
-namespace {
-
-/// Visit order of cuboids within one layer: descending rank-weight of the
-/// member attributes, where the highest-CP attribute (first in
-/// kept_attributes) weighs most.  Ties break on the mask for determinism.
 std::vector<CuboidMask> orderedCuboids(
     const std::vector<dataset::AttrId>& kept, std::int32_t layer,
     CuboidOrder order) {
@@ -36,54 +31,70 @@ std::vector<CuboidMask> orderedCuboids(
   if (order == CuboidOrder::kNumeric) return cuboids;
 
   // Weight = sum over member attributes of 2^(n - rank), so earlier
-  // (higher-CP) attributes dominate the ordering.
+  // (higher-CP) attributes dominate the ordering.  The weights are
+  // computed once per cuboid as integer bit-sums (n <= 32 member
+  // attributes keeps every term, and their sum, exact in 64 bits — the
+  // same values the former std::pow(2.0, n - rank) comparator produced,
+  // evaluated O(C·log C) fewer times).
   const auto n = static_cast<std::int32_t>(kept.size());
-  auto weight = [&](CuboidMask mask) {
-    double w = 0.0;
+  std::vector<std::pair<std::uint64_t, CuboidMask>> keyed;
+  keyed.reserve(cuboids.size());
+  for (const auto mask : cuboids) {
+    std::uint64_t weight = 0;
     for (std::int32_t rank = 0; rank < n; ++rank) {
       if ((mask & (1u << kept[static_cast<std::size_t>(rank)])) != 0) {
-        w += std::pow(2.0, n - rank);
+        weight += std::uint64_t{1} << (n - rank);
       }
     }
-    return w;
-  };
-  std::stable_sort(cuboids.begin(), cuboids.end(),
-                   [&](CuboidMask a, CuboidMask b) {
-                     const double wa = weight(a);
-                     const double wb = weight(b);
-                     return wa != wb ? wa > wb : a < b;
-                   });
+    keyed.emplace_back(weight, mask);
+  }
+  // (weight desc, mask asc) is a total order, so plain sort is stable
+  // enough; the mask tiebreak pins equal-weight cuboids exactly like
+  // the former stable_sort did.
+  std::sort(keyed.begin(), keyed.end(),
+            [](const auto& a, const auto& b) {
+              return a.first != b.first ? a.first > b.first
+                                        : a.second < b.second;
+            });
+  for (std::size_t i = 0; i < keyed.size(); ++i) cuboids[i] = keyed[i].second;
   return cuboids;
 }
+
+namespace {
 
 /// Aggregates every cuboid of one layer concurrently: `pool` workers and
 /// the calling thread pull cuboid indices off a shared cursor (balanced
 /// even when cuboid sizes differ wildly) and write disjoint slots of
-/// `groups`.  Returns only once every helper task has exited, so the
-/// borrowed stack state cannot dangle even if the caller early-stops the
-/// layer right after.
-void aggregateLayer(const GroupByKernel& kernel,
-                    const std::vector<CuboidMask>& cuboids,
-                    util::ThreadPool& pool,
-                    std::vector<std::vector<GroupAggregate>>& groups) {
+/// `ws.layer_groups` / `ws.layer_counts` through per-worker scratches.
+/// Returns the number of pool helpers actually enlisted (the layer used
+/// helpers + 1 threads), and only once every helper task has exited, so
+/// the borrowed stack state cannot dangle even if the caller early-stops
+/// the layer right after.
+std::size_t aggregateLayer(const std::vector<CuboidMask>& cuboids,
+                           util::ThreadPool& pool, SearchWorkspace& ws) {
   const std::size_t n = cuboids.size();
-  groups.assign(n, {});
+  if (ws.layer_groups.size() < n) ws.layer_groups.resize(n);
+  if (ws.layer_counts.size() < n) ws.layer_counts.resize(n);
+  const std::size_t helpers = std::min(pool.threadCount(), n > 0 ? n - 1 : 0);
+  if (ws.scratch.size() < helpers + 1) ws.scratch.resize(helpers + 1);
+
   std::atomic<std::size_t> cursor{0};
-  const auto work = [&kernel, &cuboids, &groups, &cursor, n] {
+  const auto work = [&cuboids, &cursor, &ws, n](std::size_t worker) {
+    dataset::GroupByScratch& scratch = ws.scratch[worker];
     for (;;) {
       const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
-      groups[i] = kernel.groupBy(cuboids[i]);
+      ws.layer_counts[i] =
+          ws.kernel.groupByInto(cuboids[i], scratch, ws.layer_groups[i]);
     }
   };
 
   std::mutex mutex;
   std::condition_variable cv;
   std::size_t exited = 0;
-  const std::size_t helpers = std::min(pool.threadCount(), n > 0 ? n - 1 : 0);
   for (std::size_t h = 0; h < helpers; ++h) {
-    pool.submit([&work, &mutex, &cv, &exited] {
-      work();
+    pool.submit([&work, &mutex, &cv, &exited, h] {
+      work(h + 1);
       // Notify while holding the lock: the waiter owns the cv's storage
       // (caller stack) and may destroy it the moment it observes the
       // final count, so the notify must complete before the count is
@@ -93,9 +104,10 @@ void aggregateLayer(const GroupByKernel& kernel,
       cv.notify_all();
     });
   }
-  work();
+  work(0);
   std::unique_lock<std::mutex> lock(mutex);
   cv.wait(lock, [&exited, helpers] { return exited == helpers; });
+  return helpers;
 }
 
 /// Shared Algorithm 2 driver.  The two schedules differ only in how a
@@ -106,10 +118,12 @@ void aggregateLayer(const GroupByKernel& kernel,
 /// order.  Everything the result depends on — acceptance, pruning,
 /// early-stop, counters — happens in the single-threaded merge below, in
 /// the exact order of the serial reference, which is what makes the two
-/// schedules bit-identical.
+/// schedules bit-identical.  All aggregation memory lives in `ws`, so a
+/// retained workspace makes the steady-state hot path allocation-free.
 std::vector<ScoredPattern> searchImpl(
     const LeafTable& table, const std::vector<dataset::AttrId>& kept_attributes,
-    const SearchConfig& config, util::ThreadPool* pool, SearchStats& stats) {
+    const SearchConfig& config, util::ThreadPool* pool, SearchWorkspace& ws,
+    SearchStats& stats) {
   // Deadline bookkeeping: one timer read per cuboid, and only when a
   // deadline is configured — the default (0 = none) costs one branch.
   const util::WallTimer search_timer;
@@ -119,12 +133,15 @@ std::vector<ScoredPattern> searchImpl(
            search_timer.elapsedSeconds() > config.deadline_seconds;
   };
 
-  const GroupByKernel kernel(table);
+  ws.kernel.rebind(table);
+  if (ws.scratch.empty()) ws.scratch.resize(1);
   std::vector<ScoredPattern> candidates;
   std::vector<AttributeCombination> candidate_acs;  // for pruning
 
-  stats.search_threads =
-      pool == nullptr ? 1 : static_cast<std::int32_t>(pool->threadCount()) + 1;
+  // Concurrency actually used: 1 until some layer enlists pool helpers;
+  // aggregateLayer reports how many it took (a layer with c cuboids
+  // never uses more than c threads, so small tenants report honestly).
+  stats.search_threads = 1;
 
   // Early-stop bookkeeping: the anomalous rows not yet covered by any
   // accepted candidate.  Each acceptance filters the remainder, so the
@@ -178,11 +195,13 @@ std::vector<ScoredPattern> searchImpl(
     // Parallel schedule: aggregate the whole layer up front.  Wasted
     // only when the early stop fires mid-layer (the merge then discards
     // the slots past the stop point).
-    std::vector<std::vector<GroupAggregate>> prefetched;
     const bool parallel = pool != nullptr && cuboids.size() > 1;
     if (parallel) {
       const util::WallTimer aggregate_timer;
-      aggregateLayer(kernel, cuboids, *pool, prefetched);
+      const std::size_t helpers = aggregateLayer(cuboids, *pool, ws);
+      stats.search_threads =
+          std::max(stats.search_threads,
+                   static_cast<std::int32_t>(helpers) + 1);
       layer_stats.seconds_aggregate = aggregate_timer.elapsedSeconds();
     }
 
@@ -197,15 +216,20 @@ std::vector<ScoredPattern> searchImpl(
         return candidates;
       }
       layer_stats.cuboids_visited += 1;
-      std::vector<GroupAggregate> groups;
+      std::size_t group_count = 0;
+      const std::vector<GroupAggregate>* groups = nullptr;
       if (parallel) {
-        groups = std::move(prefetched[i]);
+        groups = &ws.layer_groups[i];
+        group_count = ws.layer_counts[i];
       } else {
         const util::WallTimer aggregate_timer;
-        groups = kernel.groupBy(cuboids[i]);
+        group_count =
+            ws.kernel.groupByInto(cuboids[i], ws.scratch[0], ws.serial_groups);
+        groups = &ws.serial_groups;
         layer_stats.seconds_aggregate += aggregate_timer.elapsedSeconds();
       }
-      for (const auto& group : groups) {
+      for (std::size_t gi = 0; gi < group_count; ++gi) {
+        const GroupAggregate& group = (*groups)[gi];
         // Criteria 3: skip the descendants of accepted candidates.  An
         // accepted candidate always sits at a strictly lower layer, so
         // the ancestor test is exact.
@@ -260,16 +284,57 @@ std::int32_t resolveThreads(std::int32_t threads) noexcept {
                          std::thread::hardware_concurrency()));
 }
 
+std::unique_ptr<SearchWorkspace> WorkspacePool::acquire() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!free_.empty()) {
+      auto ws = std::move(free_.back());
+      free_.pop_back();
+      return ws;
+    }
+  }
+  return std::make_unique<SearchWorkspace>();
+}
+
+void WorkspacePool::release(std::unique_ptr<SearchWorkspace> ws) {
+  if (ws == nullptr) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (free_.size() < kMaxRetained) free_.push_back(std::move(ws));
+}
+
+std::size_t WorkspacePool::retained() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return free_.size();
+}
+
 std::vector<ScoredPattern> acGuidedSearch(
     const LeafTable& table, const std::vector<dataset::AttrId>& kept_attributes,
     const SearchConfig& config, SearchStats& stats) {
-  return searchImpl(table, kept_attributes, config, /*pool=*/nullptr, stats);
+  SearchWorkspace workspace;
+  return searchImpl(table, kept_attributes, config, /*pool=*/nullptr,
+                    workspace, stats);
+}
+
+std::vector<ScoredPattern> acGuidedSearch(
+    const LeafTable& table, const std::vector<dataset::AttrId>& kept_attributes,
+    const SearchConfig& config, SearchWorkspace& workspace,
+    SearchStats& stats) {
+  return searchImpl(table, kept_attributes, config, /*pool=*/nullptr,
+                    workspace, stats);
 }
 
 std::vector<ScoredPattern> acGuidedSearchParallel(
     const LeafTable& table, const std::vector<dataset::AttrId>& kept_attributes,
     const SearchConfig& config, util::ThreadPool& pool, SearchStats& stats) {
-  return searchImpl(table, kept_attributes, config, &pool, stats);
+  SearchWorkspace workspace;
+  return searchImpl(table, kept_attributes, config, &pool, workspace, stats);
+}
+
+std::vector<ScoredPattern> acGuidedSearchParallel(
+    const LeafTable& table, const std::vector<dataset::AttrId>& kept_attributes,
+    const SearchConfig& config, util::ThreadPool& pool,
+    SearchWorkspace& workspace, SearchStats& stats) {
+  return searchImpl(table, kept_attributes, config, &pool, workspace, stats);
 }
 
 }  // namespace rap::core

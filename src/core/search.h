@@ -11,9 +11,10 @@
 // soon as the candidates cover every anomalous leaf.
 //
 // Support counts come from dataset::GroupByKernel: per-attribute element
-// code columns are transposed once per search, and each cuboid is then
-// aggregated in a single dense mixed-radix pass instead of per-row
-// AttributeCombination probing.
+// code columns are transposed once per search (reusing the capacity of a
+// retained SearchWorkspace across searches), and each cuboid is then
+// aggregated in a single sparse mixed-radix pass — touched cells only —
+// instead of per-row AttributeCombination probing.
 //
 // Two schedules produce bit-identical results:
 //   * acGuidedSearch        — the serial reference implementation;
@@ -29,9 +30,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/types.h"
+#include "dataset/groupby_kernel.h"
 #include "dataset/leaf_table.h"
 #include "util/thread_pool.h"
 
@@ -73,6 +77,85 @@ struct ParallelConfig {
 /// level >= 1 (0 becomes the hardware concurrency).
 std::int32_t resolveThreads(std::int32_t threads) noexcept;
 
+/// Visit order of cuboids within one layer: descending rank-weight of
+/// the member attributes, where the highest-CP attribute (first in
+/// `kept`) weighs most; ties break on the mask for determinism.
+/// Weights are integer bit-sums (2^(n - rank) per member), computed
+/// once per cuboid — exposed so tests can pin the order against the
+/// O(C·log C·n) floating-point reference it replaced.
+std::vector<dataset::CuboidMask> orderedCuboids(
+    const std::vector<dataset::AttrId>& kept, std::int32_t layer,
+    CuboidOrder order);
+
+/// Reusable memory plane for one Algorithm-2 search: the transposed
+/// group-by kernel, one GroupByScratch per fan-out worker (slot 0 is
+/// the calling thread) and the per-cuboid output buffers of the layer
+/// prefetch.  Every buffer grows to its workload's high-water mark and
+/// is then reused, so repeated searches over same-shaped tables perform
+/// no steady-state heap allocation in the aggregation hot path.  A
+/// workspace serves one search at a time; the members are implementation
+/// state — treat them as opaque outside src/core and tests.
+struct SearchWorkspace {
+  SearchWorkspace() = default;
+  SearchWorkspace(const SearchWorkspace&) = delete;
+  SearchWorkspace& operator=(const SearchWorkspace&) = delete;
+
+  dataset::GroupByKernel kernel;
+  /// Per-worker scratches; sized to the widest fan-out seen so far.
+  std::vector<dataset::GroupByScratch> scratch;
+  /// Parallel schedule: slot i holds cuboid i's groups for the layer
+  /// being merged (grow-only; stale entries past layer_counts[i] keep
+  /// their heap buffers alive for reuse).
+  std::vector<std::vector<dataset::GroupAggregate>> layer_groups;
+  std::vector<std::size_t> layer_counts;
+  /// Serial schedule: the single reused group buffer.
+  std::vector<dataset::GroupAggregate> serial_groups;
+};
+
+/// Thread-safe checkout/return pool of SearchWorkspaces.  RapMiner owns
+/// one across localize() calls (and svc::JobManager shares one across
+/// per-request miners), so the steady-state serving path reuses the
+/// kernel transpose and scratch capacity instead of reallocating them
+/// per localization.  Concurrent localizations each check out their own
+/// workspace; returned workspaces are retained up to a small cap.
+class WorkspacePool {
+ public:
+  /// RAII checkout: holds a workspace for one search and returns it to
+  /// the pool on destruction (workspaces abandoned by an exception are
+  /// simply dropped — the pool re-creates on the next acquire).
+  class Lease {
+   public:
+    Lease(WorkspacePool& pool, std::unique_ptr<SearchWorkspace> ws)
+        : pool_(&pool), ws_(std::move(ws)) {}
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() {
+      if (ws_ != nullptr) pool_->release(std::move(ws_));
+    }
+    SearchWorkspace& get() noexcept { return *ws_; }
+
+   private:
+    WorkspacePool* pool_;
+    std::unique_ptr<SearchWorkspace> ws_;
+  };
+
+  Lease lease() { return Lease(*this, acquire()); }
+
+  std::unique_ptr<SearchWorkspace> acquire();
+  void release(std::unique_ptr<SearchWorkspace> ws);
+
+  /// Workspaces currently retained (idle), for tests.
+  std::size_t retained() const;
+
+ private:
+  /// Retention cap: bounds idle memory at (peak concurrency seen) up to
+  /// this many workspaces; anything beyond is freed on release.
+  static constexpr std::size_t kMaxRetained = 16;
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<SearchWorkspace>> free_;
+};
+
 /// Runs Algorithm 2 over the cuboids formed by `kept_attributes` (the
 /// output of Algorithm 1; its order determines cuboid visit order).
 /// Returns all candidate RAPs with confidence and layer filled in; the
@@ -83,6 +166,17 @@ std::vector<ScoredPattern> acGuidedSearch(
     const std::vector<dataset::AttrId>& kept_attributes,
     const SearchConfig& config, SearchStats& stats);
 
+/// Same, but aggregating through a caller-retained workspace: the
+/// kernel transpose reuses the workspace's column capacity and every
+/// per-cuboid buffer is recycled, so repeated searches over same-shaped
+/// tables allocate nothing in the hot path.  Results are bit-identical
+/// to the workspace-free overload.
+std::vector<ScoredPattern> acGuidedSearch(
+    const dataset::LeafTable& table,
+    const std::vector<dataset::AttrId>& kept_attributes,
+    const SearchConfig& config, SearchWorkspace& workspace,
+    SearchStats& stats);
+
 /// Same search, same results bit for bit, but each layer's cuboid
 /// aggregations fan out across `pool` (the calling thread participates
 /// too).  The pool must not be used for tasks that block on this search.
@@ -92,5 +186,14 @@ std::vector<ScoredPattern> acGuidedSearchParallel(
     const dataset::LeafTable& table,
     const std::vector<dataset::AttrId>& kept_attributes,
     const SearchConfig& config, util::ThreadPool& pool, SearchStats& stats);
+
+/// Parallel schedule through a caller-retained workspace (per-worker
+/// scratches live in the workspace; the kernel is shared read-only by
+/// all fan-out workers).
+std::vector<ScoredPattern> acGuidedSearchParallel(
+    const dataset::LeafTable& table,
+    const std::vector<dataset::AttrId>& kept_attributes,
+    const SearchConfig& config, util::ThreadPool& pool,
+    SearchWorkspace& workspace, SearchStats& stats);
 
 }  // namespace rap::core

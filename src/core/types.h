@@ -52,8 +52,11 @@ struct SearchStats {
   /// candidates returned are exactly those accepted before the cut, so
   /// a degraded result is still a valid (if incomplete) localization.
   std::string degraded_reason;
-  /// Concurrency the search ran at (1 = serial reference schedule;
-  /// N > 1 = N - 1 pool workers plus the calling thread).
+  /// Concurrency the search ACTUALLY used: 1 + the most pool helpers
+  /// any layer enlisted (a layer with c cuboids never uses more than c
+  /// threads).  1 = every layer ran serially — including trivial
+  /// tables, single-cuboid layers and the serial reference schedule —
+  /// regardless of how many workers the pool had idle.
   std::int32_t search_threads = 1;
   /// Per-layer breakdown of the totals above, in visit order; the last
   /// entry is partial when the search early-stopped inside it.

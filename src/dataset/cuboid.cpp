@@ -19,8 +19,12 @@ std::vector<AttrId> cuboidAttributes(CuboidMask mask) {
 }
 
 std::uint64_t cuboidSize(const Schema& schema, CuboidMask mask) {
+  // Walks the mask bits directly instead of materializing the attribute
+  // vector: this sits on the per-cuboid hot path (groupByInto calls it
+  // every invocation) and must stay allocation-free.
   std::uint64_t product = 1;
-  for (const AttrId attr : cuboidAttributes(mask)) {
+  for (AttrId attr = 0; attr < 32; ++attr) {
+    if ((mask & (1u << attr)) == 0) continue;
     RAP_CHECK(attr < schema.attributeCount());
     product *= static_cast<std::uint64_t>(schema.cardinality(attr));
   }

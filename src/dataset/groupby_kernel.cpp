@@ -1,5 +1,7 @@
 #include "dataset/groupby_kernel.h"
 
+#include <algorithm>
+
 namespace rap::dataset {
 
 namespace {
@@ -10,7 +12,10 @@ constexpr std::uint64_t kDenseLimit = 1u << 22;
 
 }  // namespace
 
-GroupByKernel::GroupByKernel(const LeafTable& table) : table_(&table) {
+GroupByKernel::GroupByKernel(const LeafTable& table) { rebind(table); }
+
+void GroupByKernel::rebind(const LeafTable& table) {
+  table_ = &table;
   const Schema& schema = table.schema();
   const std::size_t n = table.size();
   columns_.resize(static_cast<std::size_t>(schema.attributeCount()));
@@ -31,6 +36,7 @@ GroupByKernel::GroupByKernel(const LeafTable& table) : table_(&table) {
 }
 
 std::vector<GroupAggregate> GroupByKernel::groupBy(CuboidMask mask) const {
+  RAP_CHECK(table_ != nullptr);
   const Schema& schema = table_->schema();
   const std::uint64_t size = cuboidSize(schema, mask);
   if (size > kDenseLimit) return table_->groupBy(mask);
@@ -58,15 +64,9 @@ std::vector<GroupAggregate> GroupByKernel::groupBy(CuboidMask mask) const {
     }
   }
 
-  struct Cell {
-    std::uint32_t total = 0;
-    std::uint32_t anomalous = 0;
-    double v_sum = 0.0;
-    double f_sum = 0.0;
-  };
-  std::vector<Cell> dense(static_cast<std::size_t>(size));
+  std::vector<GroupCell> dense(static_cast<std::size_t>(size));
   for (std::size_t r = 0; r < n; ++r) {
-    Cell& cell = dense[static_cast<std::size_t>(keys[r])];
+    GroupCell& cell = dense[static_cast<std::size_t>(keys[r])];
     cell.total += 1;
     cell.anomalous += anomalous_[r];
     cell.v_sum += v_[r];
@@ -75,7 +75,7 @@ std::vector<GroupAggregate> GroupByKernel::groupBy(CuboidMask mask) const {
 
   std::vector<GroupAggregate> out;
   for (std::uint64_t key = 0; key < size; ++key) {
-    const Cell& cell = dense[static_cast<std::size_t>(key)];
+    const GroupCell& cell = dense[static_cast<std::size_t>(key)];
     if (cell.total == 0) continue;
     GroupAggregate g;
     g.total = cell.total;
@@ -95,7 +95,111 @@ std::vector<GroupAggregate> GroupByKernel::groupBy(CuboidMask mask) const {
   return out;
 }
 
+std::size_t GroupByKernel::groupByInto(CuboidMask mask, GroupByScratch& scratch,
+                                       std::vector<GroupAggregate>& out) const {
+  RAP_CHECK(table_ != nullptr);
+  const Schema& schema = table_->schema();
+  const std::uint64_t size = cuboidSize(schema, mask);
+  if (size > kDenseLimit) {
+    // Sort-and-aggregate fallback for astronomically large cuboids; the
+    // wholesale assignment (re)allocates, which is fine — such cuboids
+    // are outside the dense plane's memory budget by definition.
+    out = table_->groupBy(mask);
+    return out.size();
+  }
+
+  // Member attributes + mixed-radix strides, into reused buffers;
+  // matches LeafTable::projectionKey (first member varies slowest).
+  scratch.attrs.clear();
+  for (AttrId a = 0; a < schema.attributeCount(); ++a) {
+    if ((mask & (1u << a)) != 0) scratch.attrs.push_back(a);
+  }
+  const std::size_t m = scratch.attrs.size();
+  scratch.strides.resize(m);
+  std::uint64_t stride = 1;
+  for (std::size_t i = m; i-- > 0;) {
+    scratch.strides[i] = stride;
+    stride *= static_cast<std::uint64_t>(schema.cardinality(scratch.attrs[i]));
+  }
+
+  // Column sweeps; the first pass assigns instead of accumulating, so
+  // the keys buffer never needs a zero-fill of its own.
+  const std::size_t n = rowCount();
+  scratch.keys.resize(n);
+  std::uint64_t* keys = scratch.keys.data();
+  if (m == 0) std::fill(keys, keys + n, 0);
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::uint32_t* column =
+        columns_[static_cast<std::size_t>(scratch.attrs[i])].data();
+    const std::uint64_t s = scratch.strides[i];
+    if (i == 0) {
+      for (std::size_t r = 0; r < n; ++r) {
+        keys[r] = s * static_cast<std::uint64_t>(column[r]);
+      }
+    } else {
+      for (std::size_t r = 0; r < n; ++r) {
+        keys[r] += s * static_cast<std::uint64_t>(column[r]);
+      }
+    }
+  }
+
+  // The dense array is zero-filled only when it grows; between calls
+  // every cell is zero (restored below), so the scatter can detect the
+  // first touch of a cell by total == 0 and record it in the touched
+  // list instead of sweeping all `size` cells afterwards.
+  if (scratch.dense.size() < size) {
+    scratch.dense.resize(static_cast<std::size_t>(size));
+  }
+  scratch.touched.clear();
+  for (std::size_t r = 0; r < n; ++r) {
+    GroupCell& cell = scratch.dense[static_cast<std::size_t>(keys[r])];
+    if (cell.total == 0) scratch.touched.push_back(keys[r]);
+    cell.total += 1;
+    cell.anomalous += anomalous_[r];
+    cell.v_sum += v_[r];
+    cell.f_sum += f_[r];
+  }
+
+  // Ascending-key output order — exactly the order the one-shot dense
+  // sweep produces; the per-cell sums were accumulated in row order, so
+  // the floats are bit-identical too.
+  std::sort(scratch.touched.begin(), scratch.touched.end());
+
+  const std::size_t groups = scratch.touched.size();
+  if (out.size() < groups) out.resize(groups);
+  for (std::size_t j = 0; j < groups; ++j) {
+    const std::uint64_t key = scratch.touched[j];
+    GroupCell& cell = scratch.dense[static_cast<std::size_t>(key)];
+    GroupAggregate& g = out[j];
+    g.total = cell.total;
+    g.anomalous = cell.anomalous;
+    g.v_sum = cell.v_sum;
+    g.f_sum = cell.f_sum;
+    // Decode the mixed-radix key, reusing the slot storage of whatever
+    // combination this output element held before (same-width acs are
+    // rewritten in place; only a schema change reallocates).
+    if (g.ac.attributeCount() != schema.attributeCount()) {
+      g.ac = AttributeCombination(schema.attributeCount());
+    }
+    std::uint64_t rest = key;
+    std::size_t i = 0;
+    for (AttrId a = 0; a < schema.attributeCount(); ++a) {
+      if (i < m && scratch.attrs[i] == a) {
+        g.ac.setSlot(a, static_cast<ElemId>(rest / scratch.strides[i]));
+        rest %= scratch.strides[i];
+        ++i;
+      } else {
+        g.ac.setSlot(a, kWildcard);
+      }
+    }
+    cell = GroupCell{};  // restore the all-zero invariant, touched cells only
+  }
+  scratch.touched.clear();
+  return groups;
+}
+
 GroupAggregate GroupByKernel::aggregateFor(const AttributeCombination& ac) const {
+  RAP_CHECK(table_ != nullptr);
   GroupAggregate g;
   g.ac = ac;
   const std::size_t n = rowCount();

@@ -181,13 +181,11 @@ HttpRequest::QueryIntResult HttpRequest::queryIntStrict(
     const std::string& key, std::int64_t* out) const {
   const auto raw = queryParam(key);
   if (!raw.has_value()) return QueryIntResult::kAbsent;
-  errno = 0;
-  char* tail = nullptr;
-  const long long v = std::strtoll(raw->c_str(), &tail, 10);
-  if (errno != 0 || tail == raw->c_str() || *tail != '\0') {
-    return QueryIntResult::kInvalid;
-  }
-  *out = static_cast<std::int64_t>(v);
+  // One strict parser for every query-int path: raw strtoll here used
+  // to accept the '+5' and ' 5' spellings parseParams rejected.
+  const auto parsed = parseQueryInt(*raw);
+  if (!parsed.isOk()) return QueryIntResult::kInvalid;
+  *out = parsed.value();
   return QueryIntResult::kValid;
 }
 

@@ -25,6 +25,28 @@ util::Status rangeError(const ParamSpec& spec, const std::string& raw) {
 
 }  // namespace
 
+util::Result<std::int64_t> parseQueryInt(std::string_view raw) {
+  // Shape check first: strtoll is lenient (skips leading whitespace,
+  // accepts '+'), so the strictness lives here, in one place.
+  const std::size_t digits_from = raw.size() > 0 && raw[0] == '-' ? 1 : 0;
+  if (raw.size() == digits_from ||
+      raw.find_first_not_of("0123456789", digits_from) !=
+          std::string_view::npos) {
+    return util::Status::invalidArgument(
+        util::strFormat("'%.*s' is not an integer",
+                        static_cast<int>(raw.size()), raw.data()));
+  }
+  errno = 0;
+  const std::string text(raw);
+  char* tail = nullptr;
+  const long long v = std::strtoll(text.c_str(), &tail, 10);
+  if (errno != 0 || tail != text.c_str() + text.size()) {
+    return util::Status::invalidArgument(
+        util::strFormat("'%s' is out of integer range", text.c_str()));
+  }
+  return static_cast<std::int64_t>(v);
+}
+
 util::Result<ParsedParams> parseParams(std::string_view query,
                                        const std::vector<ParamSpec>& specs) {
   ParsedParams out;
@@ -51,16 +73,13 @@ util::Result<ParsedParams> parseParams(std::string_view query,
     }
     switch (spec->kind) {
       case ParamSpec::Kind::kInt: {
-        errno = 0;
-        char* tail = nullptr;
-        const long long v = std::strtoll(raw.c_str(), &tail, 10);
-        if (raw.empty() || errno != 0 || tail == raw.c_str() ||
-            *tail != '\0') {
+        const auto parsed = parseQueryInt(raw);
+        if (!parsed.isOk()) {
           return util::Status::invalidArgument(util::strFormat(
               "bad %s parameter: '%s' is not an integer", key.c_str(),
               raw.c_str()));
         }
-        const auto value = static_cast<std::int64_t>(v);
+        const std::int64_t value = parsed.value();
         if (static_cast<double>(value) < spec->min_value ||
             static_cast<double>(value) > spec->max_value) {
           return rangeError(*spec, raw);

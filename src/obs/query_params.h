@@ -72,6 +72,14 @@ class ParsedParams {
   std::map<std::string, std::string> strings_;
 };
 
+/// Strict base-10 integer parse shared by every query-parameter path
+/// (parseParams' kInt kind and HttpRequest::queryIntStrict).  Accepts
+/// exactly an optional '-' followed by digits: the leading whitespace
+/// and '+' that strtoll silently swallows ("?limit= 5", "?limit=+5")
+/// are rejected, as the docs promise strict integers.  Out-of-range
+/// values (beyond int64) are rejected too.
+util::Result<std::int64_t> parseQueryInt(std::string_view raw);
+
 /// Parses a raw query string ("k=3&mode=sync") against `specs`.
 /// Unknown keys, unparsable numbers, out-of-range values and unlisted
 /// enum tokens are invalid-argument errors; a repeated key keeps the

@@ -424,6 +424,10 @@ void StreamEngine::processWindow(SealedWindow window) {
         default:
           break;
       }
+      // miner_ persists across epochs, so its internal WorkspacePool
+      // retains the search kernel + scratch: steady-state epochs reuse
+      // capacity instead of reallocating, and concurrent localize_pool_
+      // workers each lease their own workspace from it.
       out.result = miner_.localize(table, config_.top_k, search_pool_.get());
     } catch (const std::exception& e) {
       localize_failures_.fetch_add(1, std::memory_order_relaxed);

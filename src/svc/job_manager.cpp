@@ -364,8 +364,8 @@ JobManager::ExecOutcome JobManager::executeImpl(const JobRequest& request,
     detect::RelativeDeviationDetector(request.detect_threshold).run(table);
   }
 
-  const core::LocalizationResult result =
-      miner.value().localize(table, request.k);
+  const core::LocalizationResult result = miner.value().localize(
+      table, request.k, miner.value().searchPool(), &localize_workspaces_);
   outcome.ok = true;
   outcome.result_json = io::resultToJson(table.schema(), result);
   if (cache_ != nullptr && request.cache_key != 0) {

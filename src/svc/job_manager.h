@@ -228,6 +228,13 @@ class JobManager {
   Options options_;
   ResultCache* cache_;  ///< not owned; may be null
 
+  /// Search workspaces retained across jobs.  Each execute() builds a
+  /// fresh per-request RapMiner (the config is per-job), but the kernel
+  /// transpose + aggregation scratch are shape-keyed, not config-keyed,
+  /// so leasing them from a manager-wide pool makes the steady-state
+  /// localize path allocation-free even though the miner is ephemeral.
+  core::WorkspacePool localize_workspaces_;
+
   mutable std::mutex mutex_;
   OverloadGuard overload_;  ///< guarded by mutex_ (admission path only)
   std::condition_variable idle_;

@@ -1,0 +1,50 @@
+// Heap-allocation probe for zero-allocation assertions.
+//
+// The allocation-free search hot path (docs/algorithms.md, "Workspace
+// reuse") is a contract, not a hope: the bench smoke job and util_test
+// assert that a warmed-up groupByInto / percentile() performs literally
+// zero heap allocations.  Counting allocations portably needs replaced
+// global operator new/delete, and replacement operators are
+// process-wide — linking them into the production libraries would tax
+// every binary with an atomic load per allocation.  So the probe is
+// split:
+//
+//   alloc_probe.h        — this header: the counter API.  Safe to
+//                          include anywhere.
+//   alloc_probe_hook.cpp — the replacement operators AND the only
+//                          definitions of the functions below.
+//                          Compiled ONLY into binaries that opt in
+//                          (bench micro_primitives, util_test) by
+//                          listing the .cpp in their own sources; it is
+//                          deliberately NOT part of the rap_util
+//                          library.  A binary that calls the probe
+//                          without compiling the hook fails at link
+//                          time — better than an assertion that
+//                          silently counts nothing.
+//
+// Usage:
+//   // warm up ...
+//   util::allocProbeArm();
+//   // steady-state work ...
+//   const auto allocs = util::allocProbeDisarm();  // 0 expected
+//
+// Counting is process-wide while armed (any thread's allocation
+// counts), so arm around single-threaded steady-state sections.
+#pragma once
+
+#include <cstdint>
+
+namespace rap::util {
+
+/// Resets the counter to zero and starts counting operator-new calls.
+void allocProbeArm() noexcept;
+
+/// Stops counting and returns the number of operator-new calls (all
+/// forms: scalar/array, throwing/nothrow, aligned) observed since the
+/// matching allocProbeArm().
+std::uint64_t allocProbeDisarm() noexcept;
+
+/// The running count without disarming (for mid-section checkpoints).
+std::uint64_t allocProbeCount() noexcept;
+
+}  // namespace rap::util

@@ -1,0 +1,132 @@
+// Replacement global allocation operators backing util/alloc_probe.h.
+//
+// Compiled only into binaries that opt into zero-allocation assertions
+// (bench micro_primitives, util_test) — see the header for why this TU
+// must never join the rap_util library.  Replacing operator new is
+// [replacement.functions]-sanctioned: these definitions take over every
+// allocation in the binary, count the ones made while armed, and
+// forward to malloc/aligned_alloc (the same underlying source the
+// default operators use, so deallocating across TU boundaries is safe
+// as long as the matching replaced deletes below free() accordingly).
+#include "util/alloc_probe.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace rap::util {
+namespace {
+
+std::atomic<bool> g_armed{false};
+std::atomic<std::uint64_t> g_count{0};
+
+void* probedAlloc(std::size_t size) noexcept {
+  if (g_armed.load(std::memory_order_relaxed)) {
+    g_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  // malloc(0) may return nullptr legitimately; operator new must return
+  // a unique pointer, so allocate at least one byte.
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void* probedAllocAligned(std::size_t size, std::size_t align) noexcept {
+  if (g_armed.load(std::memory_order_relaxed)) {
+    g_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t rounded = (size + align - 1) / align * align;
+  return std::aligned_alloc(align, rounded == 0 ? align : rounded);
+}
+
+}  // namespace
+
+void allocProbeArm() noexcept {
+  g_count.store(0, std::memory_order_relaxed);
+  g_armed.store(true, std::memory_order_release);
+}
+
+std::uint64_t allocProbeDisarm() noexcept {
+  g_armed.store(false, std::memory_order_release);
+  return g_count.load(std::memory_order_relaxed);
+}
+
+std::uint64_t allocProbeCount() noexcept {
+  return g_count.load(std::memory_order_relaxed);
+}
+
+}  // namespace rap::util
+
+// ----------------------------------------------------- replaced operators
+//
+// Scalar/array x throwing/nothrow x plain/aligned news, plus every
+// matching delete (including the sized forms GCC emits under -O2).
+// All allocation funnels through the two probed helpers above.
+
+void* operator new(std::size_t size) {
+  void* p = rap::util::probedAlloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = rap::util::probedAlloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return rap::util::probedAlloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return rap::util::probedAlloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p =
+      rap::util::probedAllocAligned(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p =
+      rap::util::probedAllocAligned(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return rap::util::probedAllocAligned(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return rap::util::probedAllocAligned(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  std::free(p);
+}

@@ -24,6 +24,14 @@ double TimingStats::max() const noexcept {
                           : *std::max_element(samples_.begin(), samples_.end());
 }
 
+void TimingStats::add(double seconds) {
+  samples_.push_back(seconds);
+  // Keep the scratch's capacity in lockstep with samples_ so the
+  // noexcept percentile() below can rebuild it without allocating.
+  if (sorted_.capacity() < samples_.size()) sorted_.reserve(samples_.capacity());
+  sorted_valid_ = false;
+}
+
 double TimingStats::percentile(double q) const noexcept {
   // Defined for every input: an empty sample set reports 0, a q outside
   // [0,1] (including NaN) clamps to the nearest quantile, and a single
@@ -31,11 +39,16 @@ double TimingStats::percentile(double q) const noexcept {
   if (samples_.empty()) return 0.0;
   if (!(q > 0.0)) return min();   // q <= 0 or NaN
   if (q >= 1.0) return max();
-  std::vector<double> sorted = samples_;
-  std::sort(sorted.begin(), sorted.end());
+  if (!sorted_valid_) {
+    // assign() stays within the capacity add() reserved; std::sort is
+    // in-place — no allocation under this noexcept.
+    sorted_.assign(samples_.begin(), samples_.end());
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
   const auto rank = static_cast<std::size_t>(
-      std::ceil(q * static_cast<double>(sorted.size())));
-  return sorted[rank == 0 ? 0 : rank - 1];
+      std::ceil(q * static_cast<double>(sorted_.size())));
+  return sorted_[rank == 0 ? 0 : rank - 1];
 }
 
 }  // namespace rap::util

@@ -25,10 +25,19 @@ class WallTimer {
   Clock::time_point start_;
 };
 
-/// Aggregates a set of duration samples (seconds).
+/// Aggregates a set of duration samples (seconds).  Not thread-safe:
+/// the const accessors maintain a lazily sorted scratch (see below), so
+/// even concurrent reads need external synchronization.
 class TimingStats {
  public:
-  void add(double seconds) { samples_.push_back(seconds); }
+  /// Appends a sample.  This is the only member that allocates: it also
+  /// grows the sorted scratch that percentile() sorts into, so every
+  /// noexcept accessor below is allocation-free by construction —
+  /// percentile() used to sort a fresh copy under noexcept, where a
+  /// bad_alloc would have gone straight to std::terminate.  (The other
+  /// noexcept members — total/mean/min/max — scan samples_ in place and
+  /// never allocated; audited when this was fixed.)
+  void add(double seconds);
 
   std::size_t count() const noexcept { return samples_.size(); }
   bool empty() const noexcept { return samples_.empty(); }
@@ -37,15 +46,20 @@ class TimingStats {
   double mean() const noexcept;
   double min() const noexcept;
   double max() const noexcept;
-  /// Nearest-rank quantile on a sorted copy.  Total: q is clamped to
-  /// [0,1] (NaN behaves like 0), the empty set reports 0, and a single
-  /// sample is returned for every q.
+  /// Nearest-rank quantile.  Total: q is clamped to [0,1] (NaN behaves
+  /// like 0), the empty set reports 0, and a single sample is returned
+  /// for every q.  Sorts into the pre-reserved scratch on the first
+  /// call after an add(); later calls reuse the sorted order.
   double percentile(double q) const noexcept;
 
   const std::vector<double>& samples() const noexcept { return samples_; }
 
  private:
   std::vector<double> samples_;
+  /// Sorted copy of samples_, rebuilt lazily inside the capacity that
+  /// add() reserved (so the rebuild cannot allocate).
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
 };
 
 }  // namespace rap::util

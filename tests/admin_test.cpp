@@ -10,12 +10,14 @@
 
 #include <atomic>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "obs/admin_server.h"
 #include "obs/build_info.h"
+#include "obs/query_params.h"
 #include "stream/admin.h"
 #include "stream/engine.h"
 
@@ -324,8 +326,55 @@ TEST(AdminServer, TracezRejectsGarbledLimit) {
   EXPECT_EQ(statusOf(httpGet(server.port(), "/tracez?limit=abc")), 400);
   EXPECT_EQ(statusOf(httpGet(server.port(), "/tracez?limit=-1")), 400);
   EXPECT_EQ(statusOf(httpGet(server.port(), "/tracez?limit=12x")), 400);
+  // The strtoll-lenient spellings the strict parser must refuse: an
+  // explicit '+', percent-encoded whitespace (values are deliberately
+  // not percent-decoded), and a sign with no digits.
+  EXPECT_EQ(statusOf(httpGet(server.port(), "/tracez?limit=+5")), 400);
+  EXPECT_EQ(statusOf(httpGet(server.port(), "/tracez?limit=%205")), 400);
+  EXPECT_EQ(statusOf(httpGet(server.port(), "/tracez?limit=-")), 400);
   EXPECT_EQ(statusOf(httpGet(server.port(), "/tracez?limit=3")), 200);
   EXPECT_EQ(statusOf(httpGet(server.port(), "/tracez")), 200);
+}
+
+TEST(HttpRequest, QueryIntStrictRejectsLenientSpellings) {
+  // queryIntStrict used to call strtoll directly, which silently skips
+  // leading whitespace and accepts '+'; it now routes through the one
+  // shared obs::parseQueryInt, so both paths agree on what an integer is.
+  obs::HttpRequest request;
+  using R = obs::HttpRequest::QueryIntResult;
+  std::int64_t out = 0;
+
+  request.query = "limit=5&neg=-7&plus=+5&pad= 5&tab=\t5&empty=&dash=-"
+                  "&huge=99999999999999999999&zero=0";
+  EXPECT_EQ(request.queryIntStrict("limit", &out), R::kValid);
+  EXPECT_EQ(out, 5);
+  EXPECT_EQ(request.queryIntStrict("neg", &out), R::kValid);
+  EXPECT_EQ(out, -7);
+  EXPECT_EQ(request.queryIntStrict("zero", &out), R::kValid);
+  EXPECT_EQ(out, 0);
+  EXPECT_EQ(request.queryIntStrict("absent", &out), R::kAbsent);
+  EXPECT_EQ(request.queryIntStrict("plus", &out), R::kInvalid);
+  EXPECT_EQ(request.queryIntStrict("pad", &out), R::kInvalid);
+  EXPECT_EQ(request.queryIntStrict("tab", &out), R::kInvalid);
+  EXPECT_EQ(request.queryIntStrict("empty", &out), R::kInvalid);
+  EXPECT_EQ(request.queryIntStrict("dash", &out), R::kInvalid);
+  EXPECT_EQ(request.queryIntStrict("huge", &out), R::kInvalid);
+}
+
+TEST(QueryParams, ParseQueryIntIsStrict) {
+  EXPECT_TRUE(obs::parseQueryInt("42").isOk());
+  EXPECT_EQ(obs::parseQueryInt("42").value(), 42);
+  EXPECT_EQ(obs::parseQueryInt("-42").value(), -42);
+  EXPECT_EQ(obs::parseQueryInt("0").value(), 0);
+  for (const char* bad : {"", "-", "+5", " 5", "5 ", "\t5", "5x", "x5",
+                          "1.5", "0x10", "--3", "9223372036854775808"}) {
+    EXPECT_FALSE(obs::parseQueryInt(bad).isOk()) << "'" << bad << "'";
+  }
+  // int64 boundaries themselves are accepted.
+  EXPECT_EQ(obs::parseQueryInt("9223372036854775807").value(),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(obs::parseQueryInt("-9223372036854775808").value(),
+            std::numeric_limits<std::int64_t>::min());
 }
 
 // ---------------------------------------------------------------------------

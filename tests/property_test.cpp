@@ -105,6 +105,42 @@ TEST_P(RandomTableProperty, KernelMatchesTableGroupByBitExactly) {
   }
 }
 
+TEST_P(RandomTableProperty, WorkspaceGroupByBitIdenticalUnderReuse) {
+  // The allocation-free path's contract under REUSE: one kernel, one
+  // scratch, and one grow-only output vector driven across two random
+  // tables x every cuboid x repeated passes must stay element-for-element
+  // identical to LeafTable::groupBy (float sums compared with ==).  The
+  // failure mode this hunts is stale state leaking between calls: a
+  // touched cell not reset to zero, or an output slot keeping a previous
+  // mask's element in a now-wildcard attribute.
+  util::Rng rng(GetParam() ^ 0x5EED);
+  const LeafTable table_a = randomTable(rng);
+  const LeafTable table_b = randomTable(rng);
+  dataset::GroupByKernel kernel;
+  dataset::GroupByScratch scratch;
+  std::vector<dataset::GroupAggregate> out;
+  for (int pass = 0; pass < 3; ++pass) {
+    for (const LeafTable* table : {&table_a, &table_b}) {
+      kernel.rebind(*table);
+      for (const auto mask : dataset::allCuboidsByLayer(
+               dataset::allAttributesMask(table->schema()))) {
+        const auto expected = table->groupBy(mask);
+        const std::size_t count = kernel.groupByInto(mask, scratch, out);
+        ASSERT_EQ(expected.size(), count)
+            << "pass=" << pass << " mask=" << mask;
+        for (std::size_t i = 0; i < count; ++i) {
+          EXPECT_EQ(expected[i].ac, out[i].ac)
+              << "pass=" << pass << " mask=" << mask << " i=" << i;
+          EXPECT_EQ(expected[i].total, out[i].total);
+          EXPECT_EQ(expected[i].anomalous, out[i].anomalous);
+          EXPECT_EQ(expected[i].v_sum, out[i].v_sum);
+          EXPECT_EQ(expected[i].f_sum, out[i].f_sum);
+        }
+      }
+    }
+  }
+}
+
 TEST_P(RandomTableProperty, KernelAggregateAgreesWithIndexOnRandomProbes) {
   util::Rng rng(GetParam() ^ 0xBEEF);
   const LeafTable table = randomTable(rng);

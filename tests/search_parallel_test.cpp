@@ -5,6 +5,7 @@
 // return of RapMiner::localize.  This file runs under the CI TSan job.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <thread>
 #include <vector>
@@ -76,9 +77,14 @@ TEST_P(ThreadSweep, BitIdenticalOnRapmdCases) {
   parallel_config.parallel.threads = threads;
   const RapMiner serial(serial_config);
   const RapMiner parallel(parallel_config);
-  EXPECT_EQ(parallel.localize(rapmdCases(1, 1)[0].table, 0)
-                .stats.search_threads,
-            threads == 1 ? 1 : threads);
+  // search_threads reports the concurrency actually used, so the
+  // configured budget is an upper bound, not the reported value: a layer
+  // with c cuboids enlists at most c - 1 helpers.  (The exact-width
+  // cases live in the SearchThreads suite below.)
+  const auto reported =
+      parallel.localize(rapmdCases(1, 1)[0].table, 0).stats.search_threads;
+  EXPECT_GE(reported, threads == 1 ? 1 : 2);
+  EXPECT_LE(reported, threads);
 
   for (const auto& c : rapmdCases(20220627, 8)) {
     expectBitIdentical(serial.localize(c.table, 0),
@@ -150,6 +156,144 @@ TEST(ParallelSearch, ZeroThreadsResolvesToHardwareConcurrency) {
   const auto c = rapmdCases(5, 1)[0];
   expectBitIdentical(RapMiner().localize(c.table, 0),
                      RapMiner(config).localize(c.table, 0));
+}
+
+// ------------------------------------------ threads actually used
+
+/// Fully populated labeled table over Schema::synthetic(cards); every
+/// third leaf anomalous so the search has work at every layer.
+LeafTable syntheticTable(const std::vector<std::int32_t>& cards) {
+  const Schema schema = Schema::synthetic(cards);
+  LeafTable table(schema);
+  for (std::uint64_t i = 0; i < schema.leafCount(); ++i) {
+    const bool anomalous = i % 3 == 0;
+    table.addRow(dataset::leafFromIndex(schema, i), anomalous ? 10.0 : 100.0,
+                 100.0, anomalous);
+  }
+  return table;
+}
+
+TEST(SearchThreads, SingleCuboidLayersStaySerial) {
+  // One attribute: every layer has exactly one cuboid, so the parallel
+  // schedule never engages.  The stat must say 1 — this used to report
+  // pool size + 1 regardless of what the layers could use.
+  util::ThreadPool pool(3);
+  RapMinerConfig config;
+  config.cp.enable_attribute_deletion = false;
+  const auto result =
+      RapMiner(config).localize(syntheticTable({6}), 0, &pool);
+  EXPECT_EQ(result.stats.search_threads, 1);
+}
+
+TEST(SearchThreads, CappedByWidestLayer) {
+  // Two attributes, deletion and early stop off: layer 1 has 2 cuboids
+  // (at most 1 helper), layer 2 has 1 (serial).  Even an 8-worker pool
+  // must report 2 threads used, not 9.
+  util::ThreadPool pool(8);
+  RapMinerConfig config;
+  config.cp.enable_attribute_deletion = false;
+  config.search.early_stop = false;
+  const auto result =
+      RapMiner(config).localize(syntheticTable({3, 2}), 0, &pool);
+  EXPECT_EQ(result.stats.search_threads, 2);
+}
+
+TEST(SearchThreads, WideLayersUseTheWholePool) {
+  // Four kept attributes give layer 1 four cuboids — enough to enlist
+  // both workers of a 2-worker pool: 2 helpers + the caller.
+  util::ThreadPool pool(2);
+  RapMinerConfig config;
+  config.cp.enable_attribute_deletion = false;
+  const auto c = rapmdCases(42, 1)[0];
+  EXPECT_EQ(RapMiner(config).localize(c.table, 0, &pool).stats.search_threads,
+            3);
+}
+
+// --------------------------------------------------- cuboid visit order
+
+TEST(OrderedCuboids, IntegerWeightsMatchPowReference) {
+  // The integer bit-sum weights must reproduce the retired
+  // std::pow(2.0, n - rank) stable_sort comparator exactly: every term
+  // and sum is < 2^53, hence exact in double as well, and the mask-asc
+  // tiebreak matches stability over cuboidsAtLayer's ascending output.
+  const std::vector<std::vector<dataset::AttrId>> kept_sets = {
+      {0, 1, 2, 3}, {3, 1, 0, 2}, {2, 0, 4, 1, 3}, {1, 0}, {5}};
+  for (const auto& kept : kept_sets) {
+    const auto n = static_cast<std::int32_t>(kept.size());
+    const auto weight = [&](dataset::CuboidMask mask) {
+      double w = 0.0;
+      for (std::int32_t rank = 0; rank < n; ++rank) {
+        if ((mask & (1u << kept[static_cast<std::size_t>(rank)])) != 0) {
+          w += std::pow(2.0, n - rank);
+        }
+      }
+      return w;
+    };
+    for (std::int32_t layer = 1; layer <= n; ++layer) {
+      const auto ordered =
+          core::orderedCuboids(kept, layer, core::CuboidOrder::kCpWeighted);
+      auto reference =
+          core::orderedCuboids(kept, layer, core::CuboidOrder::kNumeric);
+      std::stable_sort(reference.begin(), reference.end(),
+                       [&weight](dataset::CuboidMask a, dataset::CuboidMask b) {
+                         return weight(a) > weight(b);
+                       });
+      EXPECT_EQ(ordered, reference)
+          << "n=" << n << " layer=" << layer;
+    }
+  }
+}
+
+// ----------------------------------------------- workspace retention
+
+TEST(SearchWorkspace, RetainedWorkspaceBitIdenticalAcrossSearches) {
+  // One WorkspacePool shared across repeated localizations: passes two
+  // and three reuse pass one's kernel transpose and scratch capacity
+  // (the steady state the allocation-free hot path relies on), and every
+  // result must stay bit-identical to a fresh serial miner's.
+  core::WorkspacePool shared;
+  util::ThreadPool pool(3);
+  const RapMiner miner;
+  const auto cases = rapmdCases(314, 3);
+  std::vector<LocalizationResult> reference;
+  for (const auto& c : cases) reference.push_back(miner.localize(c.table, 0));
+  for (int pass = 0; pass < 3; ++pass) {
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      expectBitIdentical(reference[i],
+                         miner.localize(cases[i].table, 0, &pool, &shared));
+    }
+  }
+  // A single caller checks out one workspace at a time, so exactly one
+  // is retained across all nine searches.
+  EXPECT_EQ(shared.retained(), 1u);
+}
+
+TEST(SearchWorkspace, ConcurrentLeasesStayIndependent) {
+  // TSan case: two caller threads lease from one WorkspacePool and
+  // localize concurrently through one fan-out pool.  Each lease must be
+  // a private workspace — the kernel inside is shared read-only only
+  // across its own search's helpers.
+  core::WorkspacePool shared;
+  util::ThreadPool pool(2);
+  const RapMiner miner;
+  const auto cases = rapmdCases(2718, 4);
+  std::vector<LocalizationResult> reference;
+  for (const auto& c : cases) reference.push_back(miner.localize(c.table, 0));
+  std::vector<LocalizationResult> observed(cases.size());
+  std::vector<std::thread> callers;
+  for (std::size_t t = 0; t < 2; ++t) {
+    callers.emplace_back([&, t] {
+      for (std::size_t i = t; i < cases.size(); i += 2) {
+        observed[i] = miner.localize(cases[i].table, 0, &pool, &shared);
+      }
+    });
+  }
+  for (auto& caller : callers) caller.join();
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    expectBitIdentical(reference[i], observed[i]);
+  }
+  EXPECT_GE(shared.retained(), 1u);
+  EXPECT_LE(shared.retained(), 2u);
 }
 
 // ------------------------------------------- trivial-input early return

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <set>
+#include <utility>
 
+#include "util/alloc_probe.h"
 #include "util/flags.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -286,6 +288,63 @@ TEST(TimingStats, PercentileEdgeCases) {
 
   // NaN is treated like an out-of-range low quantile, not UB.
   EXPECT_DOUBLE_EQ(many.percentile(std::nan("")), 0.1);
+}
+
+TEST(TimingStats, PercentileInterleavedWithAddStaysCorrect) {
+  // Regression for the lazily sorted scratch: add() must invalidate the
+  // cached order so quantiles after an interleaved add see the new
+  // sample, and repeated reads between adds reuse the cache coherently.
+  TimingStats stats;
+  stats.add(0.3);
+  EXPECT_DOUBLE_EQ(stats.percentile(0.5), 0.3);
+  stats.add(0.1);
+  EXPECT_DOUBLE_EQ(stats.percentile(0.5), 0.1);
+  EXPECT_DOUBLE_EQ(stats.percentile(0.5), 0.1);
+  stats.add(0.2);
+  EXPECT_DOUBLE_EQ(stats.percentile(0.5), 0.2);
+  EXPECT_DOUBLE_EQ(stats.percentile(1.0), 0.3);
+  EXPECT_DOUBLE_EQ(stats.percentile(0.0), 0.1);
+}
+
+TEST(TimingStats, AccessorsAreNoexcept) {
+  // The audit satellite in code form: every accessor is noexcept, which
+  // is only honest if none of them can allocate (an allocation failure
+  // under noexcept goes straight to std::terminate).
+  using C = const TimingStats&;
+  static_assert(noexcept(std::declval<C>().count()));
+  static_assert(noexcept(std::declval<C>().empty()));
+  static_assert(noexcept(std::declval<C>().total()));
+  static_assert(noexcept(std::declval<C>().mean()));
+  static_assert(noexcept(std::declval<C>().min()));
+  static_assert(noexcept(std::declval<C>().max()));
+  static_assert(noexcept(std::declval<C>().percentile(0.5)));
+  static_assert(noexcept(std::declval<C>().samples()));
+  // add() allocates by design and must therefore NOT be noexcept.
+  static_assert(!noexcept(std::declval<TimingStats&>().add(0.0)));
+}
+
+TEST(TimingStats, NoexceptAccessorsDoNotAllocate) {
+  // util_test links the alloc_probe hook specifically for this check:
+  // percentile() used to sort a fresh copy of the samples under its
+  // noexcept, where a bad_alloc would have terminated the process.  Now
+  // every accessor must run allocation-free against the scratch that
+  // add() pre-reserved — including the first percentile() after an
+  // add(), which re-sorts in place.
+  TimingStats stats;
+  for (int i = 0; i < 1000; ++i) {
+    stats.add(static_cast<double>((i * 31) % 97) / 100.0);
+  }
+  stats.percentile(0.5);  // warm the cache...
+  stats.add(0.42);        // ...then invalidate it (add may allocate)
+  allocProbeArm();
+  // First percentile() after an add: re-sorts into the pre-reserved
+  // scratch — the exact path that used to copy-and-sort fresh storage.
+  double acc = stats.percentile(0.25) + stats.percentile(0.5) +
+               stats.percentile(0.99);
+  acc += stats.total() + stats.mean() + stats.min() + stats.max();
+  const std::uint64_t allocs = allocProbeDisarm();
+  EXPECT_EQ(allocs, 0u);
+  EXPECT_GT(acc, 0.0);
 }
 
 TEST(WallTimer, MeasuresNonNegativeMonotonic) {
